@@ -1,0 +1,90 @@
+// Benchmarks: one testing.B entry per paper table/figure, running the
+// corresponding experiment from internal/bench in quick mode (full-size
+// runs are the domain of cmd/glp4nn-bench). The reported custom metrics
+// are wall-clock per experiment execution; the experiment's own output is
+// virtual (simulated-GPU) time.
+package glp4nn
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func benchExperiment(b *testing.B, id string, cfg bench.Config) {
+	b.Helper()
+	e, err := bench.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(cfg, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func quick() bench.Config {
+	return bench.Config{Quick: true, Iterations: 1, Seed: 1}
+}
+
+func BenchmarkTable1ArchCatalog(b *testing.B) { benchExperiment(b, "table1", quick()) }
+
+func BenchmarkTable3HardwareProfile(b *testing.B) { benchExperiment(b, "table3", quick()) }
+
+func BenchmarkTable4Datasets(b *testing.B) { benchExperiment(b, "table4", quick()) }
+
+func BenchmarkTable5LayerGeometry(b *testing.B) { benchExperiment(b, "table5", quick()) }
+
+func BenchmarkFig2CaffeNetConvSpeedup(b *testing.B) { benchExperiment(b, "fig2", quick()) }
+
+func BenchmarkFig3Timeline(b *testing.B) { benchExperiment(b, "fig3", quick()) }
+
+func BenchmarkFig4BestStreams(b *testing.B) {
+	cfg := quick()
+	cfg.Devices = []string{"K40C", "P100"}
+	benchExperiment(b, "fig4", cfg)
+}
+
+func BenchmarkFig7TrainingSpeedup(b *testing.B) {
+	cfg := quick()
+	cfg.Devices = []string{"P100"}
+	cfg.Networks = []string{"CIFAR10", "Siamese"}
+	benchExperiment(b, "fig7", cfg)
+}
+
+func BenchmarkFig8StreamConfig(b *testing.B) {
+	cfg := quick()
+	cfg.Devices = []string{"P100"}
+	cfg.Networks = []string{"CIFAR10"}
+	benchExperiment(b, "fig8", cfg)
+}
+
+func BenchmarkFig9SmallLayerRegression(b *testing.B) { benchExperiment(b, "fig9", quick()) }
+
+func BenchmarkFig10Memory(b *testing.B) {
+	cfg := quick()
+	cfg.Devices = []string{"P100"}
+	cfg.Networks = []string{"Siamese"}
+	benchExperiment(b, "fig10", cfg)
+}
+
+func BenchmarkTable6Overhead(b *testing.B) {
+	cfg := quick()
+	cfg.Devices = []string{"K40C"}
+	cfg.Networks = []string{"CIFAR10"}
+	benchExperiment(b, "table6", cfg)
+}
+
+func BenchmarkFig11Convergence(b *testing.B) {
+	cfg := quick()
+	cfg.ConvergenceIters = 4
+	benchExperiment(b, "fig11", cfg)
+}
+
+func BenchmarkAblationEngine(b *testing.B) { benchExperiment(b, "ablation-engine", quick()) }
+
+func BenchmarkAblationPoolPolicy(b *testing.B) { benchExperiment(b, "ablation-pool", quick()) }

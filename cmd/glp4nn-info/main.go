@@ -1,0 +1,56 @@
+// Command glp4nn-info prints the simulated hardware and dataset catalogs
+// (the paper's Tables 1, 3 and 4) and, with -occupancy, runs the CUDA
+// occupancy calculation for a kernel launch configuration on each device.
+//
+// Examples:
+//
+//	glp4nn-info
+//	glp4nn-info -occupancy -threads 256 -smem 16384
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/simgpu"
+)
+
+func main() {
+	var (
+		occupancy = flag.Bool("occupancy", false, "print occupancy for a launch config on each device")
+		threads   = flag.Int("threads", 256, "threads per block for -occupancy")
+		smem      = flag.Int("smem", 0, "shared memory bytes per block for -occupancy")
+		blocks    = flag.Int("blocks", 64, "grid size for -occupancy")
+	)
+	flag.Parse()
+
+	if *occupancy {
+		cfg := simgpu.LaunchConfig{
+			Grid:           simgpu.D1(*blocks),
+			Block:          simgpu.D1(*threads),
+			SharedMemBytes: *smem,
+		}
+		fmt.Printf("occupancy for grid=%d block=%d smem=%dB:\n", *blocks, *threads, *smem)
+		for _, spec := range simgpu.DeviceCatalog {
+			fmt.Printf("  %-8s %2d blocks/SM resident, theoretical occupancy %.2f\n",
+				spec.Name, cfg.MaxBlocksResidentPerSM(spec), cfg.TheoreticalOccupancy(spec))
+		}
+		return
+	}
+
+	for _, id := range []string{"table1", "table3", "table4"} {
+		e, err := bench.Get(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s ===\n", e.Title)
+		if err := e.Run(bench.Config{Quick: true}, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

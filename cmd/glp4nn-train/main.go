@@ -1,0 +1,141 @@
+// Command glp4nn-train trains one of the paper's workloads on a simulated
+// GPU, with or without GLP4NN, and reports per-iteration loss, virtual
+// timing and the framework's overhead ledger.
+//
+// Examples:
+//
+//	glp4nn-train -net CIFAR10 -iters 50 -device P100 -glp4nn
+//	glp4nn-train -net Siamese -iters 20 -device K40C
+//	glp4nn-train -net CaffeNet -batch 16 -iters 3 -device TitanXP -glp4nn -compute=false
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dnn"
+	"repro/internal/models"
+	"repro/internal/simgpu"
+)
+
+func main() {
+	var (
+		netName = flag.String("net", "CIFAR10", "workload: CIFAR10, Siamese, CaffeNet or GoogLeNet")
+		batch   = flag.Int("batch", 0, "batch size (0 = paper default)")
+		iters   = flag.Int("iters", 20, "training iterations")
+		device  = flag.String("device", "P100", "simulated GPU: K40C, P100 or TitanXP")
+		useGLP  = flag.Bool("glp4nn", false, "train through GLP4NN instead of the serial baseline")
+		compute = flag.Bool("compute", true, "run real math (disable for timing-only runs)")
+		seed    = flag.Int64("seed", 1, "seed")
+		every   = flag.Int("log-every", 5, "print loss every N iterations")
+		trace   = flag.String("trace", "", "write a Chrome trace (chrome://tracing) of the final iteration to this file")
+	)
+	flag.Parse()
+
+	if err := run(*netName, *batch, *iters, *device, *useGLP, *compute, *seed, *every, *trace); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(netName string, batch, iters int, device string, useGLP, compute bool, seed int64, every int, tracePath string) error {
+	spec, ok := simgpu.DeviceByName(device)
+	if !ok {
+		return fmt.Errorf("unknown device %q (have %v)", device, simgpu.CatalogNames())
+	}
+	w, err := models.Get(netName)
+	if err != nil {
+		return err
+	}
+	if batch <= 0 {
+		batch = w.DefaultBatch
+	}
+
+	dev := simgpu.NewDevice(spec, simgpu.WithTraceLimit(1))
+	var launcher dnn.Launcher = dnn.SerialLauncher{Dev: dev}
+	var fw *core.Framework
+	if useGLP {
+		fw = core.New()
+		defer fw.Close()
+		launcher = fw.Runtime(dev)
+	}
+
+	ctx := dnn.NewContext(launcher, seed)
+	ctx.Compute = compute
+	fmt.Printf("building %s (batch %d) for %s, glp4nn=%v compute=%v\n", netName, batch, spec.Name, useGLP, compute)
+	net, err := w.Build(ctx, batch, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(net.Summary())
+
+	feed := w.NewFeeder(batch, seed+1)
+	solver := dnn.NewSolver(net, ctx, dnn.CIFAR10QuickSolver())
+
+	wallStart := time.Now()
+	var virtualTotal time.Duration
+	for i := 0; i < iters; i++ {
+		if compute {
+			if err := feed(net); err != nil {
+				return err
+			}
+		}
+		if err := dev.ResetClocks(); err != nil {
+			return err
+		}
+		// Model the input batch's host→device copy, like Caffe's data layer.
+		if err := net.UploadInputs(ctx); err != nil {
+			return err
+		}
+		loss, err := solver.Step()
+		if err != nil {
+			return err
+		}
+		devT, err := dev.Synchronize()
+		if err != nil {
+			return err
+		}
+		iterT := devT
+		if h := dev.HostTime(); h > iterT {
+			iterT = h
+		}
+		virtualTotal += iterT
+		if every > 0 && ((i+1)%every == 0 || i == 0) {
+			if compute {
+				fmt.Printf("iter %4d  loss %.4f  sim-time %v\n", i+1, loss, iterT.Round(time.Microsecond))
+			} else {
+				fmt.Printf("iter %4d  sim-time %v\n", i+1, iterT.Round(time.Microsecond))
+			}
+		}
+	}
+	fmt.Printf("done: %d iterations, mean simulated iteration %v, wall clock %v\n",
+		iters, (virtualTotal / time.Duration(iters)).Round(time.Microsecond), time.Since(wallStart).Round(time.Millisecond))
+
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := dev.ExportChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("chrome trace of the final iteration written to %s\n", tracePath)
+	}
+
+	if fw != nil {
+		rt := fw.Runtime(dev)
+		fmt.Printf("glp4nn overhead: %s\n", rt.Ledger().Snapshot())
+		fmt.Println("concurrency plans:")
+		for _, p := range rt.Plans() {
+			fmt.Printf("  %-22s %d streams\n", p.Key, p.Streams)
+		}
+	}
+	return nil
+}

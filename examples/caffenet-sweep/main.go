@@ -1,0 +1,90 @@
+// CaffeNet sweep: the paper's motivation experiment (Figs. 2 and 4) — sweep
+// the number of concurrent CUDA streams for each CaffeNet convolution layer
+// on all three simulated GPUs and report the speedup curve and the
+// per-device optimum.
+//
+// Run with:
+//
+//	go run ./examples/caffenet-sweep            # batch 32 (fast)
+//	go run ./examples/caffenet-sweep -batch 256 # the paper's batch
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	glp4nn "repro"
+	"repro/internal/dnn"
+	"repro/internal/models"
+)
+
+func main() {
+	batch := flag.Int("batch", 32, "batch size (paper: 256)")
+	flag.Parse()
+
+	sizes := []int{1, 2, 4, 8, 16, 32}
+	for _, row := range models.Rows("CaffeNet") {
+		fmt.Printf("CaffeNet %s (Ci=%d %dx%d, Co=%d, F=%d, S=%d, P=%d), batch %d:\n",
+			row.Layer, row.Ci, row.HW, row.HW, row.Co, row.F, row.S, row.P, *batch)
+
+		ctx := glp4nn.NewContext(dnn.HostLauncher{}, 1)
+		ctx.Compute = false
+		cfg := dnn.ConvConfig{
+			NumOutput: row.Co, KernelH: row.F, KernelW: row.F,
+			StrideH: row.S, StrideW: row.S, PadH: row.P, PadW: row.P, Bias: true,
+		}
+		net, err := dnn.NewNet(row.Layer).
+			Input("data", *batch, row.Ci, row.HW, row.HW).
+			Add(dnn.NewConv(row.Layer, cfg), []string{"data"}, []string{"out"}).
+			Build(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		for _, specName := range []string{"K40C", "P100", "TitanXP"} {
+			spec, _ := glp4nn.DeviceByName(specName)
+			var base time.Duration
+			best, bestT := 0, time.Duration(0)
+			fmt.Printf("  %-8s", specName)
+			for _, n := range sizes {
+				dev := glp4nn.NewDevice(spec)
+				var l glp4nn.Launcher
+				if n == 1 {
+					l = glp4nn.Serial(dev)
+				} else {
+					l = glp4nn.FixedPool(dev, n)
+				}
+				runCtx := glp4nn.NewContext(l, 1)
+				runCtx.Compute = false
+				// warm once, measure once (the simulator is deterministic)
+				if _, err := net.Forward(runCtx); err != nil {
+					log.Fatal(err)
+				}
+				if err := dev.ResetClocks(); err != nil {
+					log.Fatal(err)
+				}
+				if _, err := net.Forward(runCtx); err != nil {
+					log.Fatal(err)
+				}
+				d, err := dev.Synchronize()
+				if err != nil {
+					log.Fatal(err)
+				}
+				if h := dev.HostTime(); h > d {
+					d = h
+				}
+				if n == 1 {
+					base = d
+				}
+				if best == 0 || d < bestT {
+					best, bestT = n, d
+				}
+				fmt.Printf("  %2d→%.2fx", n, float64(base)/float64(d))
+			}
+			fmt.Printf("   best: %d streams (%v)\n", best, bestT.Round(time.Microsecond))
+		}
+		fmt.Println()
+	}
+}

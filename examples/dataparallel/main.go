@@ -1,0 +1,88 @@
+// Data-parallel: the paper's future-work item 3 at machine scale — train
+// CIFAR10 synchronously across three simulated P100s (shard the global
+// batch, ring-all-reduce the gradients, identical updates everywhere), with
+// GLP4NN accelerating each replica from the inside.
+//
+// Run with:
+//
+//	go run ./examples/dataparallel
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	glp4nn "repro"
+	"repro/internal/dnn"
+	"repro/internal/models"
+	"repro/internal/parallel"
+	"repro/internal/simgpu"
+)
+
+func main() {
+	const (
+		globalBatch = 48
+		iters       = 10
+		seed        = 9
+	)
+
+	for _, arm := range []struct {
+		label  string
+		gpus   int
+		useGLP bool
+	}{
+		{"1 GPU, naive     ", 1, false},
+		{"3 GPUs, naive    ", 3, false},
+		{"3 GPUs + GLP4NN  ", 3, true},
+	} {
+		specs := make([]simgpu.DeviceSpec, arm.gpus)
+		for i := range specs {
+			specs[i] = glp4nn.TeslaP100
+		}
+		machine := simgpu.NewMachine(specs...)
+		shard := globalBatch / arm.gpus
+
+		tr, err := parallel.NewTrainer(machine, func(ctx *dnn.Context) (*dnn.Net, error) {
+			return models.BuildCIFAR10(ctx, shard, seed)
+		}, parallel.Config{
+			Solver:  glp4nn.CIFAR10QuickSolver(),
+			UseGLP:  arm.useGLP,
+			Compute: true,
+			Seed:    seed,
+			Bus:     parallel.PCIe3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Each replica trains on its own shard of the synthetic dataset.
+		feeders := map[int]models.Feeder{}
+		feed := func(replica int, net *dnn.Net) error {
+			f, ok := feeders[replica]
+			if !ok {
+				w, _ := models.Get("CIFAR10")
+				f = w.NewFeeder(shard, seed+int64(replica)*31)
+				feeders[replica] = f
+			}
+			return f(net)
+		}
+
+		var last parallel.StepResult
+		for i := 0; i < iters; i++ {
+			last, err = tr.Step(feed)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("%s shard %2d: loss %.4f, iter %v (compute %v + comm %v)\n",
+			arm.label, shard, last.MeanLoss,
+			last.IterTime.Round(time.Microsecond),
+			last.ComputeTime.Round(time.Microsecond),
+			last.CommTime.Round(time.Microsecond))
+		tr.Close()
+	}
+
+	fmt.Println("\nSharding shrinks compute near-linearly; the all-reduce adds a fixed tax;")
+	fmt.Println("GLP4NN stacks multiplicatively because it accelerates each replica's kernels.")
+}

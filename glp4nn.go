@@ -1,0 +1,168 @@
+// Package glp4nn is the public façade of this reproduction of
+//
+//	GLP4NN: A Convergence-invariant and Network-agnostic Light-Weight
+//	Parallelization Framework for Deep Neural Networks on Modern GPUs
+//	(Fu, Tang, He, Yu, Sun — ICPP 2018)
+//
+// in pure Go. Because Go cannot drive CUDA directly, the GPU is a
+// discrete-event simulator (internal/simgpu) with the paper's three test
+// devices; the deep-learning substrate is a Caffe-like framework whose
+// numerics are real float32 host math, while kernel *timing* is simulated.
+// GLP4NN itself (internal/core) is faithful to the paper: a CUPTI-style
+// resource tracker, the Section 3.2 analytical model solved as a MILP, a
+// stream pool, and a runtime scheduler that batch-splits convolutions over
+// concurrent streams.
+//
+// # Quick start
+//
+//	dev := glp4nn.NewDevice(glp4nn.TeslaP100)
+//	fw := glp4nn.New()
+//	defer fw.Close()
+//	ctx := glp4nn.NewContext(fw.Runtime(dev), 42)
+//	net, _ := glp4nn.BuildModel("CIFAR10", ctx, 0, 42)
+//	solver := glp4nn.NewSolver(net, ctx, glp4nn.CIFAR10QuickSolver())
+//	feed := glp4nn.NewFeeder("CIFAR10", 0, 43)
+//	for i := 0; i < 100; i++ {
+//		feed(net)
+//		loss, _ := solver.Step()
+//		_ = loss
+//	}
+//
+// Swap fw.Runtime(dev) for glp4nn.Serial(dev) to get the naive-Caffe
+// baseline; the trained parameters agree (convergence invariance), the
+// simulated timeline does not (that is the speedup).
+package glp4nn
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dnn"
+	"repro/internal/models"
+	"repro/internal/simgpu"
+)
+
+// Re-exported core types. The façade keeps examples and downstream users on
+// a single import; the internal packages remain the implementation.
+type (
+	// Device is a simulated GPU.
+	Device = simgpu.Device
+	// DeviceSpec describes a GPU model (see TeslaK40C, TeslaP100, TitanXP).
+	DeviceSpec = simgpu.DeviceSpec
+	// Stream is a CUDA-like stream.
+	Stream = simgpu.Stream
+	// Kernel is one launchable unit of simulated GPU work.
+	Kernel = simgpu.Kernel
+	// KernelRecord is a completed kernel's activity record.
+	KernelRecord = simgpu.KernelRecord
+
+	// Net is a Caffe-like network.
+	Net = dnn.Net
+	// Context carries execution state through training.
+	Context = dnn.Context
+	// Launcher routes kernels to the device (serial or GLP4NN).
+	Launcher = dnn.Launcher
+	// Solver is momentum SGD.
+	Solver = dnn.Solver
+	// SolverConfig mirrors Caffe's solver prototxt.
+	SolverConfig = dnn.SolverConfig
+
+	// Framework is GLP4NN: shared tracker and stream manager, per-device
+	// analyzer and scheduler.
+	Framework = core.Framework
+	// Runtime is the per-device GLP4NN scheduler (a Launcher).
+	Runtime = core.Runtime
+	// Plan is one layer's analyzed concurrency configuration.
+	Plan = core.Plan
+	// OverheadSnapshot is the framework's cost ledger (mem_tt, mem_K,
+	// mem_cupti, T_p, T_a, T_s).
+	OverheadSnapshot = core.Snapshot
+
+	// Feeder fills a net's inputs with the next mini-batch.
+	Feeder = models.Feeder
+)
+
+// The paper's three evaluation GPUs (Table 3).
+var (
+	TeslaK40C = simgpu.TeslaK40C
+	TeslaP100 = simgpu.TeslaP100
+	TitanXP   = simgpu.TitanXP
+)
+
+// Workloads lists the paper's four networks.
+var Workloads = models.Names
+
+// NewDevice creates a simulated GPU.
+func NewDevice(spec DeviceSpec) *Device { return simgpu.NewDevice(spec) }
+
+// DeviceByName resolves "K40C", "P100" or "TitanXP".
+func DeviceByName(name string) (DeviceSpec, bool) { return simgpu.DeviceByName(name) }
+
+// New creates a GLP4NN framework.
+func New() *Framework { return core.New() }
+
+// Serial returns the naive-Caffe launcher: every kernel on the default
+// stream.
+func Serial(dev *Device) Launcher { return dnn.SerialLauncher{Dev: dev} }
+
+// FixedPool returns a plain fixed-size stream-pool launcher (the paper's
+// motivation-experiment baseline, no profiling or analysis).
+func FixedPool(dev *Device, streams int) Launcher { return core.NewFixedLauncher(dev, streams) }
+
+// WithFusion wraps a launcher with chain-local kernel fusion (the paper's
+// future-work item 2): consecutive sub-threshold kernels of one dependency
+// chain merge into a single launch. threshold ≤ 0 defaults to 3× the
+// device's launch overhead.
+func WithFusion(inner Launcher, spec DeviceSpec, threshold time.Duration) Launcher {
+	return core.NewFusingLauncher(inner, spec, threshold)
+}
+
+// NewContext builds a training context over a launcher with a fixed seed.
+func NewContext(l Launcher, seed int64) *Context { return dnn.NewContext(l, seed) }
+
+// NewSolver builds a momentum-SGD solver.
+func NewSolver(net *Net, ctx *Context, cfg SolverConfig) *Solver {
+	return dnn.NewSolver(net, ctx, cfg)
+}
+
+// CIFAR10QuickSolver is the schedule of Caffe's cifar10_quick example.
+func CIFAR10QuickSolver() SolverConfig { return dnn.CIFAR10QuickSolver() }
+
+// BuildModel constructs one of the paper's four networks ("CIFAR10",
+// "Siamese", "CaffeNet", "GoogLeNet"); batch ≤ 0 selects the paper default.
+func BuildModel(name string, ctx *Context, batch int, seed int64) (*Net, error) {
+	w, err := models.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return w.Build(ctx, batch, seed)
+}
+
+// NewFeeder builds a synthetic-dataset feeder for one of the four
+// workloads; batch ≤ 0 selects the paper default.
+func NewFeeder(name string, batch int, seed int64) (Feeder, error) {
+	w, err := models.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return w.NewFeeder(batch, seed), nil
+}
+
+// Timeline renders kernel records as an ASCII per-stream Gantt chart (the
+// textual analogue of the paper's Fig. 3).
+func Timeline(records []KernelRecord, width int) string {
+	return simgpu.Timeline(records, width)
+}
+
+// Version identifies this reproduction.
+const Version = "1.0.0"
+
+// Describe returns a one-paragraph summary of the framework configuration
+// on a device, for example banners.
+func Describe(dev *Device) string {
+	s := dev.Spec()
+	return fmt.Sprintf("%s (%s): %d SMs × %d cores @ %.3f GHz, %.0f GB/s, %d KB shared/SM, ≤%d concurrent kernels",
+		s.Name, s.Arch, s.SMCount, s.CoresPerSM, s.ClockGHz, s.MemBandwidthGBps,
+		s.SharedMemPerSMKB, s.MaxConcurrentKernels())
+}

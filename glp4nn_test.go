@@ -1,0 +1,123 @@
+package glp4nn
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFacadeEndToEnd drives the public API exactly as the README shows:
+// build a workload, train briefly under GLP4NN with real math, and inspect
+// plans and overheads.
+func TestFacadeEndToEnd(t *testing.T) {
+	dev := NewDevice(TeslaP100)
+	fw := New()
+	defer fw.Close()
+	rt := fw.Runtime(dev)
+	ctx := NewContext(rt, 42)
+
+	net, err := BuildModel("CIFAR10", ctx, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed, err := NewFeeder("CIFAR10", 8, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := NewSolver(net, ctx, CIFAR10QuickSolver())
+
+	var losses []float64
+	for i := 0; i < 4; i++ {
+		if err := feed(net); err != nil {
+			t.Fatal(err)
+		}
+		loss, err := solver.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dev.Synchronize(); err != nil {
+			t.Fatal(err)
+		}
+		losses = append(losses, loss)
+	}
+	if losses[0] <= 0 {
+		t.Fatalf("loss = %v", losses[0])
+	}
+	if len(rt.Plans()) == 0 {
+		t.Fatal("no concurrency plans after training")
+	}
+	snap := rt.Ledger().Snapshot()
+	if snap.ProfiledKernels == 0 || snap.Tp == 0 || snap.Ta == 0 {
+		t.Fatalf("overhead ledger empty: %s", snap)
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	if _, err := BuildModel("nope", NewContext(Serial(NewDevice(TeslaK40C)), 1), 1, 1); err == nil {
+		t.Fatal("unknown model resolved")
+	}
+	if _, err := NewFeeder("nope", 1, 1); err == nil {
+		t.Fatal("unknown feeder resolved")
+	}
+	if _, ok := DeviceByName("P100"); !ok {
+		t.Fatal("P100 lookup failed")
+	}
+	if len(Workloads) != 4 {
+		t.Fatalf("workloads = %v", Workloads)
+	}
+	desc := Describe(NewDevice(TitanXP))
+	for _, want := range []string{"TitanXP", "Pascal", "30 SMs", "128"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("Describe missing %q: %s", want, desc)
+		}
+	}
+	if Version == "" {
+		t.Fatal("version")
+	}
+}
+
+// TestFacadeFixedPoolFasterThanSerial checks the motivation result through
+// the public API only.
+func TestFacadeFixedPoolFasterThanSerial(t *testing.T) {
+	measure := func(streams int) time.Duration {
+		dev := NewDevice(TeslaP100)
+		var l Launcher
+		if streams <= 1 {
+			l = Serial(dev)
+		} else {
+			l = FixedPool(dev, streams)
+		}
+		ctx := NewContext(l, 1)
+		ctx.Compute = false
+		net, err := BuildModel("GoogLeNet", ctx, 8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := net.Forward(ctx); err != nil { // warm scratch buffers
+			t.Fatal(err)
+		}
+		if err := dev.ResetClocks(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := net.Forward(ctx); err != nil {
+			t.Fatal(err)
+		}
+		d, err := dev.Synchronize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h := dev.HostTime(); h > d {
+			d = h
+		}
+		return d
+	}
+	serial := measure(1)
+	pooled := measure(8)
+	if pooled >= serial {
+		t.Fatalf("8-stream pool (%v) not faster than serial (%v) on GoogLeNet slice", pooled, serial)
+	}
+	tl := Timeline(nil, 50)
+	if tl == "" {
+		t.Fatal("timeline")
+	}
+}

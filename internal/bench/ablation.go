@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dnn"
+	"repro/internal/models"
+	"repro/internal/simgpu"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "ablation-engine",
+		Title: "Ablation: contention-aware vs contention-free simulator engine",
+		Paper: "(design choice, DESIGN.md §5) — contention modeling bounds multi-stream gains",
+		Run:   runAblationEngine,
+	})
+	register(&Experiment{
+		ID:    "ablation-pool",
+		Title: "Ablation: analyzer-sized stream pool vs fixed pool sizes",
+		Paper: "(design choice) — the MILP picks a pool close to the best fixed size",
+		Run:   runAblationPool,
+	})
+}
+
+// runAblationEngine sweeps stream counts on a CaffeNet conv layer with the
+// work-conserving engine and with the contention-free ablation engine; the
+// latter's "speedups" grow unboundedly because co-resident kernels no
+// longer share SM throughput or DRAM bandwidth.
+func runAblationEngine(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	sizes := sweepSizes(cfg)
+	row := models.Rows("CaffeNet")[2] // conv3, mid-size grids
+	batch := 0
+	if cfg.Quick {
+		batch = 8
+	}
+	net, err := buildConvLayerNet(row, batch, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	header := []string{"Engine"}
+	for _, s := range sizes {
+		header = append(header, fmt.Sprintf("%d streams", s))
+	}
+	t := newTable(header...)
+	for _, mode := range []struct {
+		name string
+		opts []simgpu.Option
+	}{
+		{"contention (default)", nil},
+		{"no-contention", []simgpu.Option{simgpu.WithoutContention()}},
+	} {
+		var base time.Duration
+		cells := []string{mode.name}
+		for _, n := range sizes {
+			dev := simgpu.NewDevice(simgpu.TeslaP100, mode.opts...)
+			var l dnn.Launcher
+			if n <= 1 {
+				l = dnn.SerialLauncher{Dev: dev}
+			} else {
+				l = core.NewFixedLauncher(dev, n)
+			}
+			if _, err := forwardElapsed(net, dev, l); err != nil {
+				return err
+			}
+			d, err := forwardElapsed(net, dev, l)
+			if err != nil {
+				return err
+			}
+			if n == sizes[0] {
+				base = d
+			}
+			cells = append(cells, fmt.Sprintf("%.2fx (%sms)", float64(base)/float64(d), ms(d)))
+		}
+		t.add(cells...)
+	}
+	fmt.Fprintf(w, "CaffeNet %s forward on P100 under both engines (speedup vs 1 stream)\n", row.Layer)
+	t.write(w)
+	return nil
+}
+
+// runAblationPool compares the analyzer-sized pool against fixed pool sizes
+// on a full training iteration.
+func runAblationPool(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	net, wl, err := buildWorkloadNet("CIFAR10", cfg)
+	if err != nil {
+		return err
+	}
+	spec := simgpu.TeslaP100
+	t := newTable("Policy", "iter (ms)", "vs serial")
+
+	// Serial baseline and analyzer-sized pool via the standard arms.
+	naive, glp, err := runArms(net, spec, cfg)
+	if err != nil {
+		return err
+	}
+	t.add("serial (naive Caffe)", ms(naive.iter), "1.00x")
+
+	fixed := []int{4, 16, 32}
+	if cfg.Quick {
+		fixed = []int{4, 16}
+	}
+	for _, n := range fixed {
+		dev := simgpu.NewDevice(spec)
+		l := core.NewFixedLauncher(dev, n)
+		ctx := dnn.NewContext(l, cfg.Seed)
+		ctx.Compute = false
+		s := dnn.NewSolver(net, ctx, dnn.CIFAR10QuickSolver())
+		if _, err := iterationElapsed(s, dev); err != nil {
+			return err
+		}
+		var total time.Duration
+		for i := 0; i < cfg.Iterations; i++ {
+			d, err := iterationElapsed(s, dev)
+			if err != nil {
+				return err
+			}
+			total += d
+		}
+		iter := total / time.Duration(cfg.Iterations)
+		t.add(fmt.Sprintf("fixed pool of %d", n), ms(iter),
+			fmt.Sprintf("%.2fx", float64(naive.iter)/float64(iter)))
+	}
+	t.add("GLP4NN analyzer-sized", ms(glp.iter),
+		fmt.Sprintf("%.2fx", float64(naive.iter)/float64(glp.iter)))
+	fmt.Fprintf(w, "CIFAR10 (N=%d) training iteration on P100 under different pool policies\n", cfg.batchFor(wl))
+	t.write(w)
+	return nil
+}

@@ -1,0 +1,284 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dnn"
+	"repro/internal/models"
+	"repro/internal/parallel"
+	"repro/internal/simgpu"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "ablation-fusion",
+		Title: "Extension: kernel fusion for small kernels (paper future-work 2)",
+		Paper: "(future work) fusing sub-threshold chain kernels should help small layers most",
+		Run:   runAblationFusion,
+	})
+	register(&Experiment{
+		ID:    "ext-dataparallel",
+		Title: "Extension: synchronous data-parallel training across the machine's GPUs (paper future-work 3)",
+		Paper: "(future work) distributed implementation; per-GPU GLP4NN + ring all-reduce",
+		Run:   runExtDataParallel,
+	})
+}
+
+// runAblationFusion measures the Fig. 9 regression layers (CIFAR10 conv1,
+// Siamese conv1 — tiny per-image kernels) under serial dispatch, a fixed
+// pool, and a fixed pool with chain-local kernel fusion.
+func runAblationFusion(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	rows := []models.LayerRow{
+		models.Rows("CIFAR10")[0],
+		models.Rows("Siamese")[0],
+		models.Rows("CaffeNet")[4], // a large layer, where fusion should be neutral
+	}
+	batch := 0
+	if cfg.Quick {
+		batch = 8
+	}
+	t := newTable("Layer", "serial (ms)", "8 streams (ms)", "8 streams + fusion (ms)", "fusion vs streams")
+	for _, row := range rows {
+		net, err := buildConvLayerNet(row, batch, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		measure := func(mk func(dev *simgpu.Device) dnn.Launcher) (time.Duration, error) {
+			dev := simgpu.NewDevice(simgpu.TeslaP100)
+			l := mk(dev)
+			if _, err := forwardElapsed(net, dev, l); err != nil { // warm scratch
+				return 0, err
+			}
+			return forwardElapsed(net, dev, l)
+		}
+		serial, err := measure(func(dev *simgpu.Device) dnn.Launcher { return dnn.SerialLauncher{Dev: dev} })
+		if err != nil {
+			return err
+		}
+		pooled, err := measure(func(dev *simgpu.Device) dnn.Launcher { return core.NewFixedLauncher(dev, 8) })
+		if err != nil {
+			return err
+		}
+		fused, err := measure(func(dev *simgpu.Device) dnn.Launcher {
+			return core.NewFusingLauncher(core.NewFixedLauncher(dev, 8), dev.Spec(), 0)
+		})
+		if err != nil {
+			return err
+		}
+		t.add(fmt.Sprintf("%s/%s", row.Net, row.Layer), ms(serial), ms(pooled), ms(fused),
+			fmt.Sprintf("%.2fx", float64(pooled)/float64(fused)))
+	}
+	fmt.Fprintln(w, "Kernel fusion on P100 forward passes (threshold 3×T_launch)")
+	t.write(w)
+	fmt.Fprintln(w, "Small layers (the paper's Fig. 9 losers) gain most; large layers are unaffected.")
+	return nil
+}
+
+// runExtDataParallel scales a fixed global batch across 1..3 P100s with the
+// ring all-reduce cost model, with and without GLP4NN inside each replica.
+func runExtDataParallel(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	globalBatch := 96
+	warmups := 1
+	if cfg.Quick {
+		globalBatch = 24
+	}
+	t := newTable("GPUs", "shard", "naive iter (ms)", "glp4nn iter (ms)", "comm (ms)", "scaling (naive)")
+	var base time.Duration
+	for _, n := range []int{1, 2, 3} {
+		shard := globalBatch / n
+		iter := func(useGLP bool) (parallel.StepResult, error) {
+			specs := make([]simgpu.DeviceSpec, n)
+			for i := range specs {
+				specs[i] = simgpu.TeslaP100
+			}
+			machine := simgpu.NewMachine(specs...)
+			tr, err := parallel.NewTrainer(machine, func(ctx *dnn.Context) (*dnn.Net, error) {
+				return models.BuildCIFAR10(ctx, shard, cfg.Seed)
+			}, parallel.Config{Solver: dnn.CIFAR10QuickSolver(), UseGLP: useGLP, Seed: cfg.Seed})
+			if err != nil {
+				return parallel.StepResult{}, err
+			}
+			defer tr.Close()
+			var res parallel.StepResult
+			reps := warmups + cfg.Iterations
+			if useGLP {
+				reps += 2 // profiling + analysis
+			}
+			for i := 0; i < reps; i++ {
+				res, err = tr.Step(nil)
+				if err != nil {
+					return res, err
+				}
+			}
+			return res, nil
+		}
+		naive, err := iter(false)
+		if err != nil {
+			return err
+		}
+		glp, err := iter(true)
+		if err != nil {
+			return err
+		}
+		if n == 1 {
+			base = naive.IterTime
+		}
+		t.add(fmt.Sprintf("%d", n), fmt.Sprintf("%d", shard),
+			ms(naive.IterTime), ms(glp.IterTime), ms(naive.CommTime),
+			fmt.Sprintf("%.2fx", float64(base)/float64(naive.IterTime)))
+	}
+	fmt.Fprintf(w, "CIFAR10 global batch %d sharded over P100s, %s all-reduce\n", globalBatch, parallel.PCIe3.Name)
+	t.write(w)
+	return nil
+}
+
+func init() {
+	register(&Experiment{
+		ID:    "ablation-analyzer",
+		Title: "Ablation: MILP analytical model vs greedy concurrency model",
+		Paper: "(design choice) the paper's kernel analyzer is customizable; MILP is the exact optimum",
+		Run:   runAblationAnalyzer,
+	})
+}
+
+// runAblationAnalyzer trains CIFAR10 timing-only under both concurrency
+// models and compares per-layer stream choices and iteration time.
+func runAblationAnalyzer(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	net, wl, err := buildWorkloadNet("CIFAR10", cfg)
+	if err != nil {
+		return err
+	}
+	spec := simgpu.TeslaP100
+
+	type armOut struct {
+		iter  time.Duration
+		plans map[string]int
+	}
+	run := func(model core.Model) (armOut, error) {
+		dev := simgpu.NewDevice(spec)
+		fw := core.NewWithModel(model)
+		defer fw.Close()
+		rt := fw.Runtime(dev)
+		ctx := dnn.NewContext(rt, cfg.Seed)
+		ctx.Compute = false
+		s := dnn.NewSolver(net, ctx, dnn.CIFAR10QuickSolver())
+		for i := 0; i < 2; i++ { // profile + analyze
+			if _, err := iterationElapsed(s, dev); err != nil {
+				return armOut{}, err
+			}
+		}
+		var total time.Duration
+		for i := 0; i < cfg.Iterations; i++ {
+			d, err := iterationElapsed(s, dev)
+			if err != nil {
+				return armOut{}, err
+			}
+			total += d
+		}
+		out := armOut{iter: total / time.Duration(cfg.Iterations), plans: map[string]int{}}
+		for _, p := range rt.Plans() {
+			out.plans[p.Key] = p.Streams
+		}
+		return out, nil
+	}
+
+	milp, err := run(core.MILPModel{})
+	if err != nil {
+		return err
+	}
+	greedy, err := run(core.GreedyModel{})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "CIFAR10 (N=%d) on P100: per-layer stream choices by concurrency model\n", cfg.batchFor(wl))
+	t := newTable("Layer (fwd)", "MILP streams", "Greedy streams")
+	for _, row := range models.Rows("CIFAR10") {
+		key := row.Layer + "/fwd"
+		t.add(row.Layer, fmt.Sprintf("%d", milp.plans[key]), fmt.Sprintf("%d", greedy.plans[key]))
+	}
+	t.write(w)
+	fmt.Fprintf(w, "training iteration: MILP %sms vs greedy %sms\n", ms(milp.iter), ms(greedy.iter))
+	return nil
+}
+
+func init() {
+	register(&Experiment{
+		ID:    "ext-winograd",
+		Title: "Extension: Winograd F(2x2,3x3) convolution under GLP4NN-style concurrency",
+		Paper: "(related work [22]) arithmetic reduction is orthogonal to kernel concurrency; gains stack",
+		Run:   runExtWinograd,
+	})
+}
+
+// runExtWinograd measures a CaffeNet 3×3 layer under both conv engines,
+// serially and with a stream pool: the paper positions GLP4NN as orthogonal
+// to arithmetic-complexity work, and here the two combine.
+func runExtWinograd(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	row := models.Rows("CaffeNet")[3] // conv4: 3×3, 384→384 @13×13
+	batch := row.N
+	if cfg.Quick {
+		batch = 16
+	}
+	build := func(engine string) (*dnn.Net, error) {
+		ctx := dnn.NewContext(dnn.HostLauncher{}, cfg.Seed)
+		ctx.Compute = false
+		cc := dnn.ConvConfig{
+			NumOutput: row.Co, KernelH: row.F, KernelW: row.F,
+			StrideH: row.S, StrideW: row.S, PadH: row.P, PadW: row.P,
+			Bias: true, Seed: cfg.Seed, Engine: engine,
+		}
+		return dnn.NewNet(row.Layer+"-"+engine).
+			Input("data", batch, row.Ci, row.HW, row.HW).
+			Add(dnn.NewConv(row.Layer, cc), []string{"data"}, []string{"out"}).
+			Build(ctx)
+	}
+	measure := func(net *dnn.Net, streams int) (time.Duration, error) {
+		dev := simgpu.NewDevice(simgpu.TeslaP100)
+		var l dnn.Launcher
+		if streams <= 1 {
+			l = dnn.SerialLauncher{Dev: dev}
+		} else {
+			l = core.NewFixedLauncher(dev, streams)
+		}
+		if _, err := forwardElapsed(net, dev, l); err != nil {
+			return 0, err
+		}
+		return forwardElapsed(net, dev, l)
+	}
+
+	t := newTable("Engine", "serial (ms)", "8 streams (ms)", "stream speedup")
+	var serialIm2col time.Duration
+	for _, engine := range []string{"im2col", "winograd"} {
+		net, err := build(engine)
+		if err != nil {
+			return err
+		}
+		s1, err := measure(net, 1)
+		if err != nil {
+			return err
+		}
+		s8, err := measure(net, 8)
+		if err != nil {
+			return err
+		}
+		if engine == "im2col" {
+			serialIm2col = s1
+		}
+		t.add(engine, ms(s1), ms(s8), fmt.Sprintf("%.2fx", float64(s1)/float64(s8)))
+		if engine == "winograd" {
+			fmt.Fprintf(w, "combined (winograd + 8 streams) vs baseline (im2col serial): %.2fx\n",
+				float64(serialIm2col)/float64(s8))
+		}
+	}
+	fmt.Fprintf(w, "CaffeNet %s (N=%d) forward on P100\n", row.Layer, batch)
+	t.write(w)
+	return nil
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/simgpu"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "table1",
+		Title: "Table 1: overview of GPU architecture features",
+		Paper: "Tesla..Volta feature matrix; max concurrent kernels 1/16/32/16/128/128",
+		Run:   runTable1,
+	})
+	register(&Experiment{
+		ID:    "table3",
+		Title: "Table 3: hardware profile",
+		Paper: "K40C (Kepler, 15×192), P100 (Pascal, 56×64), Titan XP (Pascal, 30×128)",
+		Run:   runTable3,
+	})
+	register(&Experiment{
+		ID:    "table4",
+		Title: "Table 4: test datasets",
+		Paper: "MNIST 60k/10k 28×28 ×10; CIFAR-10 50k/10k 32×32 ×10; ImageNet 1.2M/150k 256×256 ×1000",
+		Run:   runTable4,
+	})
+	register(&Experiment{
+		ID:    "table5",
+		Title: "Table 5: layers of DNNs used in this paper",
+		Paper: "conv geometry for CIFAR10, Siamese, CaffeNet and six GoogLeNet units",
+		Run:   runTable5,
+	})
+}
+
+func yn(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+func runTable1(cfg Config, w io.Writer) error {
+	t := newTable("Architecture", "CUDA Streams", "Dynamic Parallelism", "Max Concurrent Kernels", "UVM", "Tensor Cores")
+	for _, a := range simgpu.Architectures {
+		t.add(a.Name, yn(a.CUDAStreams), yn(a.DynamicParallelism),
+			fmt.Sprintf("%d", a.MaxConcurrentKernels), yn(a.UVM), yn(a.TensorCores))
+	}
+	t.write(w)
+	return nil
+}
+
+func runTable3(cfg Config, w io.Writer) error {
+	t := newTable("GPU", "Generation", "Core Count", "Clock (GHz)", "Mem (GB)", "BW (GB/s)", "Mem Type", "Shared/SM (KB)", "Peak SP (TFLOP/s)")
+	for _, d := range simgpu.DeviceCatalog {
+		t.add(d.Name, d.Arch,
+			fmt.Sprintf("%d x %d", d.SMCount, d.CoresPerSM),
+			fmt.Sprintf("%.3f", d.ClockGHz),
+			fmt.Sprintf("%d", d.MemGB),
+			fmt.Sprintf("%.1f", d.MemBandwidthGBps),
+			d.MemType,
+			fmt.Sprintf("%d", d.SharedMemPerSMKB),
+			fmt.Sprintf("%.2f", d.PeakFlops()/1e12))
+	}
+	t.write(w)
+	return nil
+}
+
+func runTable4(cfg Config, w io.Writer) error {
+	t := newTable("Dataset", "Training Images", "Test Images", "Pixels", "Classes")
+	for _, s := range data.Catalog {
+		t.add(s.Name,
+			fmt.Sprintf("%d", s.TrainImages),
+			fmt.Sprintf("%d", s.TestImages),
+			fmt.Sprintf("%dx%d", s.Height, s.Width),
+			fmt.Sprintf("%d", s.Classes))
+	}
+	t.write(w)
+	return nil
+}
+
+func runTable5(cfg Config, w io.Writer) error {
+	t := newTable("Net", "Layer", "N", "Ci", "H/W", "Co", "F", "S", "P")
+	for _, r := range models.LayerTable {
+		t.add(r.Net, r.Layer,
+			fmt.Sprintf("%d", r.N), fmt.Sprintf("%d", r.Ci), fmt.Sprintf("%d", r.HW),
+			fmt.Sprintf("%d", r.Co), fmt.Sprintf("%d", r.F), fmt.Sprintf("%d", r.S),
+			fmt.Sprintf("%d", r.P))
+	}
+	t.write(w)
+	return nil
+}

@@ -1,0 +1,473 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cuptisim"
+	"repro/internal/dnn"
+	"repro/internal/simgpu"
+	"repro/internal/tensor"
+)
+
+// heavyConvNet builds a single-conv net whose per-image kernels are long
+// relative to the launch overhead and whose grids underutilize the device —
+// the regime where the paper's batch-level parallelism wins.
+func heavyConvNet(t *testing.T, batch int) *dnn.Net {
+	t.Helper()
+	ctx := dnn.NewContext(dnn.HostLauncher{}, 1)
+	ctx.Compute = false
+	cfg := dnn.Conv(384, 3, 1, 1)
+	net, err := dnn.NewNet("heavy").
+		Input("data", batch, 256, 13, 13).
+		Input("label", batch).
+		Add(dnn.NewConv("conv", cfg), []string{"data"}, []string{"c"}).
+		Add(dnn.NewReLU("relu"), []string{"c"}, []string{"r"}).
+		Add(dnn.NewIP("ip", dnn.IP(10)), []string{"r"}, []string{"scores"}).
+		Add(dnn.NewSoftmaxLoss("loss"), []string{"scores", "label"}, []string{"loss"}).
+		Build(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// elapsed runs one timing-only forward pass and returns the virtual time it
+// occupied (host dispatch + device completion).
+func elapsed(t *testing.T, net *dnn.Net, dev *simgpu.Device, l dnn.Launcher) time.Duration {
+	t.Helper()
+	if err := dev.ResetClocks(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := dnn.NewContext(l, 1)
+	ctx.Compute = false
+	if _, err := net.Forward(ctx); err != nil {
+		t.Fatal(err)
+	}
+	devT, err := dev.Synchronize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := dev.HostTime(); h > devT {
+		return h
+	}
+	return devT
+}
+
+func TestRuntimeLifecycle(t *testing.T) {
+	dev := simgpu.NewDevice(simgpu.TeslaP100)
+	fw := New()
+	defer fw.Close()
+	rt := fw.Runtime(dev)
+	if fw.Runtime(dev) != rt {
+		t.Fatal("runtime not cached per device")
+	}
+	net := heavyConvNet(t, 8)
+	ctx := dnn.NewContext(rt, 1)
+	ctx.Compute = false
+
+	// Iteration 1: profiling. No plans yet.
+	if _, err := net.Forward(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rt.Plans()); got != 0 {
+		t.Fatalf("plans before second iteration = %d, want 0", got)
+	}
+	if rt.Pool().Size() != 0 {
+		t.Fatal("pool created during profiling")
+	}
+
+	// Iteration 2: analysis happens lazily per layer.
+	if _, err := net.Forward(ctx); err != nil {
+		t.Fatal(err)
+	}
+	plans := rt.Plans()
+	if len(plans) == 0 {
+		t.Fatal("no plans after second iteration")
+	}
+	var convPlan *Plan
+	for _, p := range plans {
+		if p.Key == "conv/fwd" {
+			convPlan = p
+		}
+	}
+	if convPlan == nil {
+		t.Fatalf("no plan for conv/fwd; have %v", planKeys(plans))
+	}
+	if convPlan.Streams < 2 {
+		t.Fatalf("conv plan uses %d streams; expected concurrency on P100\n%s",
+			convPlan.Streams, convPlan)
+	}
+	if convPlan.Fallback {
+		t.Fatalf("conv plan fell back: %s", convPlan)
+	}
+	if rt.Pool().Size() < convPlan.Streams {
+		t.Fatalf("pool size %d < plan streams %d", rt.Pool().Size(), convPlan.Streams)
+	}
+	// The conv profile must contain the Caffe kernel trio.
+	names := map[string]bool{}
+	for _, k := range convPlan.Kernels {
+		names[k.Name] = true
+	}
+	for _, want := range []string{"im2col_gpu", "sgemm_64x64", "gemmk_1xN"} {
+		if !names[want] {
+			t.Errorf("conv plan missing kernel %s (have %v)", want, convPlan.Kernels)
+		}
+	}
+
+	// Ledger recorded profiling and analysis.
+	snap := rt.Ledger().Snapshot()
+	if snap.ProfiledKernels == 0 || snap.Tp == 0 {
+		t.Fatalf("no profiling accounted: %s", snap)
+	}
+	if snap.AnalyzedLayers == 0 || snap.Ta == 0 {
+		t.Fatalf("no analysis accounted: %s", snap)
+	}
+	if snap.MemCUPTI == 0 || snap.MemTT != snap.ProfiledKernels*MemTTPerRecord {
+		t.Fatalf("memory accounting wrong: %s", snap)
+	}
+	if snap.MemCUPTI <= snap.MemTT+snap.MemK {
+		t.Fatalf("mem_cupti should dominate (Fig. 10): %s", snap)
+	}
+	if snap.TTotal() != snap.Tp+snap.Ta+snap.Ts {
+		t.Fatal("Eq. 12 arithmetic")
+	}
+	if snap.MemTotal() != snap.MemTT+snap.MemK+snap.MemCUPTI {
+		t.Fatal("Eq. 10 arithmetic")
+	}
+}
+
+func planKeys(plans []*Plan) []string {
+	out := make([]string, len(plans))
+	for i, p := range plans {
+		out[i] = p.Key
+	}
+	return out
+}
+
+// TestGLP4NNSpeedsUpHeavyConv is the headline behaviour: on a P100, the
+// batch-split conv with analyzer-sized streams must beat the serial
+// baseline clearly (the paper reports up to 4× per layer).
+func TestGLP4NNSpeedsUpHeavyConv(t *testing.T) {
+	dev := simgpu.NewDevice(simgpu.TeslaP100)
+	net := heavyConvNet(t, 16)
+
+	naive := elapsed(t, net, dev, dnn.SerialLauncher{Dev: dev})
+
+	fw := New()
+	defer fw.Close()
+	rt := fw.Runtime(dev)
+	// Warm up: profiling iteration + analysis iteration.
+	elapsed(t, net, dev, rt)
+	elapsed(t, net, dev, rt)
+	glp := elapsed(t, net, dev, rt)
+
+	speedup := float64(naive) / float64(glp)
+	if speedup < 1.5 {
+		t.Fatalf("GLP4NN speedup = %.2fx (naive %v, glp4nn %v); want ≥1.5x", speedup, naive, glp)
+	}
+	t.Logf("speedup %.2fx (naive %v vs glp4nn %v)", speedup, naive, glp)
+}
+
+// TestGLP4NNForwardBitwiseInvariant: with real compute, the GLP4NN path
+// must produce bitwise-identical forward activations to the serial path —
+// the convergence-invariance property (Section 3.3.1) at the output level.
+func TestGLP4NNForwardBitwiseInvariant(t *testing.T) {
+	build := func() *dnn.Net {
+		ctx := dnn.NewContext(dnn.HostLauncher{}, 3)
+		cfg := dnn.Conv(8, 3, 1, 1)
+		cfg.Seed = 5
+		ipCfg := dnn.IP(4)
+		ipCfg.Seed = 5
+		net, err := dnn.NewNet("inv").
+			Input("data", 6, 4, 9, 9).
+			Input("label", 6).
+			Add(dnn.NewConv("conv", cfg), []string{"data"}, []string{"c"}).
+			Add(dnn.NewReLU("relu"), []string{"c"}, []string{"r"}).
+			Add(dnn.NewIP("ip", ipCfg), []string{"r"}, []string{"scores"}).
+			Add(dnn.NewSoftmaxLoss("loss"), []string{"scores", "label"}, []string{"loss"}).
+			Build(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fill := make([]float32, net.Blob("data").Count())
+		for i := range fill {
+			fill[i] = float32((i*2654435761)%1000)/500 - 1
+		}
+		if err := net.SetInputData("data", fill); err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+
+	devA := simgpu.NewDevice(simgpu.TeslaP100)
+	netA := build()
+	ctxA := dnn.NewContext(dnn.SerialLauncher{Dev: devA}, 3)
+	if _, err := netA.ForwardBackward(ctxA); err != nil {
+		t.Fatal(err)
+	}
+
+	devB := simgpu.NewDevice(simgpu.TeslaP100)
+	netB := build()
+	fw := New()
+	defer fw.Close()
+	ctxB := dnn.NewContext(fw.Runtime(devB), 3)
+	for i := 0; i < 3; i++ { // profile, analyze, run
+		if _, err := netB.ForwardBackward(ctxB); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if !tensor.Equal(netA.Blob("scores").Data, netB.Blob("scores").Data) {
+		t.Fatal("forward outputs differ between naive and GLP4NN paths")
+	}
+	// Gradients may reassociate across stream partials: require tight
+	// agreement, not bitwise equality.
+	pa, pb := netA.Params(), netB.Params()
+	for i := range pa {
+		if d := tensor.MaxAbsDiff(pa[i].Diff, pb[i].Diff); d > 1e-4 {
+			t.Fatalf("gradient %s differs by %v", pa[i].Name, d)
+		}
+	}
+}
+
+// TestAnalyzerPaperWalkthrough reconstructs the Fig. 6 example: the conv1
+// layer of CaffeNet on the K40C, whose im2col launches with an [18,1,1]
+// grid and 33 registers per thread. The analyzer must produce a small
+// multi-stream plan (the paper's walkthrough yields 3).
+func TestAnalyzerPaperWalkthrough(t *testing.T) {
+	ledger := &Ledger{}
+	a := NewAnalyzer(simgpu.TeslaK40C, ledger)
+	p := newLayerProfile("conv1/fwd")
+	mk := func(name string, grid simgpu.Dim3, block, regs, smem int, dur time.Duration) {
+		for i := 0; i < 4; i++ { // several launches, as in a real batch
+			p.add(kernelActivity(name, grid, block, regs, smem, dur))
+		}
+	}
+	mk("im2col", simgpu.D1(18), 512, 33, 0, 23*time.Microsecond)
+	mk("sgemm", simgpu.D2(48, 2), 256, 96, 16384, 150*time.Microsecond)
+	mk("gemmk", simgpu.D2(48, 2), 256, 64, 2048, 12*time.Microsecond)
+
+	plan, err := a.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Fallback {
+		t.Fatalf("fallback plan: %s", plan)
+	}
+	if plan.Streams < 2 || plan.Streams > 6 {
+		t.Fatalf("walkthrough plan streams = %d, want a small multi-stream pool\n%s", plan.Streams, plan)
+	}
+	// Hard constraints of Eqs. 4-6 must hold.
+	spec := simgpu.TeslaK40C
+	smUsed, thrUsed, blkUsed, total := 0, 0, 0, 0
+	for _, k := range plan.Kernels {
+		smUsed += k.Count * k.SharedMem * k.BlocksPerSM
+		thrUsed += k.Count * k.Threads * k.BlocksPerSM
+		blkUsed += k.Count * k.BlocksPerSM
+		total += k.Count
+		if k.Count > k.UpperBound {
+			t.Fatalf("kernel %s exceeds Eq.7 bound: %d > %d", k.Name, k.Count, k.UpperBound)
+		}
+	}
+	if smUsed > spec.SharedMemPerSM() {
+		t.Fatalf("Eq.4 violated: %d > %d", smUsed, spec.SharedMemPerSM())
+	}
+	if thrUsed > spec.MaxThreadsPerSM {
+		t.Fatalf("Eq.5 violated: %d > %d", thrUsed, spec.MaxThreadsPerSM)
+	}
+	if blkUsed > spec.MaxBlocksPerSM {
+		t.Fatalf("block constraint violated: %d > %d", blkUsed, spec.MaxBlocksPerSM)
+	}
+	if total > spec.MaxConcurrentKernels() {
+		t.Fatalf("Eq.6 violated: %d > %d", total, spec.MaxConcurrentKernels())
+	}
+	if plan.OccupancyRatio <= 0 || plan.OccupancyRatio > 1 {
+		t.Fatalf("occupancy ratio = %v", plan.OccupancyRatio)
+	}
+	if ledger.Snapshot().Ta == 0 {
+		t.Fatal("T_a not accounted")
+	}
+
+	// Concurrency maintainer: second analysis returns the cached plan.
+	again, _ := a.Analyze(p)
+	if again != plan {
+		t.Fatal("plan not cached")
+	}
+	if got, _ := a.Cached("conv1/fwd"); got != plan {
+		t.Fatal("Cached lookup failed")
+	}
+	if s := plan.String(); s == "" {
+		t.Fatal("empty plan string")
+	}
+}
+
+func kernelActivity(name string, grid simgpu.Dim3, block, regs, smem int, dur time.Duration) cuptisim.KernelActivity {
+	return cuptisim.KernelActivity{
+		Name:           name,
+		Grid:           grid,
+		Block:          simgpu.D1(block),
+		RegsPerThread:  regs,
+		SharedMemBytes: smem,
+		End:            dur,
+	}
+}
+
+func TestAnalyzerEmptyProfileFallsBack(t *testing.T) {
+	a := NewAnalyzer(simgpu.TeslaP100, nil)
+	plan, err := a.Analyze(newLayerProfile("empty/fwd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Fallback || plan.Streams != 1 {
+		t.Fatalf("empty profile plan = %+v, want fallback single stream", plan)
+	}
+}
+
+func TestStreamPool(t *testing.T) {
+	dev := simgpu.NewDevice(simgpu.TeslaP100)
+	m := NewStreamManager()
+	p := m.Pool(dev)
+	if m.Pool(dev) != p {
+		t.Fatal("pool not cached per device")
+	}
+	if p.Stream(3) != nil {
+		t.Fatal("empty pool should return nil (default stream)")
+	}
+	p.EnsureSize(4)
+	p.EnsureSize(2) // never shrinks
+	if p.Size() != 4 {
+		t.Fatalf("size = %d", p.Size())
+	}
+	if p.Stream(1) == p.Stream(2) {
+		t.Fatal("distinct indices map to same stream")
+	}
+	if p.Stream(1) != p.Stream(5) {
+		t.Fatal("round-robin wrap failed")
+	}
+	if p.Stream(-3) == nil {
+		t.Fatal("negative index should still resolve")
+	}
+	if p.Device() != dev {
+		t.Fatal("device accessor")
+	}
+	if err := p.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 0 {
+		t.Fatal("release did not empty pool")
+	}
+}
+
+func TestFixedLauncher(t *testing.T) {
+	dev := simgpu.NewDevice(simgpu.TeslaP100)
+	l := NewFixedLauncher(dev, 4)
+	if l.Width() != 4 {
+		t.Fatalf("width = %d", l.Width())
+	}
+	net := heavyConvNet(t, 8)
+	ctx := dnn.NewContext(l, 1)
+	ctx.Compute = false
+	if _, err := net.Forward(ctx); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := dev.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := map[int]bool{}
+	for _, r := range recs {
+		streams[r.StreamID] = true
+	}
+	if len(streams) < 4 {
+		t.Fatalf("fixed launcher used %d streams, want ≥4", len(streams))
+	}
+	if err := l.Release(); err != nil {
+		t.Fatal(err)
+	}
+	zero := NewFixedLauncher(dev, 0)
+	if zero.Width() != 1 {
+		t.Fatal("zero-stream launcher width should clamp to 1")
+	}
+}
+
+// TestSmallLayerCanRegress mirrors Fig. 9: a conv whose per-image kernels
+// are comparable to the launch overhead gains little or even loses.
+func TestSmallLayerCanRegress(t *testing.T) {
+	ctxh := dnn.NewContext(dnn.HostLauncher{}, 1)
+	ctxh.Compute = false
+	net, err := dnn.NewNet("tinyconv").
+		Input("data", 8, 1, 12, 12).
+		Add(dnn.NewConv("conv", dnn.Conv(4, 3, 1, 1)), []string{"data"}, []string{"c"}).
+		Build(ctxh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := simgpu.NewDevice(simgpu.TeslaP100)
+	naive := elapsed(t, net, dev, dnn.SerialLauncher{Dev: dev})
+	many := NewFixedLauncher(dev, 16)
+	wide := elapsed(t, net, dev, many)
+	// With ~3µs kernels and 6µs launches there is nothing to overlap; the
+	// wide pool must not be dramatically better, and is typically worse.
+	if float64(naive)/float64(wide) > 1.3 {
+		t.Fatalf("tiny layer speedup %.2fx is implausible (naive %v, wide %v)",
+			float64(naive)/float64(wide), naive, wide)
+	}
+}
+
+// TestNetworkAgnosticMLP: the paper claims GLP4NN is network-agnostic (any
+// batch-trained net, no layout assumptions). A pure-MLP net with none of
+// the convolution machinery must profile, analyze and run through the same
+// scheduler without special-casing.
+func TestNetworkAgnosticMLP(t *testing.T) {
+	ctxh := dnn.NewContext(dnn.HostLauncher{}, 4)
+	ip1 := dnn.IP(128)
+	ip1.Seed = 4
+	ip2 := dnn.IP(64)
+	ip2.Seed = 4
+	ip3 := dnn.IP(10)
+	ip3.Seed = 4
+	net, err := dnn.NewNet("mlp").
+		Input("data", 32, 256).
+		Input("label", 32).
+		Add(dnn.NewIP("fc1", ip1), []string{"data"}, []string{"h1"}).
+		Add(dnn.NewTanH("act1"), []string{"h1"}, []string{"a1"}).
+		Add(dnn.NewIP("fc2", ip2), []string{"a1"}, []string{"h2"}).
+		Add(dnn.NewELU("act2", 1), []string{"h2"}, []string{"a2"}).
+		Add(dnn.NewIP("fc3", ip3), []string{"a2"}, []string{"scores"}).
+		Add(dnn.NewSoftmaxLoss("loss"), []string{"scores", "label"}, []string{"loss"}).
+		Build(ctxh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := simgpu.NewDevice(simgpu.TitanXP)
+	fw := New()
+	defer fw.Close()
+	rt := fw.Runtime(dev)
+	ctx := dnn.NewContext(rt, 4)
+	fill := make([]float32, net.Blob("data").Count())
+	for i := range fill {
+		fill[i] = float32(i%13)/6 - 1
+	}
+	if err := net.SetInputData("data", fill); err != nil {
+		t.Fatal(err)
+	}
+	s := dnn.NewSolver(net, ctx, dnn.SolverConfig{BaseLR: 0.01, Momentum: 0.9})
+	for i := 0; i < 3; i++ {
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plans := rt.Plans()
+	if len(plans) == 0 {
+		t.Fatal("MLP produced no plans")
+	}
+	for _, p := range plans {
+		if p.Streams < 1 {
+			t.Fatalf("plan %s has %d streams", p.Key, p.Streams)
+		}
+	}
+	if rt.Ledger().Snapshot().ProfiledKernels == 0 {
+		t.Fatal("MLP kernels were not profiled")
+	}
+}

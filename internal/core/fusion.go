@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/simgpu"
+)
+
+// ChainLauncher is the launcher contract FusingLauncher wraps and
+// implements. It is structurally identical to dnn.Launcher (kept local so
+// internal/core does not depend on internal/dnn).
+type ChainLauncher interface {
+	BeginLayer(key string)
+	Launch(k *simgpu.Kernel, chain int) error
+	Sync() error
+	Width() int
+}
+
+// FusingLauncher implements the paper's future-work item 2: "kernel
+// reordering and kernel fusion technologies may be helpful ... especially
+// for small kernels". It wraps another launcher and fuses consecutive
+// sub-threshold kernels of the same dependency chain into one launch, so a
+// chain of tiny kernels (the Fig. 9 regression case: layers finishing
+// within ~2 ms whose kernels are comparable to T_launch) pays the launch
+// overhead once instead of per kernel.
+//
+// Fusion preserves numerics exactly: the fused kernel's closure runs the
+// original closures in submission order. The fused launch configuration is
+// the widest of the parts (a real fused kernel would be compiled that way)
+// and the cost descriptors add.
+type FusingLauncher struct {
+	inner ChainLauncher
+	spec  simgpu.DeviceSpec
+
+	threshold time.Duration
+
+	pendingChain int
+	pending      *simgpu.Kernel
+	fusedInto    int // parts in the pending kernel
+	fused        int64
+}
+
+// NewFusingLauncher wraps inner with chain-local kernel fusion on the given
+// device spec. threshold ≤ 0 defaults to 3× the device's launch overhead.
+func NewFusingLauncher(inner ChainLauncher, spec simgpu.DeviceSpec, threshold time.Duration) *FusingLauncher {
+	if threshold <= 0 {
+		threshold = 3 * spec.LaunchOverhead
+	}
+	return &FusingLauncher{inner: inner, spec: spec, threshold: threshold, pendingChain: -1}
+}
+
+// EstimateDuration is the analytic single-kernel duration estimate used to
+// decide what counts as "small": grid-limited compute time vs
+// occupancy-limited memory time, plus the latency floor.
+func EstimateDuration(spec simgpu.DeviceSpec, k *simgpu.Kernel) time.Duration {
+	blocks := float64(k.Config.Blocks())
+	threads := float64(k.Config.ThreadsPerBlock())
+	// Compute: each resident block gets min(1, τ/cores) of one SM; the grid
+	// uses at most #SM SMs at once.
+	smShare := threads / float64(spec.CoresPerSM)
+	if smShare > 1 {
+		smShare = 1
+	}
+	activeSMs := blocks
+	if m := float64(spec.SMCount); activeSMs > m {
+		activeSMs = m
+	}
+	rate := spec.PeakFlopsPerSM() * smShare * activeSMs // FLOP/s
+	tc := 0.0
+	if k.Cost.FLOPs > 0 && rate > 0 {
+		tc = k.Cost.FLOPs / rate
+	}
+	// Memory: bandwidth share scales with resident threads below the
+	// saturation point.
+	sat := spec.MemSaturationOccupancy * float64(spec.SMCount*spec.MaxThreadsPerSM)
+	frac := blocks * threads / sat
+	if frac > 1 {
+		frac = 1
+	}
+	tm := 0.0
+	if k.Cost.Bytes > 0 && frac > 0 {
+		tm = k.Cost.Bytes / (spec.MemBandwidth() * frac)
+	}
+	t := tc
+	if tm > t {
+		t = tm
+	}
+	return time.Duration(t*1e9) + spec.KernelLatencyFloor
+}
+
+func (f *FusingLauncher) small(k *simgpu.Kernel) bool {
+	return EstimateDuration(f.spec, k) < f.threshold
+}
+
+// BeginLayer implements the launcher contract; a layer boundary flushes any
+// pending fusion (chains do not cross layers).
+func (f *FusingLauncher) BeginLayer(key string) {
+	_ = f.flush() // error resurfaces on the next Launch/Sync
+	f.inner.BeginLayer(key)
+}
+
+// Launch implements the launcher contract.
+func (f *FusingLauncher) Launch(k *simgpu.Kernel, chain int) error {
+	if chain < 0 || !f.small(k) {
+		// Unfusable: flush anything pending, forward as-is.
+		if err := f.flush(); err != nil {
+			return err
+		}
+		return f.inner.Launch(k, chain)
+	}
+	if f.pending != nil && f.pendingChain == chain {
+		f.fuse(k)
+		// If the accumulated kernel is no longer small, emit it now so
+		// fusion never builds monsters.
+		if !f.small(f.pending) {
+			return f.flush()
+		}
+		return nil
+	}
+	if err := f.flush(); err != nil {
+		return err
+	}
+	cp := *k
+	f.pending = &cp
+	f.pendingChain = chain
+	f.fusedInto = 1
+	return nil
+}
+
+// fuse merges k into the pending kernel.
+func (f *FusingLauncher) fuse(k *simgpu.Kernel) {
+	p := f.pending
+	if f.fusedInto == 1 {
+		p.Name = "fused(" + p.Name
+	} else {
+		p.Name = p.Name[:len(p.Name)-1]
+	}
+	p.Name += "+" + k.Name + ")"
+	if k.Config.Blocks()*k.Config.ThreadsPerBlock() > p.Config.Blocks()*p.Config.ThreadsPerBlock() {
+		p.Config.Grid = k.Config.Grid
+		p.Config.Block = k.Config.Block
+	}
+	if k.Config.SharedMemBytes > p.Config.SharedMemBytes {
+		p.Config.SharedMemBytes = k.Config.SharedMemBytes
+	}
+	if k.Config.RegsPerThread > p.Config.RegsPerThread {
+		p.Config.RegsPerThread = k.Config.RegsPerThread
+	}
+	p.Cost = p.Cost.Add(k.Cost)
+	prev, next := p.Fn, k.Fn
+	switch {
+	case prev == nil:
+		p.Fn = next
+	case next == nil:
+		// keep prev
+	default:
+		p.Fn = func() { prev(); next() }
+	}
+	f.fusedInto++
+	f.fused++
+}
+
+// flush emits the pending fused kernel, if any.
+func (f *FusingLauncher) flush() error {
+	if f.pending == nil {
+		return nil
+	}
+	k := f.pending
+	chain := f.pendingChain
+	f.pending = nil
+	f.pendingChain = -1
+	f.fusedInto = 0
+	return f.inner.Launch(k, chain)
+}
+
+// Sync implements the launcher contract.
+func (f *FusingLauncher) Sync() error {
+	if err := f.flush(); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+// Width implements the launcher contract.
+func (f *FusingLauncher) Width() int { return f.inner.Width() }
+
+// Fused returns how many launches fusion has eliminated so far.
+func (f *FusingLauncher) Fused() int64 { return f.fused }
+
+// String describes the launcher configuration.
+func (f *FusingLauncher) String() string {
+	return fmt.Sprintf("fusing(threshold=%v, eliminated=%d)", f.threshold, f.fused)
+}

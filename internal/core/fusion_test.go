@@ -1,0 +1,250 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dnn"
+	"repro/internal/simgpu"
+	"repro/internal/tensor"
+)
+
+// recordingLauncher captures launches and runs closures (host semantics).
+type recordingLauncher struct {
+	kernels []*simgpu.Kernel
+	chains  []int
+	synced  int
+}
+
+func (r *recordingLauncher) BeginLayer(string) {}
+func (r *recordingLauncher) Launch(k *simgpu.Kernel, chain int) error {
+	r.kernels = append(r.kernels, k)
+	r.chains = append(r.chains, chain)
+	if k.Fn != nil {
+		k.Fn()
+	}
+	return nil
+}
+func (r *recordingLauncher) Sync() error { r.synced++; return nil }
+func (r *recordingLauncher) Width() int  { return 4 }
+
+func tinyKernel(name string, order *[]string) *simgpu.Kernel {
+	return &simgpu.Kernel{
+		Name:   name,
+		Config: simgpu.LaunchConfig{Grid: simgpu.D1(2), Block: simgpu.D1(64)},
+		Cost:   simgpu.Cost{FLOPs: 1000, Bytes: 1000},
+		Fn:     func() { *order = append(*order, name) },
+	}
+}
+
+func bigKernel(name string) *simgpu.Kernel {
+	return &simgpu.Kernel{
+		Name:   name,
+		Config: simgpu.LaunchConfig{Grid: simgpu.D1(64), Block: simgpu.D1(256)},
+		Cost:   simgpu.Cost{FLOPs: 5e9},
+	}
+}
+
+func TestFusingLauncherMergesSmallChainKernels(t *testing.T) {
+	inner := &recordingLauncher{}
+	f := NewFusingLauncher(inner, simgpu.TeslaP100, 0)
+	var order []string
+
+	// Three tiny kernels on chain 0 → one fused launch (flushed by Sync).
+	for _, n := range []string{"a", "b", "c"} {
+		if err := f.Launch(tinyKernel(n, &order), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if len(inner.kernels) != 1 {
+		t.Fatalf("inner saw %d launches, want 1 fused", len(inner.kernels))
+	}
+	k := inner.kernels[0]
+	if k.Name != "fused(a+b+c)" {
+		t.Fatalf("fused name = %q", k.Name)
+	}
+	if k.Cost.FLOPs != 3000 || k.Cost.Bytes != 3000 {
+		t.Fatalf("fused cost = %+v", k.Cost)
+	}
+	// All closures ran, in order.
+	if len(order) != 3 || order[0] != "a" || order[2] != "c" {
+		t.Fatalf("closure order = %v", order)
+	}
+	if f.Fused() != 2 {
+		t.Fatalf("Fused() = %d, want 2 eliminated", f.Fused())
+	}
+	if inner.synced != 1 {
+		t.Fatal("sync not forwarded")
+	}
+}
+
+func TestFusingLauncherChainSwitchFlushes(t *testing.T) {
+	inner := &recordingLauncher{}
+	f := NewFusingLauncher(inner, simgpu.TeslaP100, 0)
+	var order []string
+	mustLaunch := func(k *simgpu.Kernel, chain int) {
+		t.Helper()
+		if err := f.Launch(k, chain); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustLaunch(tinyKernel("a0", &order), 0)
+	mustLaunch(tinyKernel("b0", &order), 0)
+	mustLaunch(tinyKernel("a1", &order), 1) // chain switch → flush chain 0
+	mustLaunch(tinyKernel("b1", &order), 1)
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if len(inner.kernels) != 2 {
+		t.Fatalf("inner saw %d launches, want 2 (one per chain)", len(inner.kernels))
+	}
+	if inner.chains[0] != 0 || inner.chains[1] != 1 {
+		t.Fatalf("chains = %v", inner.chains)
+	}
+}
+
+func TestFusingLauncherPassesBigAndDefaultKernels(t *testing.T) {
+	inner := &recordingLauncher{}
+	f := NewFusingLauncher(inner, simgpu.TeslaP100, 0)
+	var order []string
+	if err := f.Launch(tinyKernel("small", &order), 0); err != nil {
+		t.Fatal(err)
+	}
+	// A big kernel on the same chain flushes the pending small one and
+	// passes through unfused.
+	if err := f.Launch(bigKernel("big"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Chain −1 (default stream) is never fused.
+	if err := f.Launch(tinyKernel("dflt", &order), -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if len(inner.kernels) != 3 {
+		t.Fatalf("inner saw %d launches, want 3", len(inner.kernels))
+	}
+	if inner.kernels[0].Name != "small" || inner.kernels[1].Name != "big" || inner.kernels[2].Name != "dflt" {
+		t.Fatalf("order = %v %v %v", inner.kernels[0].Name, inner.kernels[1].Name, inner.kernels[2].Name)
+	}
+	if f.Width() != 4 {
+		t.Fatal("width not delegated")
+	}
+	if f.String() == "" {
+		t.Fatal("String")
+	}
+}
+
+func TestFusingLauncherStopsGrowingFusions(t *testing.T) {
+	inner := &recordingLauncher{}
+	// Low threshold so two tiny kernels already exceed it once merged.
+	f := NewFusingLauncher(inner, simgpu.TeslaP100, 12*time.Microsecond)
+	var order []string
+	for i := 0; i < 50; i++ {
+		k := tinyKernel("k", &order)
+		k.Cost = simgpu.Cost{Bytes: 4e6} // ≈9µs each on P100's scaled BW
+		if err := f.Launch(k, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if len(inner.kernels) < 10 {
+		t.Fatalf("fusion built monsters: %d launches for 50 kernels", len(inner.kernels))
+	}
+	if len(order) != 50 {
+		t.Fatalf("%d closures ran, want 50", len(order))
+	}
+}
+
+// TestEstimateDurationTracksSimulator: the analytic estimate must be within
+// a small factor of the event-driven engine's solo-kernel time.
+func TestEstimateDurationTracksSimulator(t *testing.T) {
+	cases := []*simgpu.Kernel{
+		{Name: "c", Config: simgpu.LaunchConfig{Grid: simgpu.D1(18), Block: simgpu.D1(256)}, Cost: simgpu.Cost{FLOPs: 5e8}},
+		{Name: "m", Config: simgpu.LaunchConfig{Grid: simgpu.D1(40), Block: simgpu.D1(512)}, Cost: simgpu.Cost{Bytes: 2e7}},
+		{Name: "t", Config: simgpu.LaunchConfig{Grid: simgpu.D1(1), Block: simgpu.D1(64)}, Cost: simgpu.Cost{FLOPs: 1e6}},
+	}
+	for _, k := range cases {
+		dev := simgpu.NewDevice(simgpu.TeslaP100)
+		if err := dev.Launch(k, nil); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := dev.Trace()
+		if err != nil {
+			t.Fatal(err)
+		}
+		actual := recs[0].Duration()
+		est := EstimateDuration(simgpu.TeslaP100, k)
+		ratio := float64(est) / float64(actual)
+		if ratio < 0.4 || ratio > 2.5 {
+			t.Errorf("kernel %s: estimate %v vs simulated %v (ratio %.2f)", k.Name, est, actual, ratio)
+		}
+	}
+}
+
+// TestFusionPreservesNumericsAndHelps runs the Fig. 9 regression case (a
+// tiny conv layer) and checks fusion (a) leaves the outputs bitwise
+// identical and (b) reduces the simulated time of the multi-stream run.
+func TestFusionPreservesNumericsAndHelps(t *testing.T) {
+	build := func() *dnn.Net {
+		ctx := dnn.NewContext(dnn.HostLauncher{}, 5)
+		cfg := dnn.Conv(4, 3, 1, 1)
+		cfg.Seed = 5
+		net, err := dnn.NewNet("tiny").
+			Input("data", 16, 1, 12, 12).
+			Add(dnn.NewConv("conv", cfg), []string{"data"}, []string{"out"}).
+			Build(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fill := net.Blob("data").Data.Data()
+		for i := range fill {
+			fill[i] = float32(i%17)/8 - 1
+		}
+		return net
+	}
+
+	run := func(fuse bool) (*dnn.Net, time.Duration) {
+		net := build()
+		dev := simgpu.NewDevice(simgpu.TeslaP100)
+		var l dnn.Launcher = NewFixedLauncher(dev, 8)
+		if fuse {
+			l = NewFusingLauncher(l.(*FixedLauncher), dev.Spec(), 0)
+		}
+		ctx := dnn.NewContext(l, 5)
+		// warm buffers, then measure
+		if _, err := net.Forward(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.ResetClocks(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := net.Forward(ctx); err != nil {
+			t.Fatal(err)
+		}
+		d, err := dev.Synchronize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h := dev.HostTime(); h > d {
+			d = h
+		}
+		return net, d
+	}
+
+	plain, plainT := run(false)
+	fused, fusedT := run(true)
+	if !tensor.Equal(plain.Blob("out").Data, fused.Blob("out").Data) {
+		t.Fatal("fusion changed numerical results")
+	}
+	if fusedT >= plainT {
+		t.Fatalf("fusion did not help the tiny layer: %v vs %v", fusedT, plainT)
+	}
+	t.Logf("tiny conv forward: %v unfused vs %v fused", plainT, fusedT)
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/simgpu"
+)
+
+// modelInputs derives the per-kernel model parameters shared by all
+// concurrency models: τ_i, sm_i, the clamped β_i of Eq. 8, and the Eq. 7
+// upper bound.
+func modelInputs(spec simgpu.DeviceSpec, p *LayerProfile) (tau, sm, beta, upper []float64, names []string) {
+	c := spec.MaxConcurrentKernels()
+	smMax := float64(spec.SharedMemPerSM())
+	tauMax := float64(spec.MaxThreadsPerSM)
+	nSM := float64(spec.SMCount)
+	tLaunch := float64(spec.LaunchOverhead)
+
+	n := len(p.Kernels)
+	tau = make([]float64, n)
+	sm = make([]float64, n)
+	beta = make([]float64, n)
+	upper = make([]float64, n)
+	names = make([]string, n)
+	for i, k := range p.Kernels {
+		names[i] = k.Name
+		tau[i] = float64(k.Config.ThreadsPerBlock())
+		sm[i] = float64(k.Config.SharedMemBytes)
+		blocks := float64(k.Config.Blocks())
+
+		b := math.Floor(blocks / nSM)
+		if b < 1 {
+			b = 1
+		}
+		if occ := k.Config.MaxBlocksResidentPerSM(spec); occ > 0 && b > float64(occ) {
+			b = float64(occ)
+		}
+		beta[i] = b
+
+		bound := math.Inf(1)
+		if tLaunch > 0 {
+			bound = math.Ceil(float64(k.AvgDuration) / tLaunch)
+		}
+		if v := tauMax * nSM / (tau[i] * blocks); v < bound {
+			bound = v
+		}
+		if sm[i] > 0 {
+			if v := smMax * nSM / (sm[i] * blocks); v < bound {
+				bound = v
+			}
+		}
+		if v := float64(c); v < bound {
+			bound = v
+		}
+		bound = math.Floor(bound)
+		if bound < 1 {
+			bound = 1
+		}
+		upper[i] = bound
+	}
+	return tau, sm, beta, upper, names
+}
+
+// GreedyModel is the solver-free alternative concurrency model for the
+// analyzer ablation: repeatedly grant one more instance to the kernel with
+// the highest active-thread payoff that still fits every hard constraint.
+// It needs no LP machinery but can land on locally-optimal plans the MILP
+// avoids.
+type GreedyModel struct{}
+
+// Name implements Model.
+func (GreedyModel) Name() string { return "greedy" }
+
+// Solve implements Model.
+func (GreedyModel) Solve(spec simgpu.DeviceSpec, p *LayerProfile) *Plan {
+	plan := &Plan{Key: p.Key, Streams: 1}
+	n := len(p.Kernels)
+	if n == 0 {
+		plan.Fallback = true
+		return plan
+	}
+	tau, sm, beta, upper, names := modelInputs(spec, p)
+
+	smMax := float64(spec.SharedMemPerSM())
+	tauMax := float64(spec.MaxThreadsPerSM)
+	rhoMax := float64(spec.MaxBlocksPerSM)
+	c := spec.MaxConcurrentKernels()
+
+	counts := make([]int, n)
+	var usedSM, usedTau, usedRho float64
+	total := 0
+	for {
+		best := -1
+		var bestPayoff float64
+		for i := 0; i < n; i++ {
+			if float64(counts[i]) >= upper[i] || total >= c {
+				continue
+			}
+			if usedSM+sm[i]*beta[i] > smMax ||
+				usedTau+tau[i]*beta[i] > tauMax ||
+				usedRho+beta[i] > rhoMax {
+				continue
+			}
+			if payoff := tau[i] * beta[i]; best < 0 || payoff > bestPayoff {
+				best = i
+				bestPayoff = payoff
+			}
+		}
+		if best < 0 {
+			break
+		}
+		counts[best]++
+		usedSM += sm[best] * beta[best]
+		usedTau += tau[best] * beta[best]
+		usedRho += beta[best]
+		total++
+	}
+
+	if total == 0 {
+		// Not even one instance of any kernel fits the per-SM budgets
+		// simultaneously; serialize.
+		plan.Fallback = true
+		return plan
+	}
+	for i := 0; i < n; i++ {
+		plan.Kernels = append(plan.Kernels, KernelPlan{
+			Name:        names[i],
+			Count:       counts[i],
+			UpperBound:  int(upper[i]),
+			BlocksPerSM: int(beta[i]),
+			Threads:     int(tau[i]),
+			SharedMem:   int(sm[i]),
+			AvgDuration: p.Kernels[i].AvgDuration,
+		})
+	}
+	plan.Streams = total
+	plan.ActiveThreads = usedTau
+	plan.OccupancyRatio = usedTau / tauMax
+	return plan
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/simgpu"
+)
+
+// randomProfile builds a random layer profile with 1-4 kernels.
+func randomProfile(rng *rand.Rand) *LayerProfile {
+	p := newLayerProfile("layer/fwd")
+	n := 1 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		p.add(kernelActivity(
+			"k"+string(rune('a'+i)),
+			simgpu.D1(1+rng.Intn(300)),
+			32*(1+rng.Intn(16)),
+			16+rng.Intn(100),
+			rng.Intn(5)*4096,
+			time.Duration(1+rng.Intn(500))*time.Microsecond,
+		))
+	}
+	return p
+}
+
+// planFeasible checks a plan against the hard constraints of Eqs. 4-6.
+func planFeasible(t *testing.T, spec simgpu.DeviceSpec, plan *Plan) bool {
+	t.Helper()
+	var smUsed, thrUsed, blkUsed, total int
+	for _, k := range plan.Kernels {
+		smUsed += k.Count * k.SharedMem * k.BlocksPerSM
+		thrUsed += k.Count * k.Threads * k.BlocksPerSM
+		blkUsed += k.Count * k.BlocksPerSM
+		total += k.Count
+		if k.Count > k.UpperBound {
+			t.Logf("count %d > bound %d for %s", k.Count, k.UpperBound, k.Name)
+			return false
+		}
+		if k.Count < 0 {
+			return false
+		}
+	}
+	if smUsed > spec.SharedMemPerSM() || thrUsed > spec.MaxThreadsPerSM ||
+		blkUsed > spec.MaxBlocksPerSM || total > spec.MaxConcurrentKernels() {
+		t.Logf("constraint violated: sm=%d thr=%d blk=%d total=%d", smUsed, thrUsed, blkUsed, total)
+		return false
+	}
+	return true
+}
+
+// TestQuickGreedyVsMILP: on random profiles across the catalog devices,
+// both models must produce feasible plans and the MILP's objective must
+// dominate the greedy's (it is the exact optimum of the same problem).
+func TestQuickGreedyVsMILP(t *testing.T) {
+	specs := simgpu.DeviceCatalog
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(8))}
+	trial := 0
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		spec := specs[trial%len(specs)]
+		trial++
+		p := randomProfile(rng)
+
+		mp := MILPModel{}.Solve(spec, p)
+		gp := GreedyModel{}.Solve(spec, p)
+		if mp.Fallback {
+			// The MILP relaxation can only be infeasible when not even one
+			// kernel fits — then greedy must also serialize.
+			return gp.Streams == 1
+		}
+		if !planFeasible(t, spec, mp) {
+			t.Logf("seed %d: MILP plan infeasible\n%s", seed, mp)
+			return false
+		}
+		if !gp.Fallback && !planFeasible(t, spec, gp) {
+			t.Logf("seed %d: greedy plan infeasible\n%s", seed, gp)
+			return false
+		}
+		if gp.ActiveThreads > mp.ActiveThreads+1e-6 {
+			t.Logf("seed %d: greedy objective %v beats MILP %v", seed, gp.ActiveThreads, mp.ActiveThreads)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyModelBasics(t *testing.T) {
+	if (GreedyModel{}).Name() != "greedy" || (MILPModel{}).Name() != "milp" {
+		t.Fatal("model names")
+	}
+	empty := GreedyModel{}.Solve(simgpu.TeslaP100, newLayerProfile("e"))
+	if !empty.Fallback || empty.Streams != 1 {
+		t.Fatal("empty profile should fall back")
+	}
+	// The walkthrough profile under greedy: feasible multi-stream plan.
+	p := newLayerProfile("conv1/fwd")
+	p.add(kernelActivity("im2col", simgpu.D1(18), 512, 33, 0, 23*time.Microsecond))
+	p.add(kernelActivity("sgemm", simgpu.D2(48, 2), 256, 96, 16384, 150*time.Microsecond))
+	plan := GreedyModel{}.Solve(simgpu.TeslaK40C, p)
+	if plan.Streams < 2 || !planFeasible(t, simgpu.TeslaK40C, plan) {
+		t.Fatalf("greedy walkthrough plan: %s", plan)
+	}
+}
+
+func TestFrameworkWithGreedyModel(t *testing.T) {
+	dev := simgpu.NewDevice(simgpu.TeslaP100)
+	fw := NewWithModel(GreedyModel{})
+	defer fw.Close()
+	rt := fw.Runtime(dev)
+	if rt.Analyzer().Model().Name() != "greedy" {
+		t.Fatal("model not propagated to analyzer")
+	}
+	if NewWithModel(nil).Runtime(dev2()).Analyzer().Model().Name() != "milp" {
+		t.Fatal("nil model should default to milp")
+	}
+}
+
+func dev2() *simgpu.Device { return simgpu.NewDevice(simgpu.TeslaK40C) }

@@ -1,0 +1,121 @@
+// Package core is GLP4NN itself: the light-weight parallelization framework
+// of the paper, built from its four modules —
+//
+//   - resource tracker (Tracker): a compact CUPTI-based kernel profiler and
+//     parser that collects launch configurations and timings at runtime;
+//   - kernel analyzer (Analyzer): the analytical model of Section 3.2,
+//     solved as a small MILP (Eq. 1–9), with a per-device concurrency
+//     maintainer cache;
+//   - stream manager (StreamManager/StreamPool): a pool of CUDA streams so
+//     concurrent kernels need no extra host threads or processes;
+//   - runtime scheduler (Runtime): profiles a layer's kernels on first
+//     sight, invokes the analyzer, sizes the stream pool, and thereafter
+//     dispatches each batch sample's kernel chain round-robin over the
+//     pool.
+//
+// Topology follows Fig. 5 of the paper: one Tracker and one StreamManager
+// per machine (shared), one Analyzer and one Runtime per GPU device.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Ledger accumulates GLP4NN's one-time overheads for one device — the
+// quantities of the paper's cost model (Section 3.3.2): host memory
+// (mem_tt, mem_K, mem_cupti; Fig. 10) and time (T_p profiling, T_a
+// analysis, T_s scheduling; Table 6).
+type Ledger struct {
+	mu sync.Mutex
+
+	memTT    int64
+	memK     int64
+	memCUPTI int64
+
+	tp time.Duration
+	ta time.Duration
+	ts time.Duration
+
+	profiledKernels int64
+	analyzedLayers  int64
+	dispatches      int64
+}
+
+// Per-record host memory for the tracker's own structures: two 8-byte
+// timestamps (mem_tt) and a parsed launch configuration (mem_K).
+const (
+	MemTTPerRecord = 16
+	MemKPerRecord  = 56
+)
+
+// Snapshot is a copy of the ledger's counters.
+type Snapshot struct {
+	MemTT    int64
+	MemK     int64
+	MemCUPTI int64
+
+	Tp time.Duration
+	Ta time.Duration
+	Ts time.Duration
+
+	ProfiledKernels int64
+	AnalyzedLayers  int64
+	Dispatches      int64
+}
+
+// TTotal is the paper's Eq. 12: T_p + T_a + T_s.
+func (s Snapshot) TTotal() time.Duration { return s.Tp + s.Ta + s.Ts }
+
+// MemTotal is the paper's Eq. 10: mem_tt + mem_K + mem_cupti.
+func (s Snapshot) MemTotal() int64 { return s.MemTT + s.MemK + s.MemCUPTI }
+
+func (s Snapshot) String() string {
+	return fmt.Sprintf("mem_tt=%dB mem_K=%dB mem_cupti=%dB | T_p=%v T_a=%v T_s=%v (kernels=%d layers=%d)",
+		s.MemTT, s.MemK, s.MemCUPTI, s.Tp, s.Ta, s.Ts, s.ProfiledKernels, s.AnalyzedLayers)
+}
+
+func (l *Ledger) addProfiling(records int64, tp time.Duration, memCupti int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.profiledKernels += records
+	l.memTT += records * MemTTPerRecord
+	l.memK += records * MemKPerRecord
+	if memCupti > l.memCUPTI {
+		l.memCUPTI = memCupti
+	}
+	l.tp += tp
+}
+
+func (l *Ledger) addAnalysis(ta time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.analyzedLayers++
+	l.ta += ta
+}
+
+// tsPerDispatch is the nominal cost of one round-robin stream-selection
+// decision; the paper's static scheduler makes T_s "safely ignorable", and
+// this keeps it measured rather than assumed.
+const tsPerDispatch = 25 * time.Nanosecond
+
+func (l *Ledger) addDispatch() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.dispatches++
+	l.ts += tsPerDispatch
+}
+
+// Snapshot returns a copy of the counters.
+func (l *Ledger) Snapshot() Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Snapshot{
+		MemTT: l.memTT, MemK: l.memK, MemCUPTI: l.memCUPTI,
+		Tp: l.tp, Ta: l.ta, Ts: l.ts,
+		ProfiledKernels: l.profiledKernels,
+		AnalyzedLayers:  l.analyzedLayers,
+		Dispatches:      l.dispatches,
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/simgpu"
+)
+
+// Runtime is the per-device runtime scheduler module and implements
+// dnn.Launcher. Its lifecycle per layer key matches the paper's Fig. 6
+// workflow:
+//
+//  1. First invocation of a layer: its kernels are not yet profiled, so
+//     they run serially on the default stream with the resource tracker
+//     collecting records (the profiling iteration).
+//  2. On the layer's second invocation the scheduler flushes the tracker,
+//     hands the parsed profiles to the kernel analyzer, and initializes
+//     the stream pool with the resulting concurrency configuration.
+//  3. Thereafter every dependency chain (one batch sample's im2col → sgemm
+//     → gemmk sequence) is dispatched round-robin onto the pool, using at
+//     most the layer's planned number of streams.
+type Runtime struct {
+	dev      *simgpu.Device
+	tracker  *Tracker
+	analyzer *Analyzer
+	pool     *StreamPool
+	ledger   *Ledger
+
+	mu          sync.Mutex
+	pending     map[string]bool
+	profiles    map[string]*LayerProfile // collected but possibly not yet analyzed
+	profiling   bool
+	current     string
+	currentPlan *Plan
+}
+
+func newRuntime(dev *simgpu.Device, tracker *Tracker, analyzer *Analyzer, pool *StreamPool, ledger *Ledger) *Runtime {
+	return &Runtime{
+		dev:      dev,
+		tracker:  tracker,
+		analyzer: analyzer,
+		pool:     pool,
+		ledger:   ledger,
+		pending:  map[string]bool{},
+		profiles: map[string]*LayerProfile{},
+	}
+}
+
+// Device returns the scheduled device.
+func (r *Runtime) Device() *simgpu.Device { return r.dev }
+
+// Ledger returns the device's overhead ledger.
+func (r *Runtime) Ledger() *Ledger { return r.ledger }
+
+// Analyzer returns the device's kernel analyzer (its cached plans are the
+// data behind the paper's Fig. 8).
+func (r *Runtime) Analyzer() *Analyzer { return r.analyzer }
+
+// Pool returns the device's stream pool.
+func (r *Runtime) Pool() *StreamPool { return r.pool }
+
+// BeginLayer implements dnn.Launcher.
+func (r *Runtime) BeginLayer(key string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.current = key
+	if plan, ok := r.analyzer.Cached(key); ok {
+		r.currentPlan = plan
+		return
+	}
+	r.currentPlan = nil
+	if profile, ok := r.profiles[key]; ok {
+		// Profiled earlier; analyze now (lazily, once per key).
+		if plan, err := r.analyzer.Analyze(profile); err == nil {
+			r.dev.AdvanceHost(plan.SolveTime)
+			r.pool.EnsureSize(plan.Streams)
+			r.currentPlan = plan
+		}
+		return
+	}
+	if r.pending[key] {
+		// Second sighting without a profile: the profiling iteration is
+		// over; collect everything and analyze this layer.
+		r.finalizeLocked()
+		if profile, ok := r.profiles[key]; ok {
+			if plan, err := r.analyzer.Analyze(profile); err == nil {
+				r.dev.AdvanceHost(plan.SolveTime)
+				r.pool.EnsureSize(plan.Streams)
+				r.currentPlan = plan
+			}
+		}
+		return
+	}
+	// First sighting: profile it.
+	r.pending[key] = true
+	if !r.profiling {
+		if err := r.tracker.StartProfiling(r.dev); err == nil {
+			r.profiling = true
+		}
+	}
+}
+
+// finalizeLocked flushes the tracker and stores the parsed profiles. Called
+// with r.mu held.
+func (r *Runtime) finalizeLocked() {
+	if !r.profiling {
+		return
+	}
+	r.profiling = false
+	profiles, err := r.tracker.Collect(r.dev, r.ledger)
+	if err != nil {
+		return
+	}
+	for key, p := range profiles {
+		r.profiles[key] = p
+		delete(r.pending, key)
+	}
+	// Keys that produced no kernels (pure-host layers) get trivial plans.
+	for key := range r.pending {
+		r.profiles[key] = newLayerProfile(key)
+		delete(r.pending, key)
+	}
+}
+
+// Width implements dnn.Launcher: the planned stream count for the current
+// layer, 1 while profiling.
+func (r *Runtime) Width() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.currentPlan == nil || r.currentPlan.Streams < 1 {
+		return 1
+	}
+	return r.currentPlan.Streams
+}
+
+// Launch implements dnn.Launcher: chains round-robin over the layer's
+// stream share; chain −1 and unplanned layers use the default stream.
+func (r *Runtime) Launch(k *simgpu.Kernel, chain int) error {
+	r.mu.Lock()
+	plan := r.currentPlan
+	key := r.current
+	r.mu.Unlock()
+
+	if key != "" {
+		if k.Tag != "" {
+			k.Tag = key + "|" + k.Tag
+		} else {
+			k.Tag = key + "|"
+		}
+	}
+	var stream *simgpu.Stream
+	if chain >= 0 && plan != nil && plan.Streams > 1 {
+		stream = r.pool.Stream(chain % plan.Streams)
+		r.ledger.addDispatch()
+	}
+	return r.dev.Launch(k, stream)
+}
+
+// Sync implements dnn.Launcher: the inter-layer barrier joins all pool
+// streams through the default-stream synchronization the stream manager
+// owns.
+func (r *Runtime) Sync() error {
+	_, err := r.dev.Synchronize()
+	return err
+}
+
+// Plans returns the analyzer's cached plans.
+func (r *Runtime) Plans() []*Plan { return r.analyzer.Plans() }
+
+// UploadBytes models the host→device input copy on the default stream
+// (GLP4NN leaves data movement to the framework it integrates into).
+func (r *Runtime) UploadBytes(n int64) error {
+	return r.dev.MemcpyHostToDevice(n, nil)
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/simgpu"
+)
+
+// StreamPool is the concurrent stream pool of the stream manager module: a
+// grow-only set of CUDA streams on one device, handed out round-robin. The
+// default stream stays reserved for synchronization and
+// synchronization-sensitive kernels, per the paper's design.
+type StreamPool struct {
+	dev *simgpu.Device
+
+	mu      sync.Mutex
+	streams []*simgpu.Stream
+}
+
+// Device returns the owning device.
+func (p *StreamPool) Device() *simgpu.Device { return p.dev }
+
+// EnsureSize grows the pool to at least n streams (paying the stream
+// creation overhead on the device's host timeline).
+func (p *StreamPool) EnsureSize(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.streams) < n {
+		p.streams = append(p.streams, p.dev.CreateStream())
+	}
+}
+
+// Size returns the current pool size.
+func (p *StreamPool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.streams)
+}
+
+// Stream returns pool stream i (mod size); with an empty pool it returns
+// nil, which launches on the default stream.
+func (p *StreamPool) Stream(i int) *simgpu.Stream {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.streams) == 0 {
+		return nil
+	}
+	if i < 0 {
+		i = -i
+	}
+	return p.streams[i%len(p.streams)]
+}
+
+// Release destroys all pool streams.
+func (p *StreamPool) Release() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.streams {
+		if err := p.dev.DestroyStream(s); err != nil {
+			return err
+		}
+	}
+	p.streams = nil
+	return nil
+}
+
+// StreamManager is the machine-shared stream manager module: one pool per
+// device.
+type StreamManager struct {
+	mu    sync.Mutex
+	pools map[*simgpu.Device]*StreamPool
+}
+
+// NewStreamManager builds the shared stream manager.
+func NewStreamManager() *StreamManager {
+	return &StreamManager{pools: map[*simgpu.Device]*StreamPool{}}
+}
+
+// Pool returns (creating on demand) the device's stream pool.
+func (m *StreamManager) Pool(dev *simgpu.Device) *StreamPool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.pools[dev]
+	if p == nil {
+		p = &StreamPool{dev: dev}
+		m.pools[dev] = p
+	}
+	return p
+}

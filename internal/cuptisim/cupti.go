@@ -1,0 +1,187 @@
+// Package cuptisim is a CUPTI-flavoured activity-record API over the
+// simulated GPU (internal/simgpu). GLP4NN's resource tracker is built on
+// NVIDIA CUPTI; this package reproduces the parts the paper depends on — a
+// per-device subscriber that collects kernel activity records (launch
+// configuration + timestamps) into a pool of fixed-size activity buffers —
+// together with the memory and time accounting the paper's cost model
+// measures (mem_cupti in Fig. 10, the per-kernel profiling cost inside T_p
+// in Table 6).
+package cuptisim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/simgpu"
+)
+
+// Activity-buffer accounting constants, chosen to mirror CUPTI's defaults:
+// CUPTI hands the client 3 MiB-class activity buffers and serializes
+// ~100-byte kernel records into them; the runtime itself pins a few MiB.
+const (
+	// BufferSize is the size of one activity buffer.
+	BufferSize = 4 << 20
+	// RecordSize is the serialized size of one kernel activity record
+	// (CUpti_ActivityKernel4 is ~120 bytes).
+	RecordSize = 120
+	// RuntimeFootprint is CUPTI's fixed instrumentation overhead.
+	RuntimeFootprint = 3 << 20
+	// PerKernelOverhead is the host-side instrumentation cost CUPTI adds to
+	// each launch while kernel activity collection is enabled.
+	PerKernelOverhead = 2 * time.Microsecond
+)
+
+// KernelActivity is one collected record: exactly the fields the paper's
+// kernel parser consumes.
+type KernelActivity struct {
+	Name           string
+	Tag            string
+	DeviceID       int
+	StreamID       int
+	Grid           simgpu.Dim3
+	Block          simgpu.Dim3
+	RegsPerThread  int
+	SharedMemBytes int
+	Start, End     time.Duration
+}
+
+// Duration returns the kernel's device residency time.
+func (a KernelActivity) Duration() time.Duration { return a.End - a.Start }
+
+// Session is one device subscription. Create with Subscribe, enable kernel
+// activity around the region of interest, then Flush to drain records.
+type Session struct {
+	dev *simgpu.Device
+
+	mu       sync.Mutex
+	enabled  bool
+	closed   bool
+	token    int
+	pending  []KernelActivity
+	buffers  int // allocated activity buffers
+	bufUsed  int // bytes used in the current buffer
+	overhead time.Duration
+	dropped  int64
+	records  int64
+}
+
+// Subscribe attaches a profiling session to a device. Only one session per
+// device is needed; the paper's resource tracker is shared machine-wide.
+func Subscribe(dev *simgpu.Device) *Session {
+	s := &Session{dev: dev, buffers: 1}
+	s.token = dev.Subscribe(s.onRecord)
+	return s
+}
+
+// onRecord runs under the device lock during drains; it must not call
+// device methods.
+func (s *Session) onRecord(r simgpu.KernelRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.enabled || s.closed {
+		return
+	}
+	if s.bufUsed+RecordSize > BufferSize {
+		s.buffers++
+		s.bufUsed = 0
+	}
+	s.bufUsed += RecordSize
+	s.records++
+	s.overhead += PerKernelOverhead
+	s.pending = append(s.pending, KernelActivity{
+		Name:           r.Name,
+		Tag:            r.Tag,
+		DeviceID:       s.dev.ID(),
+		StreamID:       r.StreamID,
+		Grid:           r.Grid,
+		Block:          r.Block,
+		RegsPerThread:  r.RegsPerThread,
+		SharedMemBytes: r.SharedMemBytes,
+		Start:          r.Start,
+		End:            r.End,
+	})
+}
+
+// EnableKernelActivity starts collecting kernel records. Like CUPTI's
+// activity API it synchronizes the device first, so kernels launched before
+// the enable are never collected (the simulator completes kernels lazily).
+func (s *Session) EnableKernelActivity() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("cuptisim: session closed")
+	}
+	s.mu.Unlock()
+	if _, err := s.dev.Synchronize(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.enabled = true
+	return nil
+}
+
+// DisableKernelActivity stops collecting, first synchronizing the device so
+// kernels launched while enabled are captured. Records already buffered
+// remain available to Flush.
+func (s *Session) DisableKernelActivity() error {
+	if _, err := s.dev.Synchronize(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.enabled = false
+	return nil
+}
+
+// Flush synchronizes the device (completing all in-flight kernels) and
+// returns the buffered records, clearing the buffer.
+func (s *Session) Flush() ([]KernelActivity, error) {
+	if _, err := s.dev.Synchronize(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.pending
+	s.pending = nil
+	s.bufUsed = 0
+	return out, nil
+}
+
+// MemoryFootprint returns the bytes this session pins on the host: the
+// CUPTI runtime plus all activity buffers ever grown. This is the paper's
+// mem_cupti.
+func (s *Session) MemoryFootprint() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(RuntimeFootprint) + int64(s.buffers)*int64(BufferSize)
+}
+
+// InstrumentationTime returns the accumulated host-side per-kernel
+// profiling cost (a component of the paper's T_p).
+func (s *Session) InstrumentationTime() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.overhead
+}
+
+// RecordCount returns how many kernel records this session collected.
+func (s *Session) RecordCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.records
+}
+
+// Close detaches from the device. The session cannot be reused.
+func (s *Session) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.enabled = false
+	s.mu.Unlock()
+	s.dev.Unsubscribe(s.token)
+}

@@ -1,0 +1,148 @@
+package cuptisim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simgpu"
+)
+
+var testSpec = simgpu.DeviceSpec{
+	Name: "TestGPU", Arch: "Pascal",
+	SMCount: 4, CoresPerSM: 64, ClockGHz: 1.0,
+	MemGB: 4, MemBandwidthGBps: 100, MemType: "TEST",
+	SharedMemPerSMKB:       48,
+	MaxThreadsPerSM:        1024,
+	MaxBlocksPerSM:         8,
+	MaxThreadsPerBlock:     512,
+	RegistersPerSM:         65536,
+	WarpSize:               32,
+	LaunchOverhead:         time.Microsecond,
+	MemSaturationOccupancy: 0.25,
+}
+
+func launch(t *testing.T, d *simgpu.Device, name string, blocks int) {
+	t.Helper()
+	k := &simgpu.Kernel{
+		Name: name,
+		Tag:  "layer/" + name,
+		Config: simgpu.LaunchConfig{
+			Grid: simgpu.D1(blocks), Block: simgpu.D1(256),
+			RegsPerThread: 33, SharedMemBytes: 1024,
+		},
+		Cost: simgpu.Cost{FLOPs: 1e5},
+	}
+	if err := d.Launch(k, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionCollectsRecords(t *testing.T) {
+	d := simgpu.NewDevice(testSpec)
+	s := Subscribe(d)
+	defer s.Close()
+	if err := s.EnableKernelActivity(); err != nil {
+		t.Fatal(err)
+	}
+	launch(t, d, "im2col", 4)
+	launch(t, d, "sgemm", 8)
+	recs, err := s.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	r := recs[0]
+	if r.Name != "im2col" || r.Grid.X != 4 || r.Block.X != 256 || r.RegsPerThread != 33 || r.SharedMemBytes != 1024 {
+		t.Fatalf("bad record: %+v", r)
+	}
+	if r.Tag != "layer/im2col" {
+		t.Fatalf("tag = %q", r.Tag)
+	}
+	if r.End <= r.Start || r.Duration() <= 0 {
+		t.Fatalf("bad timestamps: %+v", r)
+	}
+	if s.RecordCount() != 2 {
+		t.Fatalf("record count = %d", s.RecordCount())
+	}
+	// Flush cleared the buffer.
+	recs, _ = s.Flush()
+	if len(recs) != 0 {
+		t.Fatal("flush did not clear")
+	}
+}
+
+func TestDisableStopsCollection(t *testing.T) {
+	d := simgpu.NewDevice(testSpec)
+	s := Subscribe(d)
+	defer s.Close()
+	launch(t, d, "before-enable", 1)
+	if err := s.EnableKernelActivity(); err != nil {
+		t.Fatal(err)
+	}
+	launch(t, d, "during", 1)
+	if _, err := d.Synchronize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DisableKernelActivity(); err != nil {
+		t.Fatal(err)
+	}
+	launch(t, d, "after", 1)
+	recs, err := s.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Name != "during" {
+		t.Fatalf("records = %v", recs)
+	}
+}
+
+func TestMemoryFootprintGrowsWithBuffers(t *testing.T) {
+	d := simgpu.NewDevice(testSpec)
+	s := Subscribe(d)
+	defer s.Close()
+	base := s.MemoryFootprint()
+	if base != RuntimeFootprint+BufferSize {
+		t.Fatalf("base footprint = %d", base)
+	}
+	if err := s.EnableKernelActivity(); err != nil {
+		t.Fatal(err)
+	}
+	// Overflow one buffer: need > BufferSize/RecordSize records. That is
+	// ~35k launches — too many for a unit test, so validate the arithmetic
+	// at a smaller scale by checking per-record accounting instead.
+	for i := 0; i < 100; i++ {
+		launch(t, d, "k", 1)
+	}
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if s.MemoryFootprint() != base {
+		t.Fatal("footprint grew before buffer overflow")
+	}
+	if got, want := s.InstrumentationTime(), 100*PerKernelOverhead; got != want {
+		t.Fatalf("instrumentation time = %v, want %v", got, want)
+	}
+}
+
+func TestClosedSessionIgnoresWork(t *testing.T) {
+	d := simgpu.NewDevice(testSpec)
+	s := Subscribe(d)
+	if err := s.EnableKernelActivity(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // double close is fine
+	if err := s.EnableKernelActivity(); err == nil {
+		t.Fatal("enable on closed session succeeded")
+	}
+	launch(t, d, "k", 1)
+	recs, err := s.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatal("closed session collected records")
+	}
+}

@@ -1,0 +1,284 @@
+// Package data provides procedural stand-ins for the paper's datasets
+// (Table 4: MNIST, CIFAR-10, ImageNet-2012). The real datasets gate nothing
+// in the reproduction except tensor shapes (which drive every kernel launch
+// configuration) and learnability (which the convergence experiment needs),
+// so each dataset is synthesized class-conditionally: class c has a smooth
+// random latent pattern, samples are bilinear upsamplings of that latent
+// plus per-sample Gaussian noise. Everything is deterministic given the
+// dataset seed and sample index, and no sample is materialized until asked
+// for — the 1.2M-image ImageNet stand-in costs a few kilobytes of latents.
+package data
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Split selects the training or test partition.
+type Split int
+
+// Splits.
+const (
+	TrainSplit Split = iota
+	TestSplit
+)
+
+// Spec describes one dataset, mirroring the columns of the paper's Table 4.
+type Spec struct {
+	Name        string
+	TrainImages int
+	TestImages  int
+	Channels    int
+	Height      int
+	Width       int
+	Classes     int
+}
+
+// Catalog is the paper's Table 4. (MNIST is single-channel; CIFAR-10 and
+// ImageNet are RGB. The paper lists pixel geometry only.)
+var Catalog = []Spec{
+	{Name: "MNIST", TrainImages: 60000, TestImages: 10000, Channels: 1, Height: 28, Width: 28, Classes: 10},
+	{Name: "CIFAR-10", TrainImages: 50000, TestImages: 10000, Channels: 3, Height: 32, Width: 32, Classes: 10},
+	{Name: "ImageNet", TrainImages: 1200000, TestImages: 150000, Channels: 3, Height: 256, Width: 256, Classes: 1000},
+}
+
+// SpecByName returns the catalog spec with the given name.
+func SpecByName(name string) (Spec, bool) {
+	for _, s := range Catalog {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// latentSize is the per-class latent pattern resolution; samples are
+// bilinear upsamplings of it.
+const latentSize = 12
+
+// Dataset generates samples on demand. Safe for concurrent reads after the
+// first Sample call per class; typical use is single-goroutine.
+type Dataset struct {
+	Spec
+	seed     int64
+	noiseStd float32
+	latents  [][]float32 // per class: Channels×latentSize×latentSize
+}
+
+// Synthetic builds a deterministic synthetic dataset for a spec.
+func Synthetic(spec Spec, seed int64) *Dataset {
+	return &Dataset{
+		Spec:     spec,
+		seed:     seed,
+		noiseStd: 0.35,
+		latents:  make([][]float32, spec.Classes),
+	}
+}
+
+// SampleCount returns the number of samples in a split.
+func (d *Dataset) SampleCount(split Split) int {
+	if split == TrainSplit {
+		return d.TrainImages
+	}
+	return d.TestImages
+}
+
+// SampleSize returns elements per image at native resolution.
+func (d *Dataset) SampleSize() int { return d.Channels * d.Height * d.Width }
+
+// Label returns the class of a sample. Assignment is round-robin, which
+// keeps classes exactly balanced and makes same-class pair sampling O(1)
+// (the Siamese workload needs it).
+func (d *Dataset) Label(split Split, index int) int {
+	d.checkIndex(split, index)
+	return index % d.Classes
+}
+
+func (d *Dataset) checkIndex(split Split, index int) {
+	if index < 0 || index >= d.SampleCount(split) {
+		panic(fmt.Sprintf("data: %s index %d out of range for split %d", d.Name, index, split))
+	}
+}
+
+func (d *Dataset) latent(class int) []float32 {
+	if l := d.latents[class]; l != nil {
+		return l
+	}
+	rng := rand.New(rand.NewSource(d.seed ^ (int64(class)+1)*0x2545F4914F6CDD1D))
+	l := make([]float32, d.Channels*latentSize*latentSize)
+	for i := range l {
+		l[i] = float32(rng.NormFloat64())
+	}
+	d.latents[class] = l
+	return l
+}
+
+// Sample writes the image for (split, index) into out (len SampleSize with
+// h=Height, w=Width — or any h,w for cropped/scaled variants) and returns
+// its label. The image is the class latent bilinearly resampled to h×w plus
+// index-seeded Gaussian noise.
+func (d *Dataset) Sample(split Split, index int, out []float32, h, w int) int {
+	d.checkIndex(split, index)
+	if len(out) < d.Channels*h*w {
+		panic(fmt.Sprintf("data: %s: out buffer %d < %d", d.Name, len(out), d.Channels*h*w))
+	}
+	class := d.Label(split, index)
+	lat := d.latent(class)
+	// Distinct noise stream per (split, index).
+	noiseSeed := d.seed ^ 0x5bf03635<<int64(split) ^ int64(index)*0x100000001B3
+	rng := rand.New(rand.NewSource(noiseSeed))
+	idx := 0
+	for c := 0; c < d.Channels; c++ {
+		plane := lat[c*latentSize*latentSize:]
+		for y := 0; y < h; y++ {
+			fy := float32(y) * float32(latentSize-1) / float32(max(h-1, 1))
+			y0 := int(fy)
+			ty := fy - float32(y0)
+			y1 := y0 + 1
+			if y1 >= latentSize {
+				y1 = latentSize - 1
+			}
+			for x := 0; x < w; x++ {
+				fx := float32(x) * float32(latentSize-1) / float32(max(w-1, 1))
+				x0 := int(fx)
+				tx := fx - float32(x0)
+				x1 := x0 + 1
+				if x1 >= latentSize {
+					x1 = latentSize - 1
+				}
+				v := plane[y0*latentSize+x0]*(1-ty)*(1-tx) +
+					plane[y0*latentSize+x1]*(1-ty)*tx +
+					plane[y1*latentSize+x0]*ty*(1-tx) +
+					plane[y1*latentSize+x1]*ty*tx
+				out[idx] = v + d.noiseStd*float32(rng.NormFloat64())
+				idx++
+			}
+		}
+	}
+	return class
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Iterator yields shuffled mini-batches, reshuffling each epoch (the
+// "shuffle process while fetching training batch samples" the paper names
+// as the only source of divergence between Caffe and GLP4NN-Caffe).
+type Iterator struct {
+	ds    *Dataset
+	split Split
+	batch int
+	h, w  int
+	rng   *rand.Rand
+	perm  []int
+	pos   int
+	epoch int
+}
+
+// NewIterator builds a batch iterator at native resolution.
+func NewIterator(ds *Dataset, split Split, batch int, seed int64) *Iterator {
+	return NewCroppedIterator(ds, split, batch, ds.Height, ds.Width, seed)
+}
+
+// NewCroppedIterator builds a batch iterator producing h×w samples (e.g.
+// CaffeNet's 227×227 crops of 256×256 ImageNet images).
+func NewCroppedIterator(ds *Dataset, split Split, batch, h, w int, seed int64) *Iterator {
+	if batch <= 0 {
+		panic("data: batch size must be positive")
+	}
+	it := &Iterator{ds: ds, split: split, batch: batch, h: h, w: w, rng: rand.New(rand.NewSource(seed))}
+	it.reshuffle()
+	return it
+}
+
+func (it *Iterator) reshuffle() {
+	n := it.ds.SampleCount(it.split)
+	if it.perm == nil {
+		// Cap the working set: epoch-scale index permutations of the
+		// 1.2M-image stand-in are pointless for our run lengths.
+		if n > 1<<20 {
+			n = 1 << 20
+		}
+		it.perm = make([]int, n)
+		for i := range it.perm {
+			it.perm[i] = i
+		}
+	}
+	it.rng.Shuffle(len(it.perm), func(i, j int) { it.perm[i], it.perm[j] = it.perm[j], it.perm[i] })
+	it.pos = 0
+}
+
+// Epoch returns how many full passes have completed.
+func (it *Iterator) Epoch() int { return it.epoch }
+
+// BatchShape returns (N, C, H, W) of produced batches.
+func (it *Iterator) BatchShape() (n, c, h, w int) {
+	return it.batch, it.ds.Channels, it.h, it.w
+}
+
+// Next fills data (batch×C×h×w) and labels (batch) with the next mini-batch.
+func (it *Iterator) Next(data, labels []float32) {
+	size := it.ds.Channels * it.h * it.w
+	if len(data) < it.batch*size || len(labels) < it.batch {
+		panic("data: Next buffers too small")
+	}
+	for i := 0; i < it.batch; i++ {
+		if it.pos >= len(it.perm) {
+			it.epoch++
+			it.reshuffle()
+		}
+		idx := it.perm[it.pos]
+		it.pos++
+		label := it.ds.Sample(it.split, idx, data[i*size:(i+1)*size], it.h, it.w)
+		labels[i] = float32(label)
+	}
+}
+
+// PairIterator yields Siamese training pairs: two images plus a similarity
+// flag (1 = same class), balanced 50/50.
+type PairIterator struct {
+	ds    *Dataset
+	split Split
+	batch int
+	rng   *rand.Rand
+}
+
+// NewPairIterator builds a Siamese pair sampler.
+func NewPairIterator(ds *Dataset, split Split, batch int, seed int64) *PairIterator {
+	if batch <= 0 {
+		panic("data: batch size must be positive")
+	}
+	return &PairIterator{ds: ds, split: split, batch: batch, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next fills a (left, right, sim) batch at native resolution.
+func (p *PairIterator) Next(left, right, sim []float32) {
+	size := p.ds.SampleSize()
+	n := p.ds.SampleCount(p.split)
+	classes := p.ds.Classes
+	if len(left) < p.batch*size || len(right) < p.batch*size || len(sim) < p.batch {
+		panic("data: pair buffers too small")
+	}
+	for i := 0; i < p.batch; i++ {
+		a := p.rng.Intn(n)
+		var b int
+		if p.rng.Intn(2) == 0 {
+			// Same class: round-robin labels make stepping by Classes stay
+			// in-class.
+			hop := 1 + p.rng.Intn(max(n/classes-1, 1))
+			b = (a + hop*classes) % n
+			sim[i] = 1
+		} else {
+			// Different class: shift by a non-multiple of Classes.
+			shift := 1 + p.rng.Intn(classes-1)
+			b = (a + shift) % n
+			sim[i] = 0
+		}
+		p.ds.Sample(p.split, a, left[i*size:(i+1)*size], p.ds.Height, p.ds.Width)
+		p.ds.Sample(p.split, b, right[i*size:(i+1)*size], p.ds.Height, p.ds.Width)
+	}
+}

@@ -1,0 +1,262 @@
+package data
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCatalogMatchesTable4(t *testing.T) {
+	if len(Catalog) != 3 {
+		t.Fatalf("catalog has %d entries, want 3 (Table 4)", len(Catalog))
+	}
+	mnist, ok := SpecByName("MNIST")
+	if !ok || mnist.TrainImages != 60000 || mnist.TestImages != 10000 || mnist.Height != 28 || mnist.Classes != 10 {
+		t.Fatalf("MNIST spec wrong: %+v", mnist)
+	}
+	cifar, _ := SpecByName("CIFAR-10")
+	if cifar.TrainImages != 50000 || cifar.Width != 32 || cifar.Channels != 3 {
+		t.Fatalf("CIFAR-10 spec wrong: %+v", cifar)
+	}
+	inet, _ := SpecByName("ImageNet")
+	if inet.TrainImages != 1200000 || inet.Classes != 1000 || inet.Height != 256 {
+		t.Fatalf("ImageNet spec wrong: %+v", inet)
+	}
+	if _, ok := SpecByName("nope"); ok {
+		t.Fatal("unknown dataset resolved")
+	}
+}
+
+func TestSampleDeterminism(t *testing.T) {
+	spec, _ := SpecByName("CIFAR-10")
+	ds1 := Synthetic(spec, 42)
+	ds2 := Synthetic(spec, 42)
+	a := make([]float32, ds1.SampleSize())
+	b := make([]float32, ds2.SampleSize())
+	la := ds1.Sample(TrainSplit, 1234, a, spec.Height, spec.Width)
+	lb := ds2.Sample(TrainSplit, 1234, b, spec.Height, spec.Width)
+	if la != lb {
+		t.Fatalf("labels differ: %d vs %d", la, lb)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample not deterministic at %d", i)
+		}
+	}
+	// Different index produces a different image.
+	c := make([]float32, ds1.SampleSize())
+	ds1.Sample(TrainSplit, 1235, c, spec.Height, spec.Width)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("distinct indices produced identical samples")
+	}
+}
+
+func TestLabelsRoundRobinAndBalanced(t *testing.T) {
+	spec, _ := SpecByName("MNIST")
+	ds := Synthetic(spec, 1)
+	counts := make([]int, spec.Classes)
+	for i := 0; i < 1000; i++ {
+		counts[ds.Label(TrainSplit, i)]++
+	}
+	for c, n := range counts {
+		if n != 100 {
+			t.Fatalf("class %d has %d of 1000 samples, want 100", c, n)
+		}
+	}
+}
+
+// TestClassSeparability checks the synthetic generator's core promise:
+// same-class samples are closer (on average) than cross-class samples, so a
+// network can learn the classes.
+func TestClassSeparability(t *testing.T) {
+	spec, _ := SpecByName("CIFAR-10")
+	ds := Synthetic(spec, 7)
+	size := ds.SampleSize()
+	img := func(i int) []float32 {
+		out := make([]float32, size)
+		ds.Sample(TrainSplit, i, out, spec.Height, spec.Width)
+		return out
+	}
+	dist := func(a, b []float32) float64 {
+		s := 0.0
+		for i := range a {
+			d := float64(a[i] - b[i])
+			s += d * d
+		}
+		return s
+	}
+	// Indices 0 and 10 share class 0; index 1 is class 1.
+	same := dist(img(0), img(10))
+	diff := dist(img(0), img(1))
+	if same >= diff {
+		t.Fatalf("same-class distance %v not below cross-class %v", same, diff)
+	}
+}
+
+func TestSampleCrop(t *testing.T) {
+	spec, _ := SpecByName("ImageNet")
+	ds := Synthetic(spec, 3)
+	out := make([]float32, spec.Channels*227*227)
+	label := ds.Sample(TrainSplit, 5, out, 227, 227)
+	if label != 5%1000 {
+		t.Fatalf("label = %d", label)
+	}
+	nonzero := 0
+	for _, v := range out {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero < len(out)/2 {
+		t.Fatal("cropped sample mostly zero")
+	}
+}
+
+func TestSamplePanics(t *testing.T) {
+	spec, _ := SpecByName("MNIST")
+	ds := Synthetic(spec, 1)
+	assertPanics(t, func() { ds.Sample(TrainSplit, -1, make([]float32, 784), 28, 28) })
+	assertPanics(t, func() { ds.Sample(TestSplit, 10000, make([]float32, 784), 28, 28) })
+	assertPanics(t, func() { ds.Sample(TrainSplit, 0, make([]float32, 3), 28, 28) })
+	assertPanics(t, func() { NewIterator(ds, TrainSplit, 0, 1) })
+	assertPanics(t, func() { NewPairIterator(ds, TrainSplit, -1, 1) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestIteratorCoversEpochWithoutRepeats(t *testing.T) {
+	spec := Spec{Name: "tiny", TrainImages: 50, TestImages: 10, Channels: 1, Height: 4, Width: 4, Classes: 5}
+	ds := Synthetic(spec, 11)
+	it := NewIterator(ds, TrainSplit, 10, 1)
+	data := make([]float32, 10*ds.SampleSize())
+	labels := make([]float32, 10)
+	seen := map[float32]int{}
+	for b := 0; b < 5; b++ { // one epoch
+		it.Next(data, labels)
+		for _, l := range labels {
+			seen[l]++
+		}
+	}
+	// Round-robin labels over 50 samples: each class appears exactly 10×.
+	for c := 0; c < 5; c++ {
+		if seen[float32(c)] != 10 {
+			t.Fatalf("class %d seen %d times in epoch, want 10", c, seen[float32(c)])
+		}
+	}
+	if it.Epoch() != 0 {
+		t.Fatalf("epoch = %d before wrap", it.Epoch())
+	}
+	it.Next(data, labels)
+	if it.Epoch() != 1 {
+		t.Fatalf("epoch = %d after wrap, want 1", it.Epoch())
+	}
+	n, c, h, w := it.BatchShape()
+	if n != 10 || c != 1 || h != 4 || w != 4 {
+		t.Fatalf("BatchShape = %d %d %d %d", n, c, h, w)
+	}
+}
+
+func TestIteratorShufflesDifferentlyPerSeed(t *testing.T) {
+	spec := Spec{Name: "tiny", TrainImages: 100, TestImages: 10, Channels: 1, Height: 2, Width: 2, Classes: 10}
+	ds := Synthetic(spec, 11)
+	a := NewIterator(ds, TrainSplit, 20, 1)
+	b := NewIterator(ds, TrainSplit, 20, 2)
+	da := make([]float32, 20*4)
+	db := make([]float32, 20*4)
+	la := make([]float32, 20)
+	lb := make([]float32, 20)
+	a.Next(da, la)
+	b.Next(db, lb)
+	same := true
+	for i := range la {
+		if la[i] != lb[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical batch order")
+	}
+}
+
+func TestPairIteratorSimilarityIsCorrect(t *testing.T) {
+	spec, _ := SpecByName("MNIST")
+	ds := Synthetic(spec, 5)
+	p := NewPairIterator(ds, TrainSplit, 64, 9)
+	size := ds.SampleSize()
+	left := make([]float32, 64*size)
+	right := make([]float32, 64*size)
+	sim := make([]float32, 64)
+	p.Next(left, right, sim)
+	similar := 0
+	for i := 0; i < 64; i++ {
+		if sim[i] > 0.5 {
+			similar++
+		}
+	}
+	// Balanced-ish sampling.
+	if similar < 16 || similar > 48 {
+		t.Fatalf("similar pairs = %d of 64, want roughly half", similar)
+	}
+	// Verify the sim flag against actual class distance: same-class pairs
+	// must be closer in expectation.
+	var dSame, dDiff float64
+	var nSame, nDiff int
+	for i := 0; i < 64; i++ {
+		s := 0.0
+		for j := 0; j < size; j++ {
+			d := float64(left[i*size+j] - right[i*size+j])
+			s += d * d
+		}
+		if sim[i] > 0.5 {
+			dSame += s
+			nSame++
+		} else {
+			dDiff += s
+			nDiff++
+		}
+	}
+	if nSame == 0 || nDiff == 0 {
+		t.Fatal("degenerate pair batch")
+	}
+	if dSame/float64(nSame) >= dDiff/float64(nDiff) {
+		t.Fatalf("same-class mean distance %v not below cross-class %v",
+			dSame/float64(nSame), dDiff/float64(nDiff))
+	}
+}
+
+func TestNoiseStatistics(t *testing.T) {
+	spec, _ := SpecByName("CIFAR-10")
+	ds := Synthetic(spec, 21)
+	size := ds.SampleSize()
+	a := make([]float32, size)
+	b := make([]float32, size)
+	ds.Sample(TrainSplit, 0, a, 32, 32)
+	ds.Sample(TrainSplit, 10, b, 32, 32) // same class, different noise
+	var sum, sum2 float64
+	for i := range a {
+		d := float64(a[i] - b[i])
+		sum += d
+		sum2 += d * d
+	}
+	n := float64(size)
+	std := math.Sqrt(sum2/n - (sum/n)*(sum/n))
+	// Difference of two independent N(0, 0.35²) noises → std ≈ 0.495.
+	if std < 0.3 || std > 0.7 {
+		t.Fatalf("noise std = %v, want ≈0.5", std)
+	}
+}

@@ -1,0 +1,121 @@
+package dnn
+
+import (
+	"fmt"
+
+	"repro/internal/kernels"
+)
+
+// ReLULayer is the rectified linear unit, one elementwise kernel over the
+// whole batch in both directions.
+type ReLULayer struct {
+	baseLayer
+}
+
+// NewReLU constructs a ReLU layer.
+func NewReLU(name string) *ReLULayer {
+	return &ReLULayer{baseLayer{name: name, typ: "ReLU"}}
+}
+
+// Setup implements Layer.
+func (l *ReLULayer) Setup(ctx *Context, bottom, top []*Blob) error {
+	if len(bottom) != 1 || len(top) != 1 {
+		return fmt.Errorf("relu %s: want 1 bottom and 1 top", l.name)
+	}
+	top[0].Reshape(bottom[0].Shape()...)
+	return nil
+}
+
+// Forward implements Layer.
+func (l *ReLULayer) Forward(ctx *Context, bottom, top []*Blob) error {
+	src := bottom[0].Data.Data()
+	dst := top[0].Data.Data()
+	k := kernels.Elementwise("relu_fwd", l.name, len(src), 8, 1, func() {
+		for i, v := range src {
+			if v > 0 {
+				dst[i] = v
+			} else {
+				dst[i] = 0
+			}
+		}
+	})
+	if err := ctx.Dispatch(k, 0); err != nil {
+		return err
+	}
+	return ctx.Barrier()
+}
+
+// Backward implements Layer.
+func (l *ReLULayer) Backward(ctx *Context, top []*Blob, propagate []bool, bottom []*Blob) error {
+	if !propagate[0] {
+		return nil
+	}
+	src := bottom[0].Data.Data()
+	dtop := top[0].Diff.Data()
+	dbot := bottom[0].Diff.Data()
+	k := kernels.Elementwise("relu_bwd", l.name, len(src), 12, 1, func() {
+		for i, v := range src {
+			if v > 0 {
+				dbot[i] += dtop[i]
+			}
+		}
+	})
+	if err := ctx.Dispatch(k, 0); err != nil {
+		return err
+	}
+	return ctx.Barrier()
+}
+
+// SigmoidLayer is the logistic activation (used by tests and available for
+// LeNet-style nets).
+type SigmoidLayer struct {
+	baseLayer
+}
+
+// NewSigmoid constructs a sigmoid layer.
+func NewSigmoid(name string) *SigmoidLayer {
+	return &SigmoidLayer{baseLayer{name: name, typ: "Sigmoid"}}
+}
+
+// Setup implements Layer.
+func (l *SigmoidLayer) Setup(ctx *Context, bottom, top []*Blob) error {
+	if len(bottom) != 1 || len(top) != 1 {
+		return fmt.Errorf("sigmoid %s: want 1 bottom and 1 top", l.name)
+	}
+	top[0].Reshape(bottom[0].Shape()...)
+	return nil
+}
+
+// Forward implements Layer.
+func (l *SigmoidLayer) Forward(ctx *Context, bottom, top []*Blob) error {
+	src := bottom[0].Data.Data()
+	dst := top[0].Data.Data()
+	k := kernels.Elementwise("sigmoid_fwd", l.name, len(src), 8, 4, func() {
+		for i, v := range src {
+			dst[i] = 1 / (1 + exp32(-v))
+		}
+	})
+	if err := ctx.Dispatch(k, 0); err != nil {
+		return err
+	}
+	return ctx.Barrier()
+}
+
+// Backward implements Layer.
+func (l *SigmoidLayer) Backward(ctx *Context, top []*Blob, propagate []bool, bottom []*Blob) error {
+	if !propagate[0] {
+		return nil
+	}
+	y := top[0].Data.Data()
+	dtop := top[0].Diff.Data()
+	dbot := bottom[0].Diff.Data()
+	k := kernels.Elementwise("sigmoid_bwd", l.name, len(y), 12, 3, func() {
+		for i, v := range y {
+			dbot[i] += dtop[i] * v * (1 - v)
+		}
+	})
+	if err := ctx.Dispatch(k, 0); err != nil {
+		return err
+	}
+	return ctx.Barrier()
+}

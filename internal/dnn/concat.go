@@ -1,0 +1,97 @@
+package dnn
+
+import (
+	"fmt"
+
+	"repro/internal/kernels"
+)
+
+// ConcatLayer concatenates its bottoms along the channel axis, the fan-in
+// operation of GoogLeNet's inception modules. All bottoms must agree on
+// batch and spatial dimensions.
+type ConcatLayer struct {
+	baseLayer
+	n, h, w  int
+	channels []int
+	total    int
+}
+
+// NewConcat constructs a channel-axis concat layer.
+func NewConcat(name string) *ConcatLayer {
+	return &ConcatLayer{baseLayer: baseLayer{name: name, typ: "Concat"}}
+}
+
+// Setup implements Layer.
+func (l *ConcatLayer) Setup(ctx *Context, bottom, top []*Blob) error {
+	if len(bottom) < 1 || len(top) != 1 {
+		return fmt.Errorf("concat %s: want ≥1 bottoms and 1 top", l.name)
+	}
+	b0 := bottom[0]
+	l.n, l.h, l.w = b0.Num(), b0.Height(), b0.Width()
+	l.channels = l.channels[:0]
+	l.total = 0
+	for _, b := range bottom {
+		if b.Num() != l.n || b.Height() != l.h || b.Width() != l.w {
+			return fmt.Errorf("concat %s: bottom %q shape %v incompatible with %v",
+				l.name, b.Name, b.Shape(), b0.Shape())
+		}
+		l.channels = append(l.channels, b.Channels())
+		l.total += b.Channels()
+	}
+	top[0].Reshape(l.n, l.total, l.h, l.w)
+	return nil
+}
+
+// Forward implements Layer: one copy kernel per bottom.
+func (l *ConcatLayer) Forward(ctx *Context, bottom, top []*Blob) error {
+	hw := l.h * l.w
+	offset := 0
+	for bi, b := range bottom {
+		src := b.Data.Data()
+		dst := top[0].Data.Data()
+		c := l.channels[bi]
+		off := offset
+		k := kernels.AxpyKernel("concat_copy", fmt.Sprintf("%s/b%d", l.name, bi), b.Count(), func() {
+			for n := 0; n < l.n; n++ {
+				from := src[n*c*hw : (n+1)*c*hw]
+				to := dst[(n*l.total+off)*hw : (n*l.total+off+c)*hw]
+				copy(to, from)
+			}
+		})
+		if err := ctx.Dispatch(k, bi); err != nil {
+			return err
+		}
+		offset += c
+	}
+	return ctx.Barrier()
+}
+
+// Backward implements Layer: slices the top gradient back per bottom.
+func (l *ConcatLayer) Backward(ctx *Context, top []*Blob, propagate []bool, bottom []*Blob) error {
+	hw := l.h * l.w
+	offset := 0
+	for bi, b := range bottom {
+		c := l.channels[bi]
+		if !propagate[bi] {
+			offset += c
+			continue
+		}
+		dtop := top[0].Diff.Data()
+		dbot := b.Diff.Data()
+		off := offset
+		k := kernels.AxpyKernel("concat_slice", fmt.Sprintf("%s/b%d", l.name, bi), b.Count(), func() {
+			for n := 0; n < l.n; n++ {
+				from := dtop[(n*l.total+off)*hw : (n*l.total+off+c)*hw]
+				to := dbot[n*c*hw : (n+1)*c*hw]
+				for i, v := range from {
+					to[i] += v
+				}
+			}
+		})
+		if err := ctx.Dispatch(k, bi); err != nil {
+			return err
+		}
+		offset += c
+	}
+	return ctx.Barrier()
+}

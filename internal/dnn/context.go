@@ -1,0 +1,138 @@
+package dnn
+
+import (
+	"math/rand"
+
+	"repro/internal/simgpu"
+)
+
+// Phase distinguishes training from testing, like Caffe's phase (dropout and
+// accuracy behave differently).
+type Phase int
+
+// Phases.
+const (
+	Train Phase = iota
+	Test
+)
+
+// Launcher abstracts how kernels reach the device. The naive-Caffe path uses
+// SerialLauncher (everything on the default stream); GLP4NN's runtime
+// scheduler implements this interface with a concurrent stream pool.
+//
+// The chain argument groups dependent kernels: kernels sharing a chain id
+// (within one layer invocation) must execute in submission order, so a
+// launcher must route them to a single stream. Chain -1 denotes
+// synchronization-sensitive work that must go to the default stream.
+type Launcher interface {
+	// BeginLayer marks the start of a layer invocation; key is
+	// "<layer>/fwd" or "<layer>/bwd". GLP4NN's runtime scheduler keys its
+	// profiling and concurrency plans on it; simple launchers ignore it.
+	BeginLayer(key string)
+	// Launch dispatches one kernel on behalf of the given dependency chain.
+	Launch(k *simgpu.Kernel, chain int) error
+	// Sync is the inter-layer barrier: after it returns, every kernel
+	// launched so far is complete (in virtual time).
+	Sync() error
+	// Width returns the number of independent chains that can be in flight
+	// for the current layer (the stream-pool share); serial launchers
+	// return 1. Layers size their per-stream scratch buffers by it.
+	Width() int
+}
+
+// Uploader is optionally implemented by launchers that can model the
+// host→device copy of input batches (cudaMemcpyAsync in Caffe's data
+// layer). Net.UploadInputs uses it when present.
+type Uploader interface {
+	UploadBytes(n int64) error
+}
+
+// HostLauncher runs kernel closures directly with no device: the pure-math
+// path used by unit tests and non-simulated training.
+type HostLauncher struct{}
+
+// BeginLayer implements Launcher.
+func (HostLauncher) BeginLayer(string) {}
+
+// Launch implements Launcher.
+func (HostLauncher) Launch(k *simgpu.Kernel, _ int) error {
+	if k.Fn != nil {
+		k.Fn()
+	}
+	return nil
+}
+
+// Sync implements Launcher.
+func (HostLauncher) Sync() error { return nil }
+
+// Width implements Launcher.
+func (HostLauncher) Width() int { return 1 }
+
+// SerialLauncher is naive Caffe: every kernel on the device's default
+// stream. Sync is free because a single stream already serializes, exactly
+// like original Caffe, which never synchronizes between layers.
+type SerialLauncher struct {
+	Dev *simgpu.Device
+}
+
+// BeginLayer implements Launcher.
+func (SerialLauncher) BeginLayer(string) {}
+
+// Launch implements Launcher.
+func (l SerialLauncher) Launch(k *simgpu.Kernel, _ int) error {
+	return l.Dev.Launch(k, nil)
+}
+
+// Sync implements Launcher.
+func (l SerialLauncher) Sync() error { return nil }
+
+// UploadBytes implements Uploader: inputs copy over PCIe on the default
+// stream, exactly like Caffe's synchronous data layer.
+func (l SerialLauncher) UploadBytes(n int64) error {
+	return l.Dev.MemcpyHostToDevice(n, nil)
+}
+
+// Width implements Launcher.
+func (l SerialLauncher) Width() int { return 1 }
+
+// Context carries per-run execution state through Forward/Backward: the
+// launcher, the phase, the RNG (dropout masks, data-independent noise) and
+// whether kernel closures actually compute. Compute=false is the
+// timing-only mode used by large benchmark workloads (e.g. CaffeNet at
+// batch 256), where numerical outputs are irrelevant but the kernel stream
+// and its launch configurations must be exact.
+type Context struct {
+	L       Launcher
+	Phase   Phase
+	RNG     *rand.Rand
+	Compute bool
+}
+
+// NewContext builds a training-phase context over a launcher with real
+// computation enabled and a deterministic RNG.
+func NewContext(l Launcher, seed int64) *Context {
+	return &Context{L: l, Phase: Train, RNG: rand.New(rand.NewSource(seed)), Compute: true}
+}
+
+// Dispatch submits a kernel, honoring the Compute flag.
+func (c *Context) Dispatch(k *simgpu.Kernel, chain int) error {
+	if !c.Compute {
+		k.Fn = nil
+	}
+	return c.L.Launch(k, chain)
+}
+
+// Begin marks the start of a layer invocation for the launcher.
+func (c *Context) Begin(key string) { c.L.BeginLayer(key) }
+
+// Barrier is the layer-boundary synchronization.
+func (c *Context) Barrier() error { return c.L.Sync() }
+
+// Width returns the launcher's chain width.
+func (c *Context) Width() int {
+	w := c.L.Width()
+	if w < 1 {
+		return 1
+	}
+	return w
+}

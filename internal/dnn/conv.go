@@ -1,0 +1,293 @@
+package dnn
+
+import (
+	"fmt"
+
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+// ConvConfig is one convolution layer's geometry, matching the columns of
+// the paper's Table 5: C_o output maps, F_h×F_w filter, stride S, pad P.
+type ConvConfig struct {
+	NumOutput        int
+	KernelH, KernelW int
+	StrideH, StrideW int
+	PadH, PadW       int
+	Bias             bool
+	WeightFiller     tensor.Filler
+	BiasFiller       tensor.Filler
+	Seed             int64
+	// Engine selects the forward algorithm: "" or "im2col" for the GEMM
+	// path (Caffe's default), "winograd" for F(2×2,3×3) on 3×3 stride-1
+	// layers (backward always uses im2col).
+	Engine string
+}
+
+// Conv builds a square-kernel config (the common case in Table 5).
+func Conv(numOutput, kernel, stride, pad int) ConvConfig {
+	return ConvConfig{
+		NumOutput: numOutput,
+		KernelH:   kernel, KernelW: kernel,
+		StrideH: stride, StrideW: stride,
+		PadH: pad, PadW: pad,
+		Bias: true,
+	}
+}
+
+// ConvLayer is GEMM-based convolution computed image by image, exactly like
+// Caffe's GPU path: for each batch sample the layer launches im2col_gpu,
+// sgemm and (with bias) the K=1 gemmk kernel. Each sample's kernels form a
+// dependency chain; independent samples go to independent chains — the
+// batch-level parallelism GLP4NN exploits (the n-loop of the paper's
+// Algorithms 1 and 2).
+//
+// Weight/bias gradients are accumulated into per-chain partial buffers and
+// folded in fixed chain order after the batch, which is how a real
+// stream-parallel implementation avoids cross-stream races; the fold order
+// is deterministic, so training runs are reproducible for any pool width.
+type ConvLayer struct {
+	baseLayer
+	cfg ConvConfig
+
+	weight *Blob
+	bias   *Blob
+
+	geom tensor.ConvGeom
+	co   int // output channels
+	k    int // geom.ColRows()
+	p    int // geom.ColCols()
+
+	wino *winogradState // transformed filters for the winograd engine
+
+	colBufs  [][]float32 // per-chain im2col scratch
+	dcolBufs [][]float32 // per-chain backward scratch
+	partW    [][]float32 // per-chain weight-gradient partials
+	partB    [][]float32 // per-chain bias-gradient partials
+	onesP    []float32   // length p, for bias broadcast
+}
+
+// NewConv constructs a convolution layer.
+func NewConv(name string, cfg ConvConfig) *ConvLayer {
+	if cfg.WeightFiller == nil {
+		cfg.WeightFiller = tensor.XavierFiller{}
+	}
+	if cfg.BiasFiller == nil {
+		cfg.BiasFiller = tensor.ConstantFiller{Value: 0}
+	}
+	return &ConvLayer{baseLayer: baseLayer{name: name, typ: "Convolution"}, cfg: cfg}
+}
+
+// Geometry returns the layer's conv geometry (valid after Setup).
+func (l *ConvLayer) Geometry() tensor.ConvGeom { return l.geom }
+
+// Setup implements Layer.
+func (l *ConvLayer) Setup(ctx *Context, bottom, top []*Blob) error {
+	if len(bottom) != 1 || len(top) != 1 {
+		return fmt.Errorf("conv %s: want 1 bottom and 1 top, got %d/%d", l.name, len(bottom), len(top))
+	}
+	b := bottom[0]
+	if b.Data.NumDims() != 4 {
+		return fmt.Errorf("conv %s: bottom must be 4-D, got %v", l.name, b.Shape())
+	}
+	l.geom = tensor.ConvGeom{
+		Channels: b.Channels(),
+		Height:   b.Height(), Width: b.Width(),
+		KernelH: l.cfg.KernelH, KernelW: l.cfg.KernelW,
+		StrideH: l.cfg.StrideH, StrideW: l.cfg.StrideW,
+		PadH: l.cfg.PadH, PadW: l.cfg.PadW,
+	}
+	if l.geom.OutH() <= 0 || l.geom.OutW() <= 0 {
+		return fmt.Errorf("conv %s: empty output %dx%d", l.name, l.geom.OutH(), l.geom.OutW())
+	}
+	switch l.cfg.Engine {
+	case "", "im2col":
+	case "winograd":
+		if err := validateWinograd(l.name, l.cfg); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("conv %s: unknown engine %q", l.name, l.cfg.Engine)
+	}
+	l.co = l.cfg.NumOutput
+	l.k = l.geom.ColRows()
+	l.p = l.geom.ColCols()
+
+	rng := fillerRNG(l.cfg.Seed, l.name)
+	l.weight = NewBlob(l.name+".weight", l.co, b.Channels(), l.cfg.KernelH, l.cfg.KernelW)
+	l.cfg.WeightFiller.Fill(l.weight.Data, rng)
+	l.param = []*Blob{l.weight}
+	if l.cfg.Bias {
+		l.bias = NewBlob(l.name+".bias", l.co)
+		l.bias.LrMult, l.bias.DecayMult = 2, 0
+		l.cfg.BiasFiller.Fill(l.bias.Data, rng)
+		l.param = append(l.param, l.bias)
+	}
+
+	top[0].Reshape(b.Num(), l.co, l.geom.OutH(), l.geom.OutW())
+
+	l.onesP = make([]float32, l.p)
+	for i := range l.onesP {
+		l.onesP[i] = 1
+	}
+	return nil
+}
+
+// ensureScratch sizes the per-chain buffers for the launcher width.
+func (l *ConvLayer) ensureScratch(width int, backward bool) {
+	for len(l.colBufs) < width {
+		l.colBufs = append(l.colBufs, make([]float32, l.k*l.p))
+	}
+	if !backward {
+		return
+	}
+	for len(l.dcolBufs) < width {
+		l.dcolBufs = append(l.dcolBufs, make([]float32, l.k*l.p))
+	}
+	for len(l.partW) < width {
+		l.partW = append(l.partW, make([]float32, l.weight.Count()))
+	}
+	if l.bias != nil {
+		for len(l.partB) < width {
+			l.partB = append(l.partB, make([]float32, l.co))
+		}
+	}
+}
+
+// Forward implements Layer: per-image im2col → sgemm → gemmk chains (or
+// the Winograd transform chain when the engine is "winograd").
+func (l *ConvLayer) Forward(ctx *Context, bottom, top []*Blob) error {
+	if l.cfg.Engine == "winograd" {
+		return l.forwardWino(ctx, bottom, top)
+	}
+	width := ctx.Width()
+	l.ensureScratch(width, false)
+	n := bottom[0].Num()
+	for i := 0; i < n; i++ {
+		chain := i
+		buf := l.colBufs[i%width]
+		img := bottom[0].SampleData(i)
+		out := top[0].SampleData(i)
+		tag := fmt.Sprintf("%s/n%d", l.name, i)
+		if err := ctx.Dispatch(kernels.Im2col(tag, img, l.geom, buf), chain); err != nil {
+			return err
+		}
+		w := l.weight.Data.Data()
+		if err := ctx.Dispatch(kernels.Sgemm(tag, false, false, l.co, l.p, l.k, 1, w, buf, 0, out), chain); err != nil {
+			return err
+		}
+		if l.bias != nil {
+			if err := ctx.Dispatch(kernels.BiasGemm(tag, l.co, l.p, l.bias.Data.Data(), l.onesP, out), chain); err != nil {
+				return err
+			}
+		}
+	}
+	return ctx.Barrier()
+}
+
+// forwardWino dispatches the Winograd kernel chain per image. The filter
+// transform runs once per forward on the default stream (weights change
+// every iteration).
+func (l *ConvLayer) forwardWino(ctx *Context, bottom, top []*Blob) error {
+	ft := kernels.Elementwise("winograd_filter_tx", l.name, l.weight.Count(), 4*(9+16)/9, 28, func() {
+		l.prepareWinograd()
+	})
+	if err := ctx.Dispatch(ft, -1); err != nil {
+		return err
+	}
+	n := bottom[0].Num()
+	for i := 0; i < n; i++ {
+		img := bottom[0].SampleData(i)
+		out := top[0].SampleData(i)
+		tag := fmt.Sprintf("%s/n%d", l.name, i)
+		for _, k := range l.winogradKernels(tag, img, out) {
+			if err := ctx.Dispatch(k, i); err != nil {
+				return err
+			}
+		}
+	}
+	return ctx.Barrier()
+}
+
+// Backward implements Layer. Per image: recompute im2col, accumulate dW and
+// db into per-chain partials, compute dcol = Wᵀ·dTop and scatter with
+// col2im into the (disjoint) bottom diff slice. Partials fold on chain -1
+// (the default stream) after the batch barrier.
+func (l *ConvLayer) Backward(ctx *Context, top []*Blob, propagate []bool, bottom []*Blob) error {
+	width := ctx.Width()
+	l.ensureScratch(width, true)
+	if ctx.Compute {
+		for j := 0; j < width; j++ {
+			zero(l.partW[j])
+			if l.bias != nil {
+				zero(l.partB[j])
+			}
+		}
+	}
+	n := bottom[0].Num()
+	w := l.weight.Data.Data()
+	for i := 0; i < n; i++ {
+		chain := i
+		j := i % width
+		buf := l.colBufs[j]
+		img := bottom[0].SampleData(i)
+		dtop := top[0].SampleDiff(i)
+		tag := fmt.Sprintf("%s/n%d", l.name, i)
+
+		if err := ctx.Dispatch(kernels.Im2col(tag, img, l.geom, buf), chain); err != nil {
+			return err
+		}
+		// dW_j += dTop(Co×P) · colᵀ(P×K)
+		if err := ctx.Dispatch(kernels.Sgemm(tag, false, true, l.co, l.k, l.p, 1, dtop, buf, 1, l.partW[j]), chain); err != nil {
+			return err
+		}
+		if l.bias != nil {
+			db := l.partB[j]
+			co, p := l.co, l.p
+			if err := ctx.Dispatch(kernels.BiasBackward(tag, co, p, dtop, l.onesP, db), chain); err != nil {
+				return err
+			}
+		}
+		if propagate[0] {
+			dcol := l.dcolBufs[j]
+			if err := ctx.Dispatch(kernels.Sgemm(tag, true, false, l.k, l.p, l.co, 1, w, dtop, 0, dcol), chain); err != nil {
+				return err
+			}
+			dimg := bottom[0].SampleDiff(i)
+			if err := ctx.Dispatch(kernels.Col2im(tag, dcol, l.geom, dimg), chain); err != nil {
+				return err
+			}
+		}
+	}
+	if err := ctx.Barrier(); err != nil {
+		return err
+	}
+	// Deterministic fold of the per-chain partials, on the default stream.
+	dw := l.weight.Diff.Data()
+	for j := 0; j < width; j++ {
+		part := l.partW[j]
+		if err := ctx.Dispatch(kernels.AxpyKernel("axpy_fold_w", l.name, len(part), func() {
+			tensor.Axpy(1, part, dw)
+		}), -1); err != nil {
+			return err
+		}
+	}
+	if l.bias != nil {
+		db := l.bias.Diff.Data()
+		for j := 0; j < width; j++ {
+			part := l.partB[j]
+			if err := ctx.Dispatch(kernels.AxpyKernel("axpy_fold_b", l.name, len(part), func() {
+				tensor.Axpy(1, part, db)
+			}), -1); err != nil {
+				return err
+			}
+		}
+	}
+	return ctx.Barrier()
+}
+
+func zero(s []float32) {
+	for i := range s {
+		s[i] = 0
+	}
+}

@@ -1,0 +1,87 @@
+package dnn
+
+import (
+	"fmt"
+
+	"repro/internal/kernels"
+)
+
+// DropoutLayer implements inverted dropout: at train time each element is
+// zeroed with probability Ratio and survivors are scaled by 1/(1−Ratio); at
+// test time it is the identity. The mask is drawn from the context RNG, so
+// runs are reproducible for a fixed seed.
+type DropoutLayer struct {
+	baseLayer
+	ratio float32
+	mask  []float32
+}
+
+// NewDropout constructs a dropout layer with the given drop ratio.
+func NewDropout(name string, ratio float32) *DropoutLayer {
+	return &DropoutLayer{baseLayer: baseLayer{name: name, typ: "Dropout"}, ratio: ratio}
+}
+
+// Setup implements Layer.
+func (l *DropoutLayer) Setup(ctx *Context, bottom, top []*Blob) error {
+	if len(bottom) != 1 || len(top) != 1 {
+		return fmt.Errorf("dropout %s: want 1 bottom and 1 top", l.name)
+	}
+	if l.ratio < 0 || l.ratio >= 1 {
+		return fmt.Errorf("dropout %s: ratio %v outside [0,1)", l.name, l.ratio)
+	}
+	top[0].Reshape(bottom[0].Shape()...)
+	l.mask = make([]float32, bottom[0].Count())
+	return nil
+}
+
+// Forward implements Layer.
+func (l *DropoutLayer) Forward(ctx *Context, bottom, top []*Blob) error {
+	src := bottom[0].Data.Data()
+	dst := top[0].Data.Data()
+	scale := 1 / (1 - l.ratio)
+	phase := ctx.Phase
+	rng := ctx.RNG
+	k := kernels.Elementwise("dropout_fwd", l.name, len(src), 12, 2, func() {
+		if phase == Train {
+			for i := range src {
+				if rng.Float32() < l.ratio {
+					l.mask[i] = 0
+				} else {
+					l.mask[i] = scale
+				}
+				dst[i] = src[i] * l.mask[i]
+			}
+		} else {
+			copy(dst, src)
+		}
+	})
+	if err := ctx.Dispatch(k, 0); err != nil {
+		return err
+	}
+	return ctx.Barrier()
+}
+
+// Backward implements Layer.
+func (l *DropoutLayer) Backward(ctx *Context, top []*Blob, propagate []bool, bottom []*Blob) error {
+	if !propagate[0] {
+		return nil
+	}
+	dtop := top[0].Diff.Data()
+	dbot := bottom[0].Diff.Data()
+	phase := ctx.Phase
+	k := kernels.Elementwise("dropout_bwd", l.name, len(dtop), 12, 1, func() {
+		if phase == Train {
+			for i := range dtop {
+				dbot[i] += dtop[i] * l.mask[i]
+			}
+		} else {
+			for i := range dtop {
+				dbot[i] += dtop[i]
+			}
+		}
+	})
+	if err := ctx.Dispatch(k, 0); err != nil {
+		return err
+	}
+	return ctx.Barrier()
+}

@@ -1,0 +1,410 @@
+package dnn
+
+import (
+	"fmt"
+
+	"repro/internal/kernels"
+)
+
+// TanHLayer is the hyperbolic-tangent activation (LeNet's classic
+// nonlinearity; Caffe's TanH layer).
+type TanHLayer struct {
+	baseLayer
+}
+
+// NewTanH constructs a tanh layer.
+func NewTanH(name string) *TanHLayer {
+	return &TanHLayer{baseLayer{name: name, typ: "TanH"}}
+}
+
+// Setup implements Layer.
+func (l *TanHLayer) Setup(ctx *Context, bottom, top []*Blob) error {
+	if len(bottom) != 1 || len(top) != 1 {
+		return fmt.Errorf("tanh %s: want 1 bottom and 1 top", l.name)
+	}
+	top[0].Reshape(bottom[0].Shape()...)
+	return nil
+}
+
+// Forward implements Layer.
+func (l *TanHLayer) Forward(ctx *Context, bottom, top []*Blob) error {
+	src := bottom[0].Data.Data()
+	dst := top[0].Data.Data()
+	k := kernels.Elementwise("tanh_fwd", l.name, len(src), 8, 6, func() {
+		for i, v := range src {
+			dst[i] = tanh32(v)
+		}
+	})
+	if err := ctx.Dispatch(k, 0); err != nil {
+		return err
+	}
+	return ctx.Barrier()
+}
+
+// Backward implements Layer: dx += dy·(1 − y²).
+func (l *TanHLayer) Backward(ctx *Context, top []*Blob, propagate []bool, bottom []*Blob) error {
+	if !propagate[0] {
+		return nil
+	}
+	y := top[0].Data.Data()
+	dy := top[0].Diff.Data()
+	dx := bottom[0].Diff.Data()
+	k := kernels.Elementwise("tanh_bwd", l.name, len(y), 12, 3, func() {
+		for i, v := range y {
+			dx[i] += dy[i] * (1 - v*v)
+		}
+	})
+	if err := ctx.Dispatch(k, 0); err != nil {
+		return err
+	}
+	return ctx.Barrier()
+}
+
+// ELULayer is the exponential linear unit (Caffe's ELU layer):
+// y = x for x > 0, α(eˣ−1) otherwise.
+type ELULayer struct {
+	baseLayer
+	alpha float32
+}
+
+// NewELU constructs an ELU layer; alpha ≤ 0 defaults to 1.
+func NewELU(name string, alpha float32) *ELULayer {
+	if alpha <= 0 {
+		alpha = 1
+	}
+	return &ELULayer{baseLayer: baseLayer{name: name, typ: "ELU"}, alpha: alpha}
+}
+
+// Setup implements Layer.
+func (l *ELULayer) Setup(ctx *Context, bottom, top []*Blob) error {
+	if len(bottom) != 1 || len(top) != 1 {
+		return fmt.Errorf("elu %s: want 1 bottom and 1 top", l.name)
+	}
+	top[0].Reshape(bottom[0].Shape()...)
+	return nil
+}
+
+// Forward implements Layer.
+func (l *ELULayer) Forward(ctx *Context, bottom, top []*Blob) error {
+	src := bottom[0].Data.Data()
+	dst := top[0].Data.Data()
+	alpha := l.alpha
+	k := kernels.Elementwise("elu_fwd", l.name, len(src), 8, 4, func() {
+		for i, v := range src {
+			if v > 0 {
+				dst[i] = v
+			} else {
+				dst[i] = alpha * (exp32(v) - 1)
+			}
+		}
+	})
+	if err := ctx.Dispatch(k, 0); err != nil {
+		return err
+	}
+	return ctx.Barrier()
+}
+
+// Backward implements Layer: dx += dy for x > 0, dy·(y + α) otherwise.
+func (l *ELULayer) Backward(ctx *Context, top []*Blob, propagate []bool, bottom []*Blob) error {
+	if !propagate[0] {
+		return nil
+	}
+	x := bottom[0].Data.Data()
+	y := top[0].Data.Data()
+	dy := top[0].Diff.Data()
+	dx := bottom[0].Diff.Data()
+	alpha := l.alpha
+	k := kernels.Elementwise("elu_bwd", l.name, len(x), 16, 3, func() {
+		for i, v := range x {
+			if v > 0 {
+				dx[i] += dy[i]
+			} else {
+				dx[i] += dy[i] * (y[i] + alpha)
+			}
+		}
+	})
+	if err := ctx.Dispatch(k, 0); err != nil {
+		return err
+	}
+	return ctx.Barrier()
+}
+
+// SoftmaxLayer is the standalone (non-loss) softmax over each sample's
+// channel axis, like Caffe's Softmax layer (used in inference heads).
+type SoftmaxLayer struct {
+	baseLayer
+	n, c int
+}
+
+// NewSoftmax constructs a standalone softmax layer.
+func NewSoftmax(name string) *SoftmaxLayer {
+	return &SoftmaxLayer{baseLayer: baseLayer{name: name, typ: "Softmax"}}
+}
+
+// Setup implements Layer.
+func (l *SoftmaxLayer) Setup(ctx *Context, bottom, top []*Blob) error {
+	if len(bottom) != 1 || len(top) != 1 {
+		return fmt.Errorf("softmax %s: want 1 bottom and 1 top", l.name)
+	}
+	l.n = bottom[0].Num()
+	l.c = bottom[0].SampleSize()
+	top[0].Reshape(bottom[0].Shape()...)
+	return nil
+}
+
+// Forward implements Layer.
+func (l *SoftmaxLayer) Forward(ctx *Context, bottom, top []*Blob) error {
+	src := bottom[0].Data.Data()
+	dst := top[0].Data.Data()
+	k := kernels.Elementwise("softmax_fwd", l.name, len(src), 12, 6, func() {
+		for i := 0; i < l.n; i++ {
+			row := src[i*l.c : (i+1)*l.c]
+			out := dst[i*l.c : (i+1)*l.c]
+			m := row[0]
+			for _, v := range row {
+				if v > m {
+					m = v
+				}
+			}
+			sum := float32(0)
+			for j, v := range row {
+				e := exp32(v - m)
+				out[j] = e
+				sum += e
+			}
+			inv := 1 / sum
+			for j := range out {
+				out[j] *= inv
+			}
+		}
+	})
+	if err := ctx.Dispatch(k, 0); err != nil {
+		return err
+	}
+	return ctx.Barrier()
+}
+
+// Backward implements Layer: dx_j += y_j·(dy_j − Σ_k dy_k·y_k).
+func (l *SoftmaxLayer) Backward(ctx *Context, top []*Blob, propagate []bool, bottom []*Blob) error {
+	if !propagate[0] {
+		return nil
+	}
+	y := top[0].Data.Data()
+	dy := top[0].Diff.Data()
+	dx := bottom[0].Diff.Data()
+	k := kernels.Elementwise("softmax_bwd", l.name, len(y), 16, 4, func() {
+		for i := 0; i < l.n; i++ {
+			base := i * l.c
+			dot := float32(0)
+			for j := 0; j < l.c; j++ {
+				dot += dy[base+j] * y[base+j]
+			}
+			for j := 0; j < l.c; j++ {
+				dx[base+j] += y[base+j] * (dy[base+j] - dot)
+			}
+		}
+	})
+	if err := ctx.Dispatch(k, 0); err != nil {
+		return err
+	}
+	return ctx.Barrier()
+}
+
+// EltwiseOp selects the Eltwise layer's operation.
+type EltwiseOp int
+
+// Eltwise operations (Caffe supports PROD, SUM, MAX).
+const (
+	EltwiseSum EltwiseOp = iota
+	EltwiseProd
+	EltwiseMax
+)
+
+// EltwiseLayer combines same-shaped bottoms element-wise — the residual-sum
+// building block.
+type EltwiseLayer struct {
+	baseLayer
+	op     EltwiseOp
+	coeffs []float32 // SUM only; nil = all ones
+	argmax []int32   // MAX backward routing
+}
+
+// NewEltwise constructs an eltwise layer; coeffs applies to SUM only.
+func NewEltwise(name string, op EltwiseOp, coeffs []float32) *EltwiseLayer {
+	return &EltwiseLayer{baseLayer: baseLayer{name: name, typ: "Eltwise"}, op: op, coeffs: coeffs}
+}
+
+// Setup implements Layer.
+func (l *EltwiseLayer) Setup(ctx *Context, bottom, top []*Blob) error {
+	if len(bottom) < 2 || len(top) != 1 {
+		return fmt.Errorf("eltwise %s: want ≥2 bottoms and 1 top", l.name)
+	}
+	for _, b := range bottom[1:] {
+		if b.Count() != bottom[0].Count() {
+			return fmt.Errorf("eltwise %s: bottom size mismatch", l.name)
+		}
+	}
+	if l.coeffs != nil && len(l.coeffs) != len(bottom) {
+		return fmt.Errorf("eltwise %s: %d coeffs for %d bottoms", l.name, len(l.coeffs), len(bottom))
+	}
+	top[0].Reshape(bottom[0].Shape()...)
+	if l.op == EltwiseMax {
+		l.argmax = make([]int32, bottom[0].Count())
+	}
+	return nil
+}
+
+func (l *EltwiseLayer) coeff(i int) float32 {
+	if l.coeffs == nil {
+		return 1
+	}
+	return l.coeffs[i]
+}
+
+// Forward implements Layer.
+func (l *EltwiseLayer) Forward(ctx *Context, bottom, top []*Blob) error {
+	dst := top[0].Data.Data()
+	srcs := make([][]float32, len(bottom))
+	for i, b := range bottom {
+		srcs[i] = b.Data.Data()
+	}
+	k := kernels.Elementwise("eltwise_fwd", l.name, len(dst)*len(bottom), 8, 2, func() {
+		switch l.op {
+		case EltwiseSum:
+			for j := range dst {
+				s := float32(0)
+				for i, src := range srcs {
+					s += l.coeff(i) * src[j]
+				}
+				dst[j] = s
+			}
+		case EltwiseProd:
+			for j := range dst {
+				p := float32(1)
+				for _, src := range srcs {
+					p *= src[j]
+				}
+				dst[j] = p
+			}
+		case EltwiseMax:
+			for j := range dst {
+				best := srcs[0][j]
+				arg := int32(0)
+				for i := 1; i < len(srcs); i++ {
+					if srcs[i][j] > best {
+						best = srcs[i][j]
+						arg = int32(i)
+					}
+				}
+				dst[j] = best
+				l.argmax[j] = arg
+			}
+		}
+	})
+	if err := ctx.Dispatch(k, 0); err != nil {
+		return err
+	}
+	return ctx.Barrier()
+}
+
+// Backward implements Layer.
+func (l *EltwiseLayer) Backward(ctx *Context, top []*Blob, propagate []bool, bottom []*Blob) error {
+	dy := top[0].Diff.Data()
+	y := top[0].Data.Data()
+	srcs := make([][]float32, len(bottom))
+	for i, b := range bottom {
+		srcs[i] = b.Data.Data()
+	}
+	for bi := range bottom {
+		if !propagate[bi] {
+			continue
+		}
+		dx := bottom[bi].Diff.Data()
+		bi := bi
+		k := kernels.Elementwise("eltwise_bwd", l.name, len(dy), 12, 2, func() {
+			switch l.op {
+			case EltwiseSum:
+				c := l.coeff(bi)
+				for j, g := range dy {
+					dx[j] += c * g
+				}
+			case EltwiseProd:
+				for j, g := range dy {
+					v := srcs[bi][j]
+					if v != 0 {
+						dx[j] += g * y[j] / v
+					} else {
+						// recompute the product of the others
+						p := float32(1)
+						for oi, src := range srcs {
+							if oi != bi {
+								p *= src[j]
+							}
+						}
+						dx[j] += g * p
+					}
+				}
+			case EltwiseMax:
+				for j, g := range dy {
+					if l.argmax[j] == int32(bi) {
+						dx[j] += g
+					}
+				}
+			}
+		})
+		if err := ctx.Dispatch(k, bi); err != nil {
+			return err
+		}
+	}
+	return ctx.Barrier()
+}
+
+// FlattenLayer reshapes (N, C, H, W) to (N, C·H·W) — a pure view layer, one
+// copy kernel each way (Caffe shares data; we keep the no-in-place
+// invariant).
+type FlattenLayer struct {
+	baseLayer
+}
+
+// NewFlatten constructs a flatten layer.
+func NewFlatten(name string) *FlattenLayer {
+	return &FlattenLayer{baseLayer{name: name, typ: "Flatten"}}
+}
+
+// Setup implements Layer.
+func (l *FlattenLayer) Setup(ctx *Context, bottom, top []*Blob) error {
+	if len(bottom) != 1 || len(top) != 1 {
+		return fmt.Errorf("flatten %s: want 1 bottom and 1 top", l.name)
+	}
+	top[0].Reshape(bottom[0].Num(), bottom[0].SampleSize())
+	return nil
+}
+
+// Forward implements Layer.
+func (l *FlattenLayer) Forward(ctx *Context, bottom, top []*Blob) error {
+	src := bottom[0].Data.Data()
+	dst := top[0].Data.Data()
+	k := kernels.AxpyKernel("flatten_fwd", l.name, len(src), func() { copy(dst, src) })
+	if err := ctx.Dispatch(k, 0); err != nil {
+		return err
+	}
+	return ctx.Barrier()
+}
+
+// Backward implements Layer.
+func (l *FlattenLayer) Backward(ctx *Context, top []*Blob, propagate []bool, bottom []*Blob) error {
+	if !propagate[0] {
+		return nil
+	}
+	dy := top[0].Diff.Data()
+	dx := bottom[0].Diff.Data()
+	k := kernels.AxpyKernel("flatten_bwd", l.name, len(dy), func() {
+		for i, v := range dy {
+			dx[i] += v
+		}
+	})
+	if err := ctx.Dispatch(k, 0); err != nil {
+		return err
+	}
+	return ctx.Barrier()
+}

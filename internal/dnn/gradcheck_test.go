@@ -1,0 +1,310 @@
+package dnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// gradCheck verifies a layer's Backward against central finite differences
+// of its Forward. J = Σ w⊙top for random w; dJ/dbottom and dJ/dparams are
+// compared at sampled coordinates. float32 forward math limits precision,
+// so eps and tolerances are chosen accordingly.
+func gradCheck(t *testing.T, l Layer, bottoms []*Blob, nTops int, checkBottom []bool, seed int64) {
+	t.Helper()
+	ctx := NewContext(HostLauncher{}, seed)
+	rng := rand.New(rand.NewSource(seed))
+
+	tops := make([]*Blob, nTops)
+	for i := range tops {
+		tops[i] = NewBlob("top")
+	}
+	if err := l.Setup(ctx, bottoms, tops); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+
+	if err := l.Forward(ctx, bottoms, tops); err != nil {
+		t.Fatalf("forward: %v", err)
+	}
+
+	// Random objective weights over all tops. Loss layers apply their own
+	// loss weight in Backward and ignore top.Diff, so for them the
+	// objective is exactly LossWeight()·top[0].
+	ws := make([][]float32, nTops)
+	if ll, isLoss := l.(LossLayer); isLoss {
+		ws[0] = []float32{ll.LossWeight()}
+	} else {
+		for ti, top := range tops {
+			ws[ti] = make([]float32, top.Count())
+			for i := range ws[ti] {
+				ws[ti][i] = float32(rng.NormFloat64())
+			}
+		}
+	}
+
+	objective := func() float64 {
+		if err := l.Forward(ctx, bottoms, tops); err != nil {
+			t.Fatalf("forward: %v", err)
+		}
+		j := 0.0
+		for ti, top := range tops {
+			d := top.Data.Data()
+			for i, w := range ws[ti] {
+				j += float64(w) * float64(d[i])
+			}
+		}
+		return j
+	}
+	objective() // establish baseline state (masks, caches)
+
+	// Analytic gradients.
+	for _, b := range bottoms {
+		b.ZeroDiff()
+	}
+	for _, p := range l.Params() {
+		p.ZeroDiff()
+	}
+	prop := checkBottom
+	if prop == nil {
+		prop = make([]bool, len(bottoms))
+		for i := range prop {
+			prop[i] = true
+		}
+	}
+	for ti, top := range tops {
+		copy(top.Diff.Data(), ws[ti])
+	}
+	if err := l.Backward(ctx, tops, prop, bottoms); err != nil {
+		t.Fatalf("backward: %v", err)
+	}
+
+	const eps = 1e-2
+	check := func(label string, data []float32, grad []float32) {
+		t.Helper()
+		idxs := sampleIndices(rng, len(data), 24)
+		for _, i := range idxs {
+			orig := data[i]
+			data[i] = orig + eps
+			jp := objective()
+			data[i] = orig - eps
+			jm := objective()
+			data[i] = orig
+			num := (jp - jm) / (2 * eps)
+			got := float64(grad[i])
+			scale := math.Max(1, math.Max(math.Abs(num), math.Abs(got)))
+			if math.Abs(num-got)/scale > 4e-2 {
+				t.Errorf("%s[%d]: analytic %.6g vs numeric %.6g", label, i, got, num)
+			}
+		}
+	}
+
+	for bi, b := range bottoms {
+		if !prop[bi] {
+			continue
+		}
+		check("bottom"+itoa(bi), b.Data.Data(), b.Diff.Data())
+	}
+	for pi, p := range l.Params() {
+		check("param"+itoa(pi), p.Data.Data(), p.Diff.Data())
+	}
+}
+
+func itoa(i int) string { return string(rune('0' + i)) }
+
+func sampleIndices(rng *rand.Rand, n, k int) []int {
+	if n <= k {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	seen := map[int]bool{}
+	var out []int
+	for len(out) < k {
+		i := rng.Intn(n)
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func randBlob(name string, seed int64, shape ...int) *Blob {
+	b := NewBlob(name, shape...)
+	tensor.GaussianFiller{Std: 1}.Fill(b.Data, rand.New(rand.NewSource(seed)))
+	return b
+}
+
+func labelBlob(name string, classes int, seed int64, n int) *Blob {
+	b := NewBlob(name, n)
+	rng := rand.New(rand.NewSource(seed))
+	d := b.Data.Data()
+	for i := range d {
+		d[i] = float32(rng.Intn(classes))
+	}
+	return b
+}
+
+func TestConvGradients(t *testing.T) {
+	cfg := Conv(4, 3, 1, 1)
+	cfg.Seed = 7
+	l := NewConv("conv", cfg)
+	bottom := randBlob("data", 1, 2, 3, 6, 5)
+	gradCheck(t, l, []*Blob{bottom}, 1, nil, 42)
+}
+
+func TestConvGradientsStrided(t *testing.T) {
+	cfg := ConvConfig{NumOutput: 3, KernelH: 3, KernelW: 2, StrideH: 2, StrideW: 1, PadH: 0, PadW: 1, Bias: true, Seed: 9}
+	l := NewConv("conv-s", cfg)
+	bottom := randBlob("data", 2, 2, 2, 7, 6)
+	gradCheck(t, l, []*Blob{bottom}, 1, nil, 43)
+}
+
+func TestConvGradientsNoBias(t *testing.T) {
+	cfg := Conv(2, 3, 1, 0)
+	cfg.Bias = false
+	cfg.Seed = 3
+	l := NewConv("conv-nb", cfg)
+	bottom := randBlob("data", 3, 2, 1, 5, 5)
+	gradCheck(t, l, []*Blob{bottom}, 1, nil, 44)
+}
+
+func TestMaxPoolGradients(t *testing.T) {
+	l := NewPool("pool", Pool(MaxPool, 2, 2))
+	bottom := randBlob("data", 4, 2, 3, 6, 6)
+	gradCheck(t, l, []*Blob{bottom}, 1, nil, 45)
+}
+
+func TestAvePoolGradients(t *testing.T) {
+	cfg := Pool(AvePool, 3, 2)
+	l := NewPool("pool", cfg)
+	bottom := randBlob("data", 5, 2, 2, 7, 7)
+	gradCheck(t, l, []*Blob{bottom}, 1, nil, 46)
+}
+
+func TestReLUGradients(t *testing.T) {
+	l := NewReLU("relu")
+	bottom := randBlob("data", 6, 2, 3, 4, 4)
+	// Nudge values away from the kink at 0 so finite differences are valid.
+	d := bottom.Data.Data()
+	for i, v := range d {
+		if v > -0.05 && v < 0.05 {
+			d[i] = 0.1
+		}
+	}
+	gradCheck(t, l, []*Blob{bottom}, 1, nil, 47)
+}
+
+func TestSigmoidGradients(t *testing.T) {
+	l := NewSigmoid("sig")
+	bottom := randBlob("data", 7, 2, 5)
+	gradCheck(t, l, []*Blob{bottom}, 1, nil, 48)
+}
+
+func TestLRNGradients(t *testing.T) {
+	l := NewLRN("lrn", LRNConfig{LocalSize: 3, Alpha: 0.05, Beta: 0.75, K: 1})
+	bottom := randBlob("data", 8, 2, 5, 3, 3)
+	gradCheck(t, l, []*Blob{bottom}, 1, nil, 49)
+}
+
+func TestIPGradients(t *testing.T) {
+	cfg := IP(5)
+	cfg.Seed = 11
+	l := NewIP("ip", cfg)
+	bottom := randBlob("data", 9, 3, 7)
+	gradCheck(t, l, []*Blob{bottom}, 1, nil, 50)
+}
+
+func TestSoftmaxLossGradients(t *testing.T) {
+	l := NewSoftmaxLoss("loss")
+	scores := randBlob("scores", 10, 4, 5)
+	labels := labelBlob("labels", 5, 10, 4)
+	gradCheck(t, l, []*Blob{scores, labels}, 1, []bool{true, false}, 51)
+}
+
+func TestEuclideanLossGradients(t *testing.T) {
+	l := NewEuclideanLoss("loss")
+	a := randBlob("a", 12, 3, 6)
+	b := randBlob("b", 13, 3, 6)
+	gradCheck(t, l, []*Blob{a, b}, 1, []bool{true, true}, 52)
+}
+
+func TestContrastiveLossGradients(t *testing.T) {
+	l := NewContrastiveLoss("closs", 1)
+	a := randBlob("f1", 14, 4, 3)
+	b := randBlob("f2", 15, 4, 3)
+	sim := NewBlob("sim", 4)
+	sim.Data.Data()[0] = 1
+	sim.Data.Data()[2] = 1
+	gradCheck(t, l, []*Blob{a, b, sim}, 1, []bool{true, true, false}, 53)
+}
+
+func TestConcatGradients(t *testing.T) {
+	l := NewConcat("cat")
+	a := randBlob("a", 16, 2, 2, 3, 3)
+	b := randBlob("b", 17, 2, 3, 3, 3)
+	gradCheck(t, l, []*Blob{a, b}, 1, nil, 54)
+}
+
+func TestTanHGradients(t *testing.T) {
+	l := NewTanH("tanh")
+	bottom := randBlob("data", 18, 3, 7)
+	gradCheck(t, l, []*Blob{bottom}, 1, nil, 60)
+}
+
+func TestELUGradients(t *testing.T) {
+	l := NewELU("elu", 0.7)
+	bottom := randBlob("data", 19, 2, 9)
+	// Keep values off the kink at 0 for finite differences.
+	d := bottom.Data.Data()
+	for i, v := range d {
+		if v > -0.05 && v < 0.05 {
+			d[i] = 0.2
+		}
+	}
+	gradCheck(t, l, []*Blob{bottom}, 1, nil, 61)
+}
+
+func TestSoftmaxLayerGradients(t *testing.T) {
+	l := NewSoftmax("sm")
+	bottom := randBlob("data", 20, 3, 6)
+	gradCheck(t, l, []*Blob{bottom}, 1, nil, 62)
+}
+
+func TestEltwiseSumGradients(t *testing.T) {
+	l := NewEltwise("sum", EltwiseSum, []float32{1.5, -0.5})
+	a := randBlob("a", 21, 2, 8)
+	b := randBlob("b", 22, 2, 8)
+	gradCheck(t, l, []*Blob{a, b}, 1, nil, 63)
+}
+
+func TestEltwiseProdGradients(t *testing.T) {
+	l := NewEltwise("prod", EltwiseProd, nil)
+	a := randBlob("a", 23, 2, 5)
+	b := randBlob("b", 24, 2, 5)
+	gradCheck(t, l, []*Blob{a, b}, 1, nil, 64)
+}
+
+func TestEltwiseMaxGradients(t *testing.T) {
+	l := NewEltwise("max", EltwiseMax, nil)
+	a := randBlob("a", 25, 2, 10)
+	b := randBlob("b", 26, 2, 10)
+	// Separate the branches so finite differences stay on one side.
+	da, db := a.Data.Data(), b.Data.Data()
+	for i := range da {
+		if diff := da[i] - db[i]; diff > -0.1 && diff < 0.1 {
+			da[i] += 0.3
+		}
+	}
+	gradCheck(t, l, []*Blob{a, b}, 1, nil, 65)
+}
+
+func TestFlattenGradients(t *testing.T) {
+	l := NewFlatten("flat")
+	bottom := randBlob("data", 27, 2, 3, 4, 5)
+	gradCheck(t, l, []*Blob{bottom}, 1, nil, 66)
+}

@@ -1,0 +1,51 @@
+package dnn
+
+import "math/rand"
+
+// Layer is the Caffe layer contract. Setup runs once with the bottom shapes
+// known and must shape the top blobs and allocate parameters; Forward and
+// Backward may be called repeatedly.
+//
+// Gradient convention: Backward ACCUMULATES (+=) into bottom diffs and
+// parameter diffs; the Net zeroes all diffs at the start of each iteration.
+// Accumulation is what makes fan-out (one blob consumed by several layers,
+// as in the GoogLeNet inception slice) correct without explicit split
+// layers.
+type Layer interface {
+	Name() string
+	Type() string
+	Setup(ctx *Context, bottom, top []*Blob) error
+	Forward(ctx *Context, bottom, top []*Blob) error
+	Backward(ctx *Context, top []*Blob, propagate []bool, bottom []*Blob) error
+	// Params returns the layer's learnable blobs (possibly empty).
+	Params() []*Blob
+}
+
+// LossLayer is implemented by layers that produce a scalar loss in top[0];
+// the Net weighs their outputs into the global objective.
+type LossLayer interface {
+	Layer
+	LossWeight() float32
+}
+
+// baseLayer holds the common name/type plumbing.
+type baseLayer struct {
+	name  string
+	typ   string
+	param []*Blob
+}
+
+func (b *baseLayer) Name() string    { return b.name }
+func (b *baseLayer) Type() string    { return b.typ }
+func (b *baseLayer) Params() []*Blob { return b.param }
+
+// fillerRNG derives a deterministic per-layer RNG so parameter
+// initialization does not depend on layer execution order elsewhere.
+func fillerRNG(seed int64, layerName string) *rand.Rand {
+	h := int64(1469598103934665603) // FNV-1a 64 offset basis
+	for _, c := range layerName {
+		h ^= int64(c)
+		h *= 1099511628211
+	}
+	return rand.New(rand.NewSource(seed ^ h))
+}

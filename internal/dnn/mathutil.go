@@ -1,0 +1,20 @@
+package dnn
+
+import "math"
+
+func exp32(x float32) float32 { return float32(math.Exp(float64(x))) }
+
+func tanh32(x float32) float32 { return float32(math.Tanh(float64(x))) }
+
+func log32(x float32) float32 { return float32(math.Log(float64(x))) }
+
+func pow32(x, y float32) float32 { return float32(math.Pow(float64(x), float64(y))) }
+
+func sqrt32(x float32) float32 { return float32(math.Sqrt(float64(x))) }
+
+func max32(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}

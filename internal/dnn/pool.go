@@ -1,0 +1,201 @@
+package dnn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/kernels"
+)
+
+// PoolMethod selects max or average pooling.
+type PoolMethod int
+
+// Pooling methods.
+const (
+	MaxPool PoolMethod = iota
+	AvePool
+)
+
+// PoolConfig describes a pooling layer.
+type PoolConfig struct {
+	Method           PoolMethod
+	KernelH, KernelW int
+	StrideH, StrideW int
+	PadH, PadW       int
+}
+
+// Pool builds a square pooling config.
+func Pool(method PoolMethod, kernel, stride int) PoolConfig {
+	return PoolConfig{Method: method, KernelH: kernel, KernelW: kernel, StrideH: stride, StrideW: stride}
+}
+
+// PoolLayer pools spatially. Like Caffe's GPU pooling it is one kernel over
+// the whole batch (pooling is cheap and memory-bound, so Caffe never splits
+// it; GLP4NN leaves such layers untouched).
+type PoolLayer struct {
+	baseLayer
+	cfg PoolConfig
+
+	n, c, h, w, oh, ow int
+	mask               []int32 // argmax indices for MaxPool backward
+}
+
+// NewPool constructs a pooling layer.
+func NewPool(name string, cfg PoolConfig) *PoolLayer {
+	return &PoolLayer{baseLayer: baseLayer{name: name, typ: "Pooling"}, cfg: cfg}
+}
+
+// Setup implements Layer. Caffe uses ceil division for pooled dims.
+func (l *PoolLayer) Setup(ctx *Context, bottom, top []*Blob) error {
+	if len(bottom) != 1 || len(top) != 1 {
+		return fmt.Errorf("pool %s: want 1 bottom and 1 top", l.name)
+	}
+	b := bottom[0]
+	l.n, l.c, l.h, l.w = b.Num(), b.Channels(), b.Height(), b.Width()
+	l.oh = int(math.Ceil(float64(l.h+2*l.cfg.PadH-l.cfg.KernelH)/float64(l.cfg.StrideH))) + 1
+	l.ow = int(math.Ceil(float64(l.w+2*l.cfg.PadW-l.cfg.KernelW)/float64(l.cfg.StrideW))) + 1
+	if l.oh <= 0 || l.ow <= 0 {
+		return fmt.Errorf("pool %s: empty output", l.name)
+	}
+	top[0].Reshape(l.n, l.c, l.oh, l.ow)
+	if l.cfg.Method == MaxPool {
+		l.mask = make([]int32, top[0].Count())
+	}
+	return nil
+}
+
+// Forward implements Layer.
+func (l *PoolLayer) Forward(ctx *Context, bottom, top []*Blob) error {
+	nOut := top[0].Count()
+	window := float64(l.cfg.KernelH * l.cfg.KernelW)
+	name := "maxpool_fwd"
+	if l.cfg.Method == AvePool {
+		name = "avepool_fwd"
+	}
+	src := bottom[0].Data.Data()
+	dst := top[0].Data.Data()
+	k := kernels.Elementwise(name, l.name, nOut, 4*(window+1), window, func() {
+		l.forwardHost(src, dst)
+	})
+	if err := ctx.Dispatch(k, 0); err != nil {
+		return err
+	}
+	return ctx.Barrier()
+}
+
+func (l *PoolLayer) forwardHost(src, dst []float32) {
+	kh, kw := l.cfg.KernelH, l.cfg.KernelW
+	sh, sw := l.cfg.StrideH, l.cfg.StrideW
+	ph, pw := l.cfg.PadH, l.cfg.PadW
+	idx := 0
+	for nc := 0; nc < l.n*l.c; nc++ {
+		plane := src[nc*l.h*l.w:]
+		for y := 0; y < l.oh; y++ {
+			for x := 0; x < l.ow; x++ {
+				y0, x0 := y*sh-ph, x*sw-pw
+				y1, x1 := y0+kh, x0+kw
+				if y0 < 0 {
+					y0 = 0
+				}
+				if x0 < 0 {
+					x0 = 0
+				}
+				if y1 > l.h {
+					y1 = l.h
+				}
+				if x1 > l.w {
+					x1 = l.w
+				}
+				if l.cfg.Method == MaxPool {
+					best := float32(math.Inf(-1))
+					bestAt := int32(-1)
+					for yy := y0; yy < y1; yy++ {
+						for xx := x0; xx < x1; xx++ {
+							v := plane[yy*l.w+xx]
+							if v > best {
+								best = v
+								bestAt = int32(yy*l.w + xx)
+							}
+						}
+					}
+					dst[idx] = best
+					l.mask[idx] = bestAt
+				} else {
+					s := float32(0)
+					for yy := y0; yy < y1; yy++ {
+						for xx := x0; xx < x1; xx++ {
+							s += plane[yy*l.w+xx]
+						}
+					}
+					// Caffe averages over the full (padded) window size.
+					dst[idx] = s / float32(kh*kw)
+				}
+				idx++
+			}
+		}
+	}
+}
+
+// Backward implements Layer.
+func (l *PoolLayer) Backward(ctx *Context, top []*Blob, propagate []bool, bottom []*Blob) error {
+	if !propagate[0] {
+		return nil
+	}
+	nOut := top[0].Count()
+	window := float64(l.cfg.KernelH * l.cfg.KernelW)
+	name := "maxpool_bwd"
+	if l.cfg.Method == AvePool {
+		name = "avepool_bwd"
+	}
+	dtop := top[0].Diff.Data()
+	dbot := bottom[0].Diff.Data()
+	k := kernels.Elementwise(name, l.name, nOut, 4*(window+1), window, func() {
+		l.backwardHost(dtop, dbot)
+	})
+	if err := ctx.Dispatch(k, 0); err != nil {
+		return err
+	}
+	return ctx.Barrier()
+}
+
+func (l *PoolLayer) backwardHost(dtop, dbot []float32) {
+	kh, kw := l.cfg.KernelH, l.cfg.KernelW
+	sh, sw := l.cfg.StrideH, l.cfg.StrideW
+	ph, pw := l.cfg.PadH, l.cfg.PadW
+	idx := 0
+	for nc := 0; nc < l.n*l.c; nc++ {
+		plane := dbot[nc*l.h*l.w:]
+		for y := 0; y < l.oh; y++ {
+			for x := 0; x < l.ow; x++ {
+				g := dtop[idx]
+				if l.cfg.Method == MaxPool {
+					if at := l.mask[idx]; at >= 0 {
+						plane[at] += g
+					}
+				} else {
+					y0, x0 := y*sh-ph, x*sw-pw
+					y1, x1 := y0+kh, x0+kw
+					if y0 < 0 {
+						y0 = 0
+					}
+					if x0 < 0 {
+						x0 = 0
+					}
+					if y1 > l.h {
+						y1 = l.h
+					}
+					if x1 > l.w {
+						x1 = l.w
+					}
+					share := g / float32(kh*kw)
+					for yy := y0; yy < y1; yy++ {
+						for xx := x0; xx < x1; xx++ {
+							plane[yy*l.w+xx] += share
+						}
+					}
+				}
+				idx++
+			}
+		}
+	}
+}

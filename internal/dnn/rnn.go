@@ -1,0 +1,229 @@
+package dnn
+
+import (
+	"fmt"
+
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+// RNNConfig parameterizes a vanilla (Elman) recurrent layer.
+type RNNConfig struct {
+	Hidden       int
+	WeightFiller tensor.Filler
+	BiasFiller   tensor.Filler
+	Seed         int64
+}
+
+// RNNLayer is a tanh Elman RNN over (N, T, D) inputs producing the full
+// hidden sequence (N, T, H):
+//
+//	h_t = tanh(Wx·x_t + Wh·h_{t−1} + b),  h_0 = 0.
+//
+// It exists to exercise the paper's network-agnostic claim beyond CNNs
+// ("samples from the same batch can be independently processed in parallel
+// ... including CNNs and RNNs"): each batch sample's timestep recurrence is
+// one dependency chain of T kernels, so GLP4NN overlaps *samples* while the
+// chain preserves the sequential dependence *within* a sample — exactly the
+// batch-level parallelism of Algorithms 1/2 applied to recurrence.
+// Weight gradients use the same per-chain partial buffers + fixed-order
+// fold as convolution.
+type RNNLayer struct {
+	baseLayer
+	cfg RNNConfig
+
+	wx *Blob // (H, D)
+	wh *Blob // (H, H)
+	b  *Blob // (H)
+
+	n, t, d, h int
+
+	hs  []float32 // cached hidden states: N × (T+1) × H, hs[.,0,.] = 0
+	pre []float32 // cached pre-activations: N × T × H (for backward)
+
+	partWx [][]float32
+	partWh [][]float32
+	partB  [][]float32
+	dhBuf  [][]float32 // per-chain dh_{t} scratch
+}
+
+// NewRNN constructs a recurrent layer.
+func NewRNN(name string, cfg RNNConfig) *RNNLayer {
+	if cfg.WeightFiller == nil {
+		cfg.WeightFiller = tensor.XavierFiller{}
+	}
+	if cfg.BiasFiller == nil {
+		cfg.BiasFiller = tensor.ConstantFiller{Value: 0}
+	}
+	return &RNNLayer{baseLayer: baseLayer{name: name, typ: "RNN"}, cfg: cfg}
+}
+
+// Setup implements Layer. Bottom must be (N, T, D).
+func (l *RNNLayer) Setup(ctx *Context, bottom, top []*Blob) error {
+	if len(bottom) != 1 || len(top) != 1 {
+		return fmt.Errorf("rnn %s: want 1 bottom and 1 top", l.name)
+	}
+	if bottom[0].Data.NumDims() != 3 {
+		return fmt.Errorf("rnn %s: bottom must be (N,T,D), got %v", l.name, bottom[0].Shape())
+	}
+	if l.cfg.Hidden <= 0 {
+		return fmt.Errorf("rnn %s: hidden size must be positive", l.name)
+	}
+	sh := bottom[0].Shape()
+	l.n, l.t, l.d = sh[0], sh[1], sh[2]
+	l.h = l.cfg.Hidden
+
+	rng := fillerRNG(l.cfg.Seed, l.name)
+	l.wx = NewBlob(l.name+".wx", l.h, l.d)
+	l.cfg.WeightFiller.Fill(l.wx.Data, rng)
+	l.wh = NewBlob(l.name+".wh", l.h, l.h)
+	l.cfg.WeightFiller.Fill(l.wh.Data, rng)
+	// Scale the recurrent matrix down for stability over long horizons.
+	tensor.Scal(0.5, l.wh.Data.Data())
+	l.b = NewBlob(l.name+".bias", l.h)
+	l.b.LrMult, l.b.DecayMult = 2, 0
+	l.cfg.BiasFiller.Fill(l.b.Data, rng)
+	l.param = []*Blob{l.wx, l.wh, l.b}
+
+	top[0].Reshape(l.n, l.t, l.h)
+	l.hs = make([]float32, l.n*(l.t+1)*l.h)
+	l.pre = make([]float32, l.n*l.t*l.h)
+	return nil
+}
+
+func (l *RNNLayer) ensureScratch(width int) {
+	for len(l.partWx) < width {
+		l.partWx = append(l.partWx, make([]float32, l.h*l.d))
+		l.partWh = append(l.partWh, make([]float32, l.h*l.h))
+		l.partB = append(l.partB, make([]float32, l.h))
+		l.dhBuf = append(l.dhBuf, make([]float32, l.h))
+	}
+}
+
+// Forward implements Layer: per sample, a chain of T rnn_step kernels.
+func (l *RNNLayer) Forward(ctx *Context, bottom, top []*Blob) error {
+	x := bottom[0].Data.Data()
+	y := top[0].Data.Data()
+	wx := l.wx.Data.Data()
+	wh := l.wh.Data.Data()
+	bias := l.b.Data.Data()
+	for n := 0; n < l.n; n++ {
+		n := n
+		for t := 0; t < l.t; t++ {
+			t := t
+			tag := fmt.Sprintf("%s/n%d", l.name, n)
+			k := kernels.Elementwise("rnn_step", tag, l.h, 4*float64(l.d+l.h+3), float64(2*(l.d+l.h)+8), func() {
+				hPrev := l.hs[(n*(l.t+1)+t)*l.h : (n*(l.t+1)+t+1)*l.h]
+				hCur := l.hs[(n*(l.t+1)+t+1)*l.h : (n*(l.t+1)+t+2)*l.h]
+				xt := x[(n*l.t+t)*l.d : (n*l.t+t+1)*l.d]
+				preT := l.pre[(n*l.t+t)*l.h : (n*l.t+t+1)*l.h]
+				copy(preT, bias)
+				tensor.Gemv(false, l.h, l.d, 1, wx, xt, 1, preT)
+				tensor.Gemv(false, l.h, l.h, 1, wh, hPrev, 1, preT)
+				out := y[(n*l.t+t)*l.h : (n*l.t+t+1)*l.h]
+				for i, v := range preT {
+					hv := tanh32(v)
+					hCur[i] = hv
+					out[i] = hv
+				}
+			})
+			if err := ctx.Dispatch(k, n); err != nil {
+				return err
+			}
+		}
+	}
+	return ctx.Barrier()
+}
+
+// Backward implements Layer: per sample, BPTT as a chain of T reversed
+// rnn_step_bwd kernels; weight gradients land in per-chain partials.
+func (l *RNNLayer) Backward(ctx *Context, top []*Blob, propagate []bool, bottom []*Blob) error {
+	width := ctx.Width()
+	l.ensureScratch(width)
+	if ctx.Compute {
+		for j := 0; j < width; j++ {
+			zero(l.partWx[j])
+			zero(l.partWh[j])
+			zero(l.partB[j])
+		}
+	}
+	x := bottom[0].Data.Data()
+	dy := top[0].Diff.Data()
+	dx := bottom[0].Diff.Data()
+	wx := l.wx.Data.Data()
+	wh := l.wh.Data.Data()
+	prop := propagate[0]
+	for n := 0; n < l.n; n++ {
+		n := n
+		j := n % width
+		tag := fmt.Sprintf("%s/n%d", l.name, n)
+		// reset dh carry for this chain
+		reset := kernels.AxpyKernel("rnn_bwd_init", tag, l.h, func() { zero(l.dhBuf[j]) })
+		if err := ctx.Dispatch(reset, n); err != nil {
+			return err
+		}
+		for t := l.t - 1; t >= 0; t-- {
+			t := t
+			k := kernels.Elementwise("rnn_step_bwd", tag, l.h, 4*float64(l.d+2*l.h+4), float64(4*(l.d+l.h)+10), func() {
+				dh := l.dhBuf[j]
+				for i := 0; i < l.h; i++ {
+					dh[i] += dy[(n*l.t+t)*l.h+i]
+				}
+				// through tanh: dpre = dh ⊙ (1 − h²)
+				hCur := l.hs[(n*(l.t+1)+t+1)*l.h : (n*(l.t+1)+t+2)*l.h]
+				dpre := make([]float32, l.h)
+				for i := 0; i < l.h; i++ {
+					dpre[i] = dh[i] * (1 - hCur[i]*hCur[i])
+				}
+				xt := x[(n*l.t+t)*l.d : (n*l.t+t+1)*l.d]
+				hPrev := l.hs[(n*(l.t+1)+t)*l.h : (n*(l.t+1)+t+1)*l.h]
+				// dWx += dpre ⊗ xt ; dWh += dpre ⊗ hPrev ; db += dpre
+				pwx, pwh, pb := l.partWx[j], l.partWh[j], l.partB[j]
+				for i := 0; i < l.h; i++ {
+					g := dpre[i]
+					if g == 0 {
+						continue
+					}
+					tensor.Axpy(g, xt, pwx[i*l.d:(i+1)*l.d])
+					tensor.Axpy(g, hPrev, pwh[i*l.h:(i+1)*l.h])
+					pb[i] += g
+				}
+				if prop {
+					// dx_t += Wxᵀ·dpre
+					tensor.Gemv(true, l.h, l.d, 1, wx, dpre, 1, dx[(n*l.t+t)*l.d:(n*l.t+t+1)*l.d])
+				}
+				// dh_{t−1} = Whᵀ·dpre
+				zero(dh)
+				tensor.Gemv(true, l.h, l.h, 1, wh, dpre, 1, dh)
+			})
+			if err := ctx.Dispatch(k, n); err != nil {
+				return err
+			}
+		}
+	}
+	if err := ctx.Barrier(); err != nil {
+		return err
+	}
+	// Fixed-order fold of partials, on the default stream.
+	fold := func(kind string, parts [][]float32, dst []float32) error {
+		for j := 0; j < width; j++ {
+			part := parts[j]
+			if err := ctx.Dispatch(kernels.AxpyKernel("axpy_fold_"+kind, l.name, len(part), func() {
+				tensor.Axpy(1, part, dst)
+			}), -1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := fold("wx", l.partWx, l.wx.Diff.Data()); err != nil {
+		return err
+	}
+	if err := fold("wh", l.partWh, l.wh.Diff.Data()); err != nil {
+		return err
+	}
+	if err := fold("b", l.partB, l.b.Diff.Data()); err != nil {
+		return err
+	}
+	return ctx.Barrier()
+}

@@ -1,0 +1,148 @@
+package dnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestRNNGradients(t *testing.T) {
+	cfg := RNNConfig{Hidden: 4, Seed: 70}
+	l := NewRNN("rnn", cfg)
+	bottom := randBlob("x", 71, 3, 5, 6) // N=3, T=5, D=6
+	gradCheck(t, l, []*Blob{bottom}, 1, nil, 72)
+}
+
+func TestRNNSetupErrors(t *testing.T) {
+	ctx := NewContext(HostLauncher{}, 1)
+	l := NewRNN("rnn", RNNConfig{Hidden: 4})
+	if err := l.Setup(ctx, []*Blob{NewBlob("x", 2, 3)}, []*Blob{NewBlob("y")}); err == nil {
+		t.Fatal("2-D bottom accepted")
+	}
+	bad := NewRNN("rnn0", RNNConfig{Hidden: 0})
+	if err := bad.Setup(ctx, []*Blob{NewBlob("x", 2, 3, 4)}, []*Blob{NewBlob("y")}); err == nil {
+		t.Fatal("zero hidden accepted")
+	}
+}
+
+// TestRNNRecurrenceSemantics hand-checks a 1-unit RNN: with Wx=1, Wh=0.5,
+// b=0 and inputs [1, 0], h1 = tanh(1), h2 = tanh(0.5·h1).
+func TestRNNRecurrenceSemantics(t *testing.T) {
+	ctx := NewContext(HostLauncher{}, 1)
+	l := NewRNN("rnn", RNNConfig{Hidden: 1, Seed: 1})
+	bottom := NewBlob("x", 1, 2, 1)
+	copy(bottom.Data.Data(), []float32{1, 0})
+	top := NewBlob("y")
+	if err := l.Setup(ctx, []*Blob{bottom}, []*Blob{top}); err != nil {
+		t.Fatal(err)
+	}
+	l.wx.Data.Data()[0] = 1
+	l.wh.Data.Data()[0] = 0.5
+	l.b.Data.Data()[0] = 0
+	if err := l.Forward(ctx, []*Blob{bottom}, []*Blob{top}); err != nil {
+		t.Fatal(err)
+	}
+	h1 := math.Tanh(1)
+	h2 := math.Tanh(0.5 * h1)
+	got := top.Data.Data()
+	if math.Abs(float64(got[0])-h1) > 1e-6 || math.Abs(float64(got[1])-h2) > 1e-6 {
+		t.Fatalf("h = %v, want [%v %v]", got, h1, h2)
+	}
+}
+
+// TestRNNWidthInvariance: like convolution, the RNN must produce identical
+// forward sequences and tightly matching gradients at any launcher width.
+func TestRNNWidthInvariance(t *testing.T) {
+	run := func(width int) (*Blob, []*Blob) {
+		ctx := NewContext(widthLauncher{width}, 2)
+		l := NewRNN("rnn", RNNConfig{Hidden: 6, Seed: 80})
+		bottom := randBlob("x", 81, 5, 4, 3)
+		top := NewBlob("y")
+		if err := l.Setup(ctx, []*Blob{bottom}, []*Blob{top}); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Forward(ctx, []*Blob{bottom}, []*Blob{top}); err != nil {
+			t.Fatal(err)
+		}
+		top.Diff.Fill(0.1)
+		bottom.ZeroDiff()
+		for _, p := range l.Params() {
+			p.ZeroDiff()
+		}
+		if err := l.Backward(ctx, []*Blob{top}, []bool{true}, []*Blob{bottom}); err != nil {
+			t.Fatal(err)
+		}
+		return top, l.Params()
+	}
+	t1, p1 := run(1)
+	t3, p3 := run(3)
+	if !tensor.Equal(t1.Data, t3.Data) {
+		t.Fatal("RNN forward differs across widths")
+	}
+	for i := range p1 {
+		if d := tensor.MaxAbsDiff(p1[i].Diff, p3[i].Diff); d > 1e-4 {
+			t.Fatalf("RNN gradient %s differs by %v across widths", p1[i].Name, d)
+		}
+	}
+}
+
+// TestRNNLearnsSequenceTask trains the RNN (plus a readout) to classify
+// whether a sequence's mean is positive — a real learning check through
+// BPTT.
+func TestRNNLearnsSequenceTask(t *testing.T) {
+	ctx := NewContext(HostLauncher{}, 90)
+	rc := RNNConfig{Hidden: 8, Seed: 90}
+	ic := IP(2)
+	ic.Seed = 90
+	net, err := NewNet("seq").
+		Input("x", 16, 6, 3).
+		Input("label", 16).
+		Add(NewRNN("rnn", rc), []string{"x"}, []string{"h"}).
+		Add(NewFlatten("flat"), []string{"h"}, []string{"hf"}).
+		Add(NewIP("readout", ic), []string{"hf"}, []string{"scores"}).
+		Add(NewSoftmaxLoss("loss"), []string{"scores", "label"}, []string{"loss"}).
+		Build(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := func(seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float32, 16*6*3)
+		labels := make([]float32, 16)
+		for n := 0; n < 16; n++ {
+			mean := float32(0)
+			for i := 0; i < 18; i++ {
+				v := float32(rng.NormFloat64())
+				x[n*18+i] = v
+				mean += v
+			}
+			if mean > 0 {
+				labels[n] = 1
+			}
+		}
+		if err := net.SetInputData("x", x); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.SetInputData("label", labels); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := NewSolver(net, ctx, SolverConfig{BaseLR: 0.05, Momentum: 0.9})
+	var first, last float64
+	for i := 0; i < 60; i++ {
+		feed(int64(i % 8)) // cycle a small set so it can be fit
+		loss, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if math.IsNaN(last) || last > first*0.5 {
+		t.Fatalf("RNN did not learn: %v → %v", first, last)
+	}
+}

@@ -1,0 +1,125 @@
+package dnn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+// SolverConfig mirrors Caffe's SGD solver prototxt fields. Policy selects
+// the learning-rate schedule:
+//
+//	"fixed": lr = base
+//	"step":  lr = base · gamma^⌊iter/stepsize⌋
+//	"inv":   lr = base · (1 + gamma·iter)^(−power)
+//	"exp":   lr = base · gamma^iter
+type SolverConfig struct {
+	BaseLR      float32
+	Momentum    float32
+	WeightDecay float32
+	Policy      string
+	Gamma       float64
+	Power       float64
+	StepSize    int
+}
+
+// CIFAR10QuickSolver returns the schedule of Caffe's cifar10_quick example.
+func CIFAR10QuickSolver() SolverConfig {
+	return SolverConfig{BaseLR: 0.001, Momentum: 0.9, WeightDecay: 0.004, Policy: "fixed"}
+}
+
+// Solver runs Caffe's momentum SGD:
+//
+//	V ← momentum·V + lr·lr_mult·(∇W + wd·decay_mult·W);  W ← W − V.
+//
+// The update for each parameter blob is one sgd_update kernel on the
+// default stream, as Caffe's solver does.
+type Solver struct {
+	cfg     SolverConfig
+	net     *Net
+	ctx     *Context
+	iter    int
+	history map[*Blob]*tensor.Tensor
+}
+
+// NewSolver builds a solver over a net and context.
+func NewSolver(net *Net, ctx *Context, cfg SolverConfig) *Solver {
+	return &Solver{cfg: cfg, net: net, ctx: ctx, history: map[*Blob]*tensor.Tensor{}}
+}
+
+// Iter returns the number of completed steps.
+func (s *Solver) Iter() int { return s.iter }
+
+// SetIter overrides the step counter; external training loops that call
+// ApplyUpdate directly (e.g. the data-parallel trainer) use it to keep the
+// learning-rate schedule advancing.
+func (s *Solver) SetIter(i int) { s.iter = i }
+
+// Net returns the solved net.
+func (s *Solver) Net() *Net { return s.net }
+
+// Rate returns the current learning rate under the configured policy.
+func (s *Solver) Rate() float32 {
+	base := float64(s.cfg.BaseLR)
+	switch s.cfg.Policy {
+	case "", "fixed":
+		return float32(base)
+	case "step":
+		if s.cfg.StepSize <= 0 {
+			return float32(base)
+		}
+		return float32(base * math.Pow(s.cfg.Gamma, float64(s.iter/s.cfg.StepSize)))
+	case "inv":
+		return float32(base * math.Pow(1+s.cfg.Gamma*float64(s.iter), -s.cfg.Power))
+	case "exp":
+		return float32(base * math.Pow(s.cfg.Gamma, float64(s.iter)))
+	default:
+		return float32(base)
+	}
+}
+
+// Step performs one training iteration: clear, forward, backward, update.
+// It returns the iteration's loss.
+func (s *Solver) Step() (float64, error) {
+	loss, err := s.net.ForwardBackward(s.ctx)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.ApplyUpdate(); err != nil {
+		return 0, err
+	}
+	s.iter++
+	return loss, nil
+}
+
+// ApplyUpdate launches one sgd_update kernel per parameter blob.
+func (s *Solver) ApplyUpdate() error {
+	s.ctx.Begin("solver/update")
+	lr := s.Rate()
+	for _, p := range s.net.Params() {
+		hist := s.history[p]
+		if hist == nil {
+			hist = tensor.New(p.Shape()...)
+			s.history[p] = hist
+		}
+		p := p
+		h := hist.Data()
+		data := p.Data.Data()
+		diff := p.Diff.Data()
+		plr := lr * p.LrMult
+		pwd := s.cfg.WeightDecay * p.DecayMult
+		mom := s.cfg.Momentum
+		k := kernels.SGDUpdate(p.Name, p.Count(), func() {
+			for i := range data {
+				h[i] = mom*h[i] + plr*(diff[i]+pwd*data[i])
+				data[i] -= h[i]
+			}
+		})
+		if err := s.ctx.Dispatch(k, -1); err != nil {
+			return fmt.Errorf("solver: update %s: %w", p.Name, err)
+		}
+	}
+	return s.ctx.Barrier()
+}

@@ -1,0 +1,115 @@
+package dnn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLearningRatePolicies(t *testing.T) {
+	mk := func(cfg SolverConfig, iter int) float32 {
+		s := &Solver{cfg: cfg, iter: iter}
+		return s.Rate()
+	}
+	if got := mk(SolverConfig{BaseLR: 0.1, Policy: "fixed"}, 100); got != 0.1 {
+		t.Fatalf("fixed: %v", got)
+	}
+	if got := mk(SolverConfig{BaseLR: 0.1}, 5); got != 0.1 {
+		t.Fatalf("default policy: %v", got)
+	}
+	got := mk(SolverConfig{BaseLR: 0.1, Policy: "step", Gamma: 0.1, StepSize: 10}, 25)
+	if math.Abs(float64(got)-0.001) > 1e-9 {
+		t.Fatalf("step: %v, want 0.001", got)
+	}
+	got = mk(SolverConfig{BaseLR: 0.1, Policy: "inv", Gamma: 0.0001, Power: 0.75}, 0)
+	if got != 0.1 {
+		t.Fatalf("inv at 0: %v", got)
+	}
+	got = mk(SolverConfig{BaseLR: 1, Policy: "exp", Gamma: 0.5}, 3)
+	if math.Abs(float64(got)-0.125) > 1e-7 {
+		t.Fatalf("exp: %v", got)
+	}
+	if got := mk(SolverConfig{BaseLR: 0.2, Policy: "step", Gamma: 0.1}, 25); got != 0.2 {
+		t.Fatalf("step without stepsize: %v", got)
+	}
+	if got := mk(SolverConfig{BaseLR: 0.3, Policy: "unknown"}, 1); got != 0.3 {
+		t.Fatalf("unknown policy: %v", got)
+	}
+}
+
+// TestMomentumUpdateFormula checks one hand-computed Caffe SGD update:
+// V ← m·V + lr·lrmult·(∇ + wd·decaymult·W); W ← W − V.
+func TestMomentumUpdateFormula(t *testing.T) {
+	ctx := NewContext(HostLauncher{}, 1)
+	ip := NewIP("ip", IPConfig{NumOutput: 1, Bias: false, Seed: 1})
+	net, err := NewNet("one").
+		Input("x", 1, 2).
+		Input("y", 1, 1).
+		Add(ip, []string{"x"}, []string{"out"}).
+		Add(NewEuclideanLoss("loss"), []string{"out", "y"}, []string{"l"}).
+		Build(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := net.Params()[0]
+	copy(w.Data.Data(), []float32{0.5, -0.5})
+	if err := net.SetInputData("x", []float32{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SetInputData("y", []float32{1}); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := SolverConfig{BaseLR: 0.1, Momentum: 0.9, WeightDecay: 0.01}
+	s := NewSolver(net, ctx, cfg)
+
+	// Forward: out = 0.5·1 − 0.5·2 = −0.5; diff = out − y = −1.5.
+	// dW = diff·x = [−1.5, −3.0].
+	// V₁ = 0.1·(dW + 0.01·W) = 0.1·[−1.495, −3.005] = [−0.1495, −0.3005].
+	// W₁ = W − V₁ = [0.6495, −0.1995].
+	if _, err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{0.6495, -0.1995}
+	for i, v := range w.Data.Data() {
+		if math.Abs(float64(v-want[i])) > 1e-5 {
+			t.Fatalf("after step 1: W[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+	if s.Iter() != 1 {
+		t.Fatalf("iter = %d", s.Iter())
+	}
+	if s.Net() != net {
+		t.Fatal("Net accessor")
+	}
+}
+
+// TestTrainingReducesLoss runs a small real optimization and requires the
+// loss to drop substantially — the end-to-end sanity check for the whole
+// math stack.
+func TestTrainingReducesLoss(t *testing.T) {
+	net := buildTinyNet(t, 8, 123)
+	fillTinyInputs(t, net, 124)
+	ctx := NewContext(HostLauncher{}, 125)
+	s := NewSolver(net, ctx, SolverConfig{BaseLR: 0.05, Momentum: 0.9, WeightDecay: 0})
+	first, err := s.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := first
+	for i := 0; i < 60; i++ {
+		last, err = s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.IsNaN(last) || last > first*0.5 {
+		t.Fatalf("loss did not drop: first %v, last %v", first, last)
+	}
+}
+
+func TestCIFAR10QuickSolverConfig(t *testing.T) {
+	cfg := CIFAR10QuickSolver()
+	if cfg.BaseLR != 0.001 || cfg.Momentum != 0.9 || cfg.WeightDecay != 0.004 {
+		t.Fatalf("unexpected config: %+v", cfg)
+	}
+}

@@ -1,0 +1,233 @@
+package dnn
+
+import (
+	"fmt"
+
+	"repro/internal/kernels"
+	"repro/internal/simgpu"
+)
+
+// Winograd F(2×2, 3×3) convolution — the arithmetic-complexity-reduction
+// line of the paper's related work (Lavin & Gray, CVPR 2016). It applies to
+// 3×3 stride-1 convolutions and computes each 2×2 output tile with 16
+// multiplies instead of 36 (a 2.25× reduction). GLP4NN is orthogonal to it:
+// the Winograd kernels of different batch samples are dispatched as chains
+// just like the im2col/GEMM trio, so stream concurrency stacks on top of
+// the arithmetic savings (the ext-winograd experiment measures this).
+//
+// Only the forward pass uses Winograd; backward falls back to the im2col
+// path, as real frameworks commonly do.
+
+// winogradApplies reports whether the geometry supports F(2×2, 3×3).
+func winogradApplies(cfg ConvConfig) bool {
+	return cfg.KernelH == 3 && cfg.KernelW == 3 && cfg.StrideH == 1 && cfg.StrideW == 1
+}
+
+// transformFilter computes U = G·g·Gᵀ for one 3×3 filter, with
+// G = [[1,0,0],[½,½,½],[½,−½,½],[0,0,1]] (result is 4×4).
+func transformFilter(g []float32, u []float32) {
+	// t = G·g (4×3)
+	var t [12]float32
+	for col := 0; col < 3; col++ {
+		g0, g1, g2 := g[0*3+col], g[1*3+col], g[2*3+col]
+		t[0*3+col] = g0
+		t[1*3+col] = 0.5 * (g0 + g1 + g2)
+		t[2*3+col] = 0.5 * (g0 - g1 + g2)
+		t[3*3+col] = g2
+	}
+	// u = t·Gᵀ (4×4)
+	for row := 0; row < 4; row++ {
+		t0, t1, t2 := t[row*3+0], t[row*3+1], t[row*3+2]
+		u[row*4+0] = t0
+		u[row*4+1] = 0.5 * (t0 + t1 + t2)
+		u[row*4+2] = 0.5 * (t0 - t1 + t2)
+		u[row*4+3] = t2
+	}
+}
+
+// transformInput computes V = Bᵀ·d·B for one 4×4 input tile, with
+// Bᵀ = [[1,0,−1,0],[0,1,1,0],[0,−1,1,0],[0,1,0,−1]].
+func transformInput(d *[16]float32, v *[16]float32) {
+	var t [16]float32
+	// t = Bᵀ·d
+	for col := 0; col < 4; col++ {
+		d0, d1, d2, d3 := d[0*4+col], d[1*4+col], d[2*4+col], d[3*4+col]
+		t[0*4+col] = d0 - d2
+		t[1*4+col] = d1 + d2
+		t[2*4+col] = d2 - d1
+		t[3*4+col] = d1 - d3
+	}
+	// v = t·B
+	for row := 0; row < 4; row++ {
+		t0, t1, t2, t3 := t[row*4+0], t[row*4+1], t[row*4+2], t[row*4+3]
+		v[row*4+0] = t0 - t2
+		v[row*4+1] = t1 + t2
+		v[row*4+2] = t2 - t1
+		v[row*4+3] = t1 - t3
+	}
+}
+
+// inverseTransform computes Y = Aᵀ·m·A for one 4×4 element-product sum,
+// with Aᵀ = [[1,1,1,0],[0,1,−1,−1]] (result is 2×2).
+func inverseTransform(m *[16]float32, y *[4]float32) {
+	var t [8]float32
+	// t = Aᵀ·m (2×4)
+	for col := 0; col < 4; col++ {
+		m0, m1, m2, m3 := m[0*4+col], m[1*4+col], m[2*4+col], m[3*4+col]
+		t[0*4+col] = m0 + m1 + m2
+		t[1*4+col] = m1 - m2 - m3
+	}
+	// y = t·A (2×2)
+	for row := 0; row < 2; row++ {
+		t0, t1, t2, t3 := t[row*4+0], t[row*4+1], t[row*4+2], t[row*4+3]
+		y[row*2+0] = t0 + t1 + t2
+		y[row*2+1] = t1 - t2 - t3
+	}
+}
+
+// winogradState caches the layer's transformed filters and scratch.
+type winogradState struct {
+	u []float32 // Co×Ci×16 transformed filters
+}
+
+// forwardWinograd computes one image's convolution with F(2×2,3×3),
+// writing into out (Co×OH×OW). The caller guarantees winogradApplies.
+func (l *ConvLayer) forwardWinograd(img []float32, out []float32) {
+	g := l.geom
+	oh, ow := g.OutH(), g.OutW()
+	ci, co := g.Channels, l.co
+	tilesY := (oh + 1) / 2
+	tilesX := (ow + 1) / 2
+
+	u := l.wino.u
+	var d, v, m [16]float32
+	var y [4]float32
+
+	bias := []float32(nil)
+	if l.bias != nil {
+		bias = l.bias.Data.Data()
+	}
+
+	vAll := make([]float32, ci*16)
+	for ty := 0; ty < tilesY; ty++ {
+		for tx := 0; tx < tilesX; tx++ {
+			// Input tile origin in image coordinates (top-left of the 4×4
+			// patch feeding this 2×2 output tile).
+			iy0 := ty*2 - g.PadH
+			ix0 := tx*2 - g.PadW
+			for c := 0; c < ci; c++ {
+				plane := img[c*g.Height*g.Width:]
+				for r := 0; r < 4; r++ {
+					yy := iy0 + r
+					for s := 0; s < 4; s++ {
+						xx := ix0 + s
+						if yy < 0 || yy >= g.Height || xx < 0 || xx >= g.Width {
+							d[r*4+s] = 0
+						} else {
+							d[r*4+s] = plane[yy*g.Width+xx]
+						}
+					}
+				}
+				transformInput(&d, &v)
+				copy(vAll[c*16:], v[:])
+			}
+			for k := 0; k < co; k++ {
+				for i := range m {
+					m[i] = 0
+				}
+				uk := u[k*ci*16:]
+				for c := 0; c < ci; c++ {
+					uc := uk[c*16 : c*16+16]
+					vc := vAll[c*16 : c*16+16]
+					for i := 0; i < 16; i++ {
+						m[i] += uc[i] * vc[i]
+					}
+				}
+				inverseTransform(&m, &y)
+				b := float32(0)
+				if bias != nil {
+					b = bias[k]
+				}
+				for r := 0; r < 2; r++ {
+					oy := ty*2 + r
+					if oy >= oh {
+						continue
+					}
+					for s := 0; s < 2; s++ {
+						ox := tx*2 + s
+						if ox >= ow {
+							continue
+						}
+						out[(k*oh+oy)*ow+ox] = y[r*2+s] + b
+					}
+				}
+			}
+		}
+	}
+}
+
+// prepareWinograd (re)computes the transformed filter bank.
+func (l *ConvLayer) prepareWinograd() {
+	ci, co := l.geom.Channels, l.co
+	if l.wino == nil {
+		l.wino = &winogradState{u: make([]float32, co*ci*16)}
+	}
+	w := l.weight.Data.Data()
+	for k := 0; k < co; k++ {
+		for c := 0; c < ci; c++ {
+			transformFilter(w[(k*ci+c)*9:(k*ci+c)*9+9], l.wino.u[(k*ci+c)*16:])
+		}
+	}
+}
+
+// winogradKernels builds the per-image simulated kernel chain: input
+// transform, batched tile GEMM, inverse transform. Cost models follow the
+// Lavin & Gray mapping (16 independent Ci×Co products over the tiles).
+func (l *ConvLayer) winogradKernels(tag string, img, out []float32) []*simgpu.Kernel {
+	g := l.geom
+	tiles := ((g.OutH() + 1) / 2) * ((g.OutW() + 1) / 2)
+	ci, co := g.Channels, l.co
+
+	inTx := kernels.Elementwise("winograd_input_tx", tag, ci*tiles, 4*(16+16), 32, nil)
+
+	// 16 batched GEMMs of (Co × tiles × Ci); model as one kernel with a
+	// tile-matched launch geometry.
+	gemmFlops := 16 * 2 * float64(co) * float64(tiles) * float64(ci)
+	gx := (tiles + 31) / 32
+	gy := (co + 31) / 32
+	if gx < 1 {
+		gx = 1
+	}
+	if gy < 1 {
+		gy = 1
+	}
+	gemm := &simgpu.Kernel{
+		Name: "winograd_gemm",
+		Tag:  tag,
+		Config: simgpu.LaunchConfig{
+			Grid:           simgpu.Dim3{X: gx, Y: gy, Z: 16},
+			Block:          simgpu.D1(256),
+			RegsPerThread:  128,
+			SharedMemBytes: 8192,
+		},
+		Cost: simgpu.Cost{
+			FLOPs: gemmFlops / 0.5, // Winograd GEMMs run below dense-GEMM efficiency
+			Bytes: 4 * (float64(co*ci)*16 + float64(ci*tiles)*16 + float64(co*tiles)*16) / 0.75,
+		},
+		// The whole algorithm's math runs in this middle kernel's closure
+		// (transforms included) — simulated costs stay split across the
+		// three kernels, numerics stay exact.
+		Fn: func() { l.forwardWinograd(img, out) },
+	}
+	outTx := kernels.Elementwise("winograd_output_tx", tag, co*tiles, 4*(16+4), 24, nil)
+	return []*simgpu.Kernel{inTx, gemm, outTx}
+}
+
+// validateWinograd returns an error when the engine cannot apply.
+func validateWinograd(name string, cfg ConvConfig) error {
+	if !winogradApplies(cfg) {
+		return fmt.Errorf("conv %s: winograd engine needs 3x3 stride-1 kernels, got %dx%d stride %d",
+			name, cfg.KernelH, cfg.KernelW, cfg.StrideH)
+	}
+	return nil
+}

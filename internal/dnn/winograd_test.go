@@ -1,0 +1,165 @@
+package dnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+// TestWinogradMatchesIm2col: both engines must compute the same convolution
+// (Winograd reassociates float32 math, so compare with a tight tolerance).
+func TestWinogradMatchesIm2col(t *testing.T) {
+	run := func(engine string, seed int64) *Blob {
+		ctx := NewContext(HostLauncher{}, seed)
+		cfg := Conv(6, 3, 1, 1)
+		cfg.Seed = 55
+		cfg.Engine = engine
+		bottom := randBlob("x", 70, 3, 5, 9, 11)
+		top := NewBlob("y")
+		l := NewConv("conv", cfg)
+		if err := l.Setup(ctx, []*Blob{bottom}, []*Blob{top}); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Forward(ctx, []*Blob{bottom}, []*Blob{top}); err != nil {
+			t.Fatal(err)
+		}
+		return top
+	}
+	a := run("im2col", 1)
+	b := run("winograd", 1)
+	if d := tensor.MaxAbsDiff(a.Data, b.Data); d > 1e-4 {
+		t.Fatalf("winograd output differs from im2col by %v", d)
+	}
+}
+
+// TestQuickWinogradRandomGeometries fuzzes shapes (odd sizes, pad 0/1,
+// several channel combos).
+func TestQuickWinogradRandomGeometries(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(6))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ci := 1 + rng.Intn(4)
+		co := 1 + rng.Intn(5)
+		h := 4 + rng.Intn(9)
+		w := 4 + rng.Intn(9)
+		pad := rng.Intn(2)
+		batch := 1 + rng.Intn(3)
+
+		run := func(engine string) (*Blob, error) {
+			ctx := NewContext(HostLauncher{}, 2)
+			cc := Conv(co, 3, 1, pad)
+			cc.Seed = seed
+			cc.Engine = engine
+			bottom := randBlob("x", seed+1, batch, ci, h, w)
+			top := NewBlob("y")
+			l := NewConv("conv", cc)
+			if err := l.Setup(ctx, []*Blob{bottom}, []*Blob{top}); err != nil {
+				return nil, err
+			}
+			if err := l.Forward(ctx, []*Blob{bottom}, []*Blob{top}); err != nil {
+				return nil, err
+			}
+			return top, nil
+		}
+		a, err := run("im2col")
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		b, err := run("winograd")
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		scale := math.Max(1, a.Data.AbsSum()/float64(a.Count()))
+		if d := tensor.MaxAbsDiff(a.Data, b.Data); d > 1e-3*scale {
+			t.Logf("seed %d (ci=%d co=%d %dx%d pad=%d): diff %v", seed, ci, co, h, w, pad, d)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWinogradEngineValidation(t *testing.T) {
+	ctx := NewContext(HostLauncher{}, 1)
+	cfg := Conv(4, 5, 1, 2) // 5×5: not winograd-able
+	cfg.Engine = "winograd"
+	l := NewConv("bad", cfg)
+	bottom := NewBlob("x", 1, 1, 8, 8)
+	if err := l.Setup(ctx, []*Blob{bottom}, []*Blob{NewBlob("y")}); err == nil {
+		t.Fatal("5x5 winograd accepted")
+	}
+	cfg2 := Conv(4, 3, 2, 1) // stride 2: not winograd-able
+	cfg2.Engine = "winograd"
+	if err := NewConv("bad2", cfg2).Setup(ctx, []*Blob{bottom}, []*Blob{NewBlob("y")}); err == nil {
+		t.Fatal("stride-2 winograd accepted")
+	}
+	cfg3 := Conv(4, 3, 1, 1)
+	cfg3.Engine = "nonsense"
+	if err := NewConv("bad3", cfg3).Setup(ctx, []*Blob{bottom}, []*Blob{NewBlob("y")}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+// TestWinogradTrainingStillLearns: forward winograd + backward im2col must
+// remain a consistent enough pair for SGD (the transforms are exact up to
+// float rounding, so gradients match the forward).
+func TestWinogradTrainingStillLearns(t *testing.T) {
+	ctx := NewContext(HostLauncher{}, 9)
+	cc := Conv(8, 3, 1, 1)
+	cc.Seed = 9
+	cc.Engine = "winograd"
+	ic := IP(3)
+	ic.Seed = 9
+	net, err := NewNet("wino").
+		Input("data", 8, 2, 8, 8).
+		Input("label", 8).
+		Add(NewConv("conv1", cc), []string{"data"}, []string{"c1"}).
+		Add(NewReLU("relu1"), []string{"c1"}, []string{"r1"}).
+		Add(NewIP("ip1", ic), []string{"r1"}, []string{"scores"}).
+		Add(NewSoftmaxLoss("loss"), []string{"scores", "label"}, []string{"loss"}).
+		Build(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillTinyInputsWino(t, net, 10)
+	s := NewSolver(net, ctx, SolverConfig{BaseLR: 0.05, Momentum: 0.9})
+	first, err := s.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := first
+	for i := 0; i < 40; i++ {
+		if last, err = s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.IsNaN(last) || last > first*0.6 {
+		t.Fatalf("winograd net did not learn: %v → %v", first, last)
+	}
+}
+
+func fillTinyInputsWino(t *testing.T, net *Net, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float32, net.Blob("data").Count())
+	for i := range vals {
+		vals[i] = float32(rng.NormFloat64())
+	}
+	if err := net.SetInputData("data", vals); err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]float32, net.Blob("label").Count())
+	for i := range labels {
+		labels[i] = float32(rng.Intn(3))
+	}
+	if err := net.SetInputData("label", labels); err != nil {
+		t.Fatal(err)
+	}
+}

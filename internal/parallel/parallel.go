@@ -1,0 +1,234 @@
+// Package parallel implements the paper's future-work item 3 — "a
+// distributed implementation of the proposed framework" — at machine scale:
+// synchronous data-parallel training across the GPUs of one simulated
+// machine. Each device holds a full replica of the network (initialized
+// identically), processes its shard of the global batch, and gradients are
+// combined with a ring all-reduce whose communication time is modeled from
+// the interconnect's bandwidth and latency. GLP4NN runs *inside* each
+// replica, exactly as the paper suggests ("applied to a multi-GPU platform
+// ... by optimizing workloads on a single GPU").
+//
+// Numerics are real: gradients are averaged across replicas in fixed
+// device order and every replica applies the identical update, so replicas
+// stay bitwise in sync (asserted by tests).
+package parallel
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dnn"
+	"repro/internal/simgpu"
+)
+
+// Bus models the inter-GPU interconnect for the all-reduce cost model.
+type Bus struct {
+	Name          string
+	BandwidthGBps float64 // per-link bandwidth
+	Latency       time.Duration
+}
+
+// Common interconnects.
+var (
+	// PCIe3 is a 16-lane PCIe 3.0 link (the paper's machines).
+	PCIe3 = Bus{Name: "PCIe3 x16", BandwidthGBps: 12, Latency: 5 * time.Microsecond}
+	// NVLink1 is first-generation NVLink (P100-class machines).
+	NVLink1 = Bus{Name: "NVLink 1.0", BandwidthGBps: 40, Latency: 2 * time.Microsecond}
+)
+
+// AllReduceTime returns the ring all-reduce time for n participants moving
+// `bytes` of gradients each: 2·(n−1)/n · bytes / bandwidth + 2·(n−1)·latency.
+func (b Bus) AllReduceTime(n int, bytes int64) time.Duration {
+	if n <= 1 {
+		return 0
+	}
+	transfer := 2 * float64(n-1) / float64(n) * float64(bytes) / (b.BandwidthGBps * 1e9)
+	return time.Duration(transfer*1e9) + time.Duration(2*(n-1))*b.Latency
+}
+
+// BuildFunc constructs one network replica in the given context.
+type BuildFunc func(ctx *dnn.Context) (*dnn.Net, error)
+
+// FeedFunc fills one replica's inputs with its shard for a step.
+type FeedFunc func(replica int, net *dnn.Net) error
+
+// replica is one device's training state.
+type replica struct {
+	dev    *simgpu.Device
+	ctx    *dnn.Context
+	net    *dnn.Net
+	solver *dnn.Solver
+}
+
+// Trainer trains synchronously across all devices of a machine.
+type Trainer struct {
+	bus      Bus
+	replicas []*replica
+	fw       *core.Framework
+	iter     int
+
+	gradBytes int64
+}
+
+// Config tunes a Trainer.
+type Config struct {
+	Solver  dnn.SolverConfig
+	Bus     Bus
+	UseGLP  bool // run each replica through GLP4NN
+	Compute bool // real math (true) or timing-only
+	Seed    int64
+}
+
+// NewTrainer builds one replica per machine device. The build function must
+// be deterministic (same seed → same initial parameters) so replicas start
+// identical.
+func NewTrainer(machine *simgpu.Machine, build BuildFunc, cfg Config) (*Trainer, error) {
+	devs := machine.Devices()
+	if len(devs) == 0 {
+		return nil, fmt.Errorf("parallel: machine has no devices")
+	}
+	if cfg.Bus.BandwidthGBps == 0 {
+		cfg.Bus = PCIe3
+	}
+	t := &Trainer{bus: cfg.Bus}
+	if cfg.UseGLP {
+		t.fw = core.New()
+	}
+	for _, dev := range devs {
+		var l dnn.Launcher = dnn.SerialLauncher{Dev: dev}
+		if t.fw != nil {
+			l = t.fw.Runtime(dev)
+		}
+		ctx := dnn.NewContext(l, cfg.Seed)
+		ctx.Compute = cfg.Compute
+		net, err := build(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("parallel: building replica on %s: %w", dev.Name(), err)
+		}
+		t.replicas = append(t.replicas, &replica{
+			dev:    dev,
+			ctx:    ctx,
+			net:    net,
+			solver: dnn.NewSolver(net, ctx, cfg.Solver),
+		})
+	}
+	for _, p := range t.replicas[0].net.Params() {
+		t.gradBytes += int64(p.Count()) * 4
+	}
+	return t, nil
+}
+
+// Close releases framework resources.
+func (t *Trainer) Close() {
+	if t.fw != nil {
+		t.fw.Close()
+	}
+}
+
+// Replicas returns the replica count.
+func (t *Trainer) Replicas() int { return len(t.replicas) }
+
+// Net returns replica i's network (replicas stay parameter-identical).
+func (t *Trainer) Net(i int) *dnn.Net { return t.replicas[i].net }
+
+// GradientBytes returns the per-replica gradient volume all-reduced each
+// step.
+func (t *Trainer) GradientBytes() int64 { return t.gradBytes }
+
+// StepResult reports one synchronous step.
+type StepResult struct {
+	MeanLoss    float64
+	ComputeTime time.Duration // max over replicas (they run in parallel)
+	CommTime    time.Duration // modeled ring all-reduce
+	IterTime    time.Duration // ComputeTime + CommTime + update
+}
+
+// Step runs one synchronous data-parallel iteration: each replica computes
+// its shard's gradients, gradients are averaged (ring all-reduce), every
+// replica applies the same update.
+func (t *Trainer) Step(feed FeedFunc) (StepResult, error) {
+	var res StepResult
+	n := len(t.replicas)
+
+	// Phase 1: local forward/backward on every replica.
+	var lossSum float64
+	for i, r := range t.replicas {
+		if feed != nil {
+			if err := feed(i, r.net); err != nil {
+				return res, err
+			}
+		}
+		if err := r.dev.ResetClocks(); err != nil {
+			return res, err
+		}
+		loss, err := r.net.ForwardBackward(r.ctx)
+		if err != nil {
+			return res, fmt.Errorf("parallel: replica %d: %w", i, err)
+		}
+		lossSum += loss
+		d, err := r.dev.Synchronize()
+		if err != nil {
+			return res, err
+		}
+		if h := r.dev.HostTime(); h > d {
+			d = h
+		}
+		if d > res.ComputeTime {
+			res.ComputeTime = d
+		}
+	}
+	res.MeanLoss = lossSum / float64(n)
+
+	// Phase 2: all-reduce — average gradients in fixed device order (real
+	// math), charge the modeled ring time once (all links move in
+	// parallel).
+	if n > 1 && t.replicas[0].ctx.Compute {
+		master := t.replicas[0].net.Params()
+		for pi, p0 := range master {
+			acc := p0.Diff.Data()
+			for _, r := range t.replicas[1:] {
+				other := r.net.Params()[pi].Diff.Data()
+				for j, v := range other {
+					acc[j] += v
+				}
+			}
+			inv := float32(1) / float32(n)
+			for j := range acc {
+				acc[j] *= inv
+			}
+			for _, r := range t.replicas[1:] {
+				copy(r.net.Params()[pi].Diff.Data(), acc)
+			}
+		}
+	}
+	res.CommTime = t.bus.AllReduceTime(n, t.gradBytes)
+
+	// Phase 3: identical updates everywhere.
+	var updateTime time.Duration
+	for i, r := range t.replicas {
+		if err := r.dev.ResetClocks(); err != nil {
+			return res, err
+		}
+		if err := r.solver.ApplyUpdate(); err != nil {
+			return res, fmt.Errorf("parallel: update replica %d: %w", i, err)
+		}
+		d, err := r.dev.Synchronize()
+		if err != nil {
+			return res, err
+		}
+		if h := r.dev.HostTime(); h > d {
+			d = h
+		}
+		if d > updateTime {
+			updateTime = d
+		}
+		r.solver.SetIter(t.iter + 1) // keep LR schedules advancing
+	}
+	res.IterTime = res.ComputeTime + res.CommTime + updateTime
+	t.iter++
+	return res, nil
+}
+
+// Iter returns completed steps.
+func (t *Trainer) Iter() int { return t.iter }

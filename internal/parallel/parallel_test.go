@@ -1,0 +1,178 @@
+package parallel
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/dnn"
+	"repro/internal/models"
+	"repro/internal/simgpu"
+	"repro/internal/tensor"
+)
+
+func TestAllReduceTimeFormula(t *testing.T) {
+	b := Bus{BandwidthGBps: 10, Latency: time.Microsecond}
+	if b.AllReduceTime(1, 1<<30) != 0 {
+		t.Fatal("single participant should not communicate")
+	}
+	// n=4, 1 GB gradients: 2·3/4·1e9/10e9 s = 150 ms + 6 µs latency.
+	got := b.AllReduceTime(4, 1e9)
+	want := time.Duration(0.15*1e9)*time.Nanosecond + 6*time.Microsecond
+	if d := got - want; d < -time.Microsecond || d > time.Microsecond {
+		t.Fatalf("AllReduceTime = %v, want %v", got, want)
+	}
+	// More bandwidth → strictly faster.
+	if NVLink1.AllReduceTime(3, 1e8) >= PCIe3.AllReduceTime(3, 1e8) {
+		t.Fatal("NVLink not faster than PCIe")
+	}
+}
+
+// smallBuilder is a deterministic CIFAR10 replica builder at batch size n.
+func smallBuilder(n int, seed int64) BuildFunc {
+	return func(ctx *dnn.Context) (*dnn.Net, error) {
+		return models.BuildCIFAR10(ctx, n, seed)
+	}
+}
+
+// shardFeeder feeds replica-specific deterministic batches.
+func shardFeeder(batch int, seed int64) FeedFunc {
+	feeders := map[int]models.Feeder{}
+	return func(replica int, net *dnn.Net) error {
+		f, ok := feeders[replica]
+		if !ok {
+			w, _ := models.Get("CIFAR10")
+			f = w.NewFeeder(batch, seed+int64(replica)*17)
+			feeders[replica] = f
+		}
+		return f(net)
+	}
+}
+
+func TestTrainerReplicasStayIdentical(t *testing.T) {
+	machine := simgpu.NewMachine(simgpu.TeslaP100, simgpu.TeslaP100)
+	tr, err := NewTrainer(machine, smallBuilder(8, 3), Config{
+		Solver:  dnn.SolverConfig{BaseLR: 0.01, Momentum: 0.9, WeightDecay: 0.004},
+		Compute: true,
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if tr.Replicas() != 2 {
+		t.Fatalf("replicas = %d", tr.Replicas())
+	}
+	if tr.GradientBytes() <= 0 {
+		t.Fatal("no gradient bytes")
+	}
+
+	feed := shardFeeder(8, 11)
+	var first, last float64
+	for i := 0; i < 6; i++ {
+		res, err := tr.Step(feed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = res.MeanLoss
+		}
+		last = res.MeanLoss
+		if res.ComputeTime <= 0 || res.CommTime <= 0 || res.IterTime < res.ComputeTime+res.CommTime {
+			t.Fatalf("bad step timing: %+v", res)
+		}
+		// Parameter blobs must remain bitwise identical across replicas.
+		p0 := tr.Net(0).Params()
+		p1 := tr.Net(1).Params()
+		for pi := range p0 {
+			if !tensor.Equal(p0[pi].Data, p1[pi].Data) {
+				t.Fatalf("step %d: replica params diverged at %s", i, p0[pi].Name)
+			}
+		}
+	}
+	if tr.Iter() != 6 {
+		t.Fatalf("iter = %d", tr.Iter())
+	}
+	if math.IsNaN(last) || last >= first*1.5 {
+		t.Fatalf("training diverged: first %v last %v", first, last)
+	}
+}
+
+func TestTrainerUnderGLP4NN(t *testing.T) {
+	machine := simgpu.NewMachine(simgpu.TeslaP100, simgpu.TitanXP)
+	tr, err := NewTrainer(machine, smallBuilder(8, 5), Config{
+		Solver:  dnn.CIFAR10QuickSolver(),
+		UseGLP:  true,
+		Compute: true,
+		Seed:    5,
+		Bus:     NVLink1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	feed := shardFeeder(8, 13)
+	for i := 0; i < 4; i++ { // includes per-replica profile+analyze warmups
+		if _, err := tr.Step(feed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p0 := tr.Net(0).Params()
+	p1 := tr.Net(1).Params()
+	for pi := range p0 {
+		if !tensor.Equal(p0[pi].Data, p1[pi].Data) {
+			t.Fatalf("GLP4NN replicas diverged at %s", p0[pi].Name)
+		}
+	}
+}
+
+// TestDataParallelScales: sharding a fixed global batch across more GPUs
+// must reduce the per-iteration virtual time (compute shrinks ~linearly,
+// comm adds a sublinear tax).
+func TestDataParallelScales(t *testing.T) {
+	iterTime := func(nGPU, shard int) time.Duration {
+		specs := make([]simgpu.DeviceSpec, nGPU)
+		for i := range specs {
+			specs[i] = simgpu.TeslaP100
+		}
+		machine := simgpu.NewMachine(specs...)
+		tr, err := NewTrainer(machine, smallBuilder(shard, 7), Config{
+			Solver: dnn.CIFAR10QuickSolver(),
+			Seed:   7,
+			// timing-only: numerics are irrelevant to scaling shape
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		var res StepResult
+		for i := 0; i < 2; i++ { // warm buffers then measure
+			res, err = tr.Step(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return res.IterTime
+	}
+	const globalBatch = 96
+	one := iterTime(1, globalBatch)
+	three := iterTime(3, globalBatch/3)
+	if three >= one {
+		t.Fatalf("3-GPU iteration (%v) not faster than 1-GPU (%v)", three, one)
+	}
+	t.Logf("global batch %d: 1 GPU %v vs 3 GPUs %v (%.2fx)", globalBatch, one, three, float64(one)/float64(three))
+}
+
+func TestTrainerErrors(t *testing.T) {
+	if _, err := NewTrainer(simgpu.NewMachine(), smallBuilder(2, 1), Config{}); err == nil {
+		t.Fatal("empty machine accepted")
+	}
+	bad := func(ctx *dnn.Context) (*dnn.Net, error) {
+		return dnn.NewNet("bad").
+			Add(dnn.NewReLU("r"), []string{"missing"}, []string{"x"}).
+			Build(ctx)
+	}
+	if _, err := NewTrainer(simgpu.NewMachine(simgpu.TeslaP100), bad, Config{}); err == nil {
+		t.Fatal("bad builder accepted")
+	}
+}

@@ -1,0 +1,94 @@
+package simgpu
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: the stand-in for the offline visualization the
+// paper contrasts against (NVIDIA Visual Profiler, Vampir). WriteChromeTrace
+// serializes kernel records in the Trace Event Format, loadable in
+// chrome://tracing or Perfetto, with one row per CUDA stream.
+
+// traceEvent is one complete ("X") event in the Chrome trace format.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// traceMeta is a metadata ("M") event naming a pid/tid row.
+type traceMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// WriteChromeTrace writes the records as a JSON trace-event array. The
+// device id becomes the pid, stream ids become tids.
+func WriteChromeTrace(w io.Writer, deviceName string, deviceID int, records []KernelRecord) error {
+	events := make([]interface{}, 0, len(records)+8)
+	events = append(events, traceMeta{
+		Name: "process_name", Ph: "M", PID: deviceID,
+		Args: map[string]string{"name": "GPU " + deviceName},
+	})
+	streams := map[int]bool{}
+	for _, r := range records {
+		streams[r.StreamID] = true
+	}
+	ids := make([]int, 0, len(streams))
+	for id := range streams {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		name := fmt.Sprintf("stream %d", id)
+		if id == 0 {
+			name = "default stream"
+		}
+		events = append(events, traceMeta{
+			Name: "thread_name", Ph: "M", PID: deviceID, TID: id,
+			Args: map[string]string{"name": name},
+		})
+	}
+	for _, r := range records {
+		events = append(events, traceEvent{
+			Name: r.Name,
+			Cat:  "kernel",
+			Ph:   "X",
+			TS:   float64(r.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(r.Duration().Nanoseconds()) / 1e3,
+			PID:  deviceID,
+			TID:  r.StreamID,
+			Args: map[string]string{
+				"tag":   r.Tag,
+				"grid":  r.Grid.String(),
+				"block": r.Block.String(),
+				"regs":  fmt.Sprintf("%d", r.RegsPerThread),
+				"smem":  fmt.Sprintf("%dB", r.SharedMemBytes),
+				"flops": fmt.Sprintf("%.3g", r.FLOPs),
+				"bytes": fmt.Sprintf("%.3g", r.Bytes),
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+// ExportChromeTrace drains the device and writes its retained trace.
+func (d *Device) ExportChromeTrace(w io.Writer) error {
+	recs, err := d.Trace()
+	if err != nil {
+		return err
+	}
+	return WriteChromeTrace(w, d.Name(), d.ID(), recs)
+}

@@ -1,0 +1,74 @@
+package simgpu
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestChromeTraceExport(t *testing.T) {
+	d := NewDevice(testSpec)
+	s1, s2 := d.CreateStream(), d.CreateStream()
+	launchOK(t, d, &Kernel{
+		Name: "im2col_gpu", Tag: "conv1/n0",
+		Config: LaunchConfig{Grid: D1(4), Block: D1(128), RegsPerThread: 33},
+		Cost:   Cost{Bytes: 10000},
+	}, s1)
+	launchOK(t, d, &Kernel{
+		Name: "sgemm_64x64", Tag: "conv1/n1",
+		Config: LaunchConfig{Grid: D2(2, 2), Block: D1(256), SharedMemBytes: 8192},
+		Cost:   Cost{FLOPs: 100000},
+	}, s2)
+
+	var buf bytes.Buffer
+	if err := d.ExportChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, buf.String())
+	}
+	var kernels, metas int
+	names := map[string]bool{}
+	for _, e := range events {
+		switch e["ph"] {
+		case "X":
+			kernels++
+			names[e["name"].(string)] = true
+			if e["dur"].(float64) <= 0 {
+				t.Fatalf("non-positive duration: %v", e)
+			}
+			args := e["args"].(map[string]interface{})
+			if args["grid"] == "" || args["regs"] == "" {
+				t.Fatalf("missing args: %v", args)
+			}
+		case "M":
+			metas++
+		}
+	}
+	if kernels != 2 {
+		t.Fatalf("kernel events = %d, want 2", kernels)
+	}
+	if !names["im2col_gpu"] || !names["sgemm_64x64"] {
+		t.Fatalf("kernel names = %v", names)
+	}
+	if metas < 3 { // process + two stream rows
+		t.Fatalf("metadata events = %d, want ≥3", metas)
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	d := NewDevice(testSpec)
+	var buf bytes.Buffer
+	if err := d.ExportChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 { // just the process name
+		t.Fatalf("events = %d", len(events))
+	}
+}

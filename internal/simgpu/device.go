@@ -1,0 +1,471 @@
+package simgpu
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Device is one simulated GPU. All methods are safe for concurrent use, but
+// the launch order observed under the device lock is the order that defines
+// both numerical execution (closures run at launch) and the virtual
+// timeline; GLP4NN's design point is precisely that a *single* host
+// dispatcher drives the device, so typical use is single-goroutine.
+type Device struct {
+	spec DeviceSpec
+	id   int
+
+	mu  sync.Mutex
+	eng *engine
+
+	def         *Stream
+	nextStream  int
+	activeStrms int
+
+	host float64 // host dispatch timeline, ns
+	seq  int
+
+	// tails holds the most recent kernel per stream since the last
+	// default-stream barrier; a default-stream kernel depends on exactly
+	// these (stream ordering covers everything earlier), which keeps the
+	// legacy-barrier dependency lists O(#streams) instead of O(#kernels).
+	tails       map[int]*kernelExec
+	lastDefault *kernelExec
+
+	records   []KernelRecord
+	tracing   bool
+	listeners map[int]func(KernelRecord)
+	nextLst   int
+
+	launches     int64
+	syncs        int64
+	streamsMade  int64
+	traceDropped int64
+	maxTrace     int
+}
+
+// Option configures a Device at construction.
+type Option func(*Device)
+
+// WithoutContention builds a device whose engine ignores resource contention
+// between co-resident cohorts (the "analytic" ablation engine).
+func WithoutContention() Option {
+	return func(d *Device) { d.eng.contention = false }
+}
+
+// WithTraceLimit caps the number of retained kernel records (0 = unlimited).
+func WithTraceLimit(n int) Option {
+	return func(d *Device) { d.maxTrace = n }
+}
+
+// NewDevice builds a device from a spec. It panics on an invalid spec, which
+// is always a programming error (catalog specs are valid by construction).
+func NewDevice(spec DeviceSpec, opts ...Option) *Device {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	d := &Device{
+		spec:      spec,
+		listeners: map[int]func(KernelRecord){},
+		tails:     map[int]*kernelExec{},
+		tracing:   true,
+	}
+	d.eng = newEngine(spec, true, d.onComplete)
+	d.def = &Stream{id: 0, dev: d, isDefault: true}
+	d.nextStream = 1
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Spec returns the device's hardware description.
+func (d *Device) Spec() DeviceSpec { return d.spec }
+
+// Name returns the device model name.
+func (d *Device) Name() string { return d.spec.Name }
+
+// SetID tags the device with a machine-local ordinal (used by Machine).
+func (d *Device) SetID(id int) { d.id = id }
+
+// ID returns the machine-local ordinal.
+func (d *Device) ID() int { return d.id }
+
+// DefaultStream returns the device's default stream.
+func (d *Device) DefaultStream() *Stream { return d.def }
+
+// CreateStream makes a new concurrent stream, charging the host-side
+// creation overhead to the dispatch timeline.
+func (d *Device) CreateStream() *Stream {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := &Stream{id: d.nextStream, dev: d}
+	d.nextStream++
+	d.activeStrms++
+	d.streamsMade++
+	d.host += float64(d.spec.StreamCreateOverhead.Nanoseconds())
+	return s
+}
+
+// DestroyStream releases a stream. Destroying the default stream or a
+// destroyed stream returns an error.
+func (d *Device) DestroyStream(s *Stream) error {
+	if s.dev != d {
+		return fmt.Errorf("simgpu: stream belongs to a different device")
+	}
+	if s.isDefault {
+		return fmt.Errorf("simgpu: cannot destroy the default stream")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if s.destroyed {
+		return fmt.Errorf("simgpu: double destroy of %v", s)
+	}
+	s.destroyed = true
+	d.activeStrms--
+	return nil
+}
+
+// ActiveStreams returns the number of live non-default streams.
+func (d *Device) ActiveStreams() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.activeStrms
+}
+
+// Launch submits a kernel to a stream. A nil stream means the default
+// stream. The kernel's host closure (if any) runs synchronously before the
+// launch is recorded, so numerical side effects happen in launch order. The
+// launch charges T_launch to the host dispatch timeline.
+func (d *Device) Launch(k *Kernel, s *Stream) error {
+	if s == nil {
+		s = d.def
+	}
+	if s.dev != d {
+		return fmt.Errorf("simgpu: launch of %q on a stream of a different device", k.Name)
+	}
+	if err := k.Validate(d.spec); err != nil {
+		return err
+	}
+	if k.Fn != nil {
+		k.Fn()
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if s.destroyed {
+		return fmt.Errorf("simgpu: launch of %q on destroyed %v", k.Name, s)
+	}
+
+	d.host += float64(d.spec.LaunchOverhead.Nanoseconds())
+	d.launches++
+	d.seq++
+
+	blocks := k.Config.Blocks()
+	e := &kernelExec{
+		name:          k.Name,
+		tag:           k.Tag,
+		cfg:           k.Config,
+		seq:           d.seq,
+		streamID:      s.id,
+		issue:         d.host,
+		totalBlocks:   blocks,
+		flopsPerBlock: k.Cost.FLOPs / float64(blocks),
+		bytesPerBlock: k.Cost.Bytes / float64(blocks),
+		threads:       k.Config.ThreadsPerBlock(),
+		smem:          k.Config.SharedMemBytes,
+	}
+
+	// Ordering edges: stream predecessor, then default-stream semantics.
+	if s.tail != nil && !s.tail.done {
+		e.deps = append(e.deps, s.tail)
+	}
+	if s.isDefault {
+		// Legacy barrier: wait for the tail of every stream that has run
+		// since the previous default-stream kernel (stream ordering makes
+		// those tails cover all earlier work).
+		for id, tail := range d.tails {
+			if tail != s.tail && !tail.done {
+				e.deps = append(e.deps, tail)
+			}
+			delete(d.tails, id)
+		}
+		d.lastDefault = e
+	} else if d.lastDefault != nil && !d.lastDefault.done {
+		e.deps = append(e.deps, d.lastDefault)
+	}
+
+	s.tail = e
+	d.tails[s.id] = e
+	d.eng.enqueue(e)
+	return nil
+}
+
+// memcpy enqueues a DMA transfer of the given size on a stream. Transfers
+// respect stream ordering (and the default-stream barrier) but use the copy
+// engines: they consume neither SM resources nor kernel queue slots.
+func (d *Device) memcpy(name string, bytes int64, s *Stream) error {
+	if bytes < 0 {
+		return fmt.Errorf("simgpu: %s of negative size", name)
+	}
+	if s == nil {
+		s = d.def
+	}
+	if s.dev != d {
+		return fmt.Errorf("simgpu: %s on a stream of a different device", name)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if s.destroyed {
+		return fmt.Errorf("simgpu: %s on destroyed %v", name, s)
+	}
+	d.host += float64(d.spec.LaunchOverhead.Nanoseconds())
+	d.launches++
+	d.seq++
+	dur := float64(d.spec.MemcpyLatency.Nanoseconds()) + float64(bytes)/d.spec.PCIeBandwidth()*1e9
+	e := &kernelExec{
+		name:          name,
+		cfg:           LaunchConfig{Grid: D1(1), Block: D1(1)},
+		seq:           d.seq,
+		streamID:      s.id,
+		issue:         d.host,
+		totalBlocks:   1,
+		threads:       1,
+		fixedDur:      dur,
+		bytesPerBlock: float64(bytes),
+	}
+	if s.tail != nil && !s.tail.done {
+		e.deps = append(e.deps, s.tail)
+	}
+	if s.isDefault {
+		for id, tail := range d.tails {
+			if tail != s.tail && !tail.done {
+				e.deps = append(e.deps, tail)
+			}
+			delete(d.tails, id)
+		}
+		d.lastDefault = e
+	} else if d.lastDefault != nil && !d.lastDefault.done {
+		e.deps = append(e.deps, d.lastDefault)
+	}
+	s.tail = e
+	d.tails[s.id] = e
+	d.eng.enqueue(e)
+	return nil
+}
+
+// MemcpyHostToDevice models cudaMemcpyAsync(…, HostToDevice) of the given
+// size on a stream (nil = default stream).
+func (d *Device) MemcpyHostToDevice(bytes int64, s *Stream) error {
+	return d.memcpy("memcpyHtoD", bytes, s)
+}
+
+// MemcpyDeviceToHost models cudaMemcpyAsync(…, DeviceToHost).
+func (d *Device) MemcpyDeviceToHost(bytes int64, s *Stream) error {
+	return d.memcpy("memcpyDtoH", bytes, s)
+}
+
+// Synchronize drains all queued work, advances the host timeline to the
+// device completion time plus the synchronization overhead, and returns the
+// device clock.
+func (d *Device) Synchronize() (time.Duration, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.eng.drain(); err != nil {
+		return 0, err
+	}
+	d.syncs++
+	if d.eng.now > d.host {
+		d.host = d.eng.now
+	}
+	d.host += float64(d.spec.SyncOverhead.Nanoseconds())
+	return time.Duration(d.eng.now), nil
+}
+
+// Now returns the device clock after draining all pending work. Like
+// Synchronize it is a full barrier in virtual time.
+func (d *Device) Now() (time.Duration, error) {
+	t, err := d.Synchronize()
+	return t, err
+}
+
+// HostTime returns the host dispatch timeline (includes launch, stream
+// creation and sync overheads).
+func (d *Device) HostTime() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return time.Duration(d.host)
+}
+
+// AdvanceHost charges host-side work (e.g. GLP4NN's profiling parse and
+// MILP analysis, the paper's T_p and T_a) to the dispatch timeline: kernels
+// launched afterwards cannot start earlier than this work's completion.
+func (d *Device) AdvanceHost(dt time.Duration) {
+	if dt <= 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.host += float64(dt.Nanoseconds())
+}
+
+// ResetClocks drains pending work and resets both clocks and the trace. It
+// is the experiment-boundary operation: streams stay valid.
+func (d *Device) ResetClocks() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.eng.drain(); err != nil {
+		return err
+	}
+	d.eng.reset()
+	d.host = 0
+	d.records = nil
+	d.tails = map[int]*kernelExec{}
+	d.lastDefault = nil
+	d.traceDropped = 0
+	// Stream tails point at completed execs; clear them so no stale deps
+	// survive the reset.
+	d.def.tail = nil
+	return nil
+}
+
+// SetTracing switches kernel-record retention on or off (listeners always
+// fire).
+func (d *Device) SetTracing(on bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tracing = on
+}
+
+// Trace drains pending work and returns a copy of the retained records in
+// completion order.
+func (d *Device) Trace() ([]KernelRecord, error) {
+	if _, err := d.Synchronize(); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]KernelRecord, len(d.records))
+	copy(out, d.records)
+	return out, nil
+}
+
+// Subscribe registers a completion listener and returns an unsubscribe
+// token. Listeners run under the device lock during drains: they must not
+// call device methods.
+func (d *Device) Subscribe(fn func(KernelRecord)) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := d.nextLst
+	d.nextLst++
+	d.listeners[id] = fn
+	return id
+}
+
+// Unsubscribe removes a listener registered with Subscribe.
+func (d *Device) Unsubscribe(id int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.listeners, id)
+}
+
+func (d *Device) onComplete(e *kernelExec) {
+	r := KernelRecord{
+		Name:           e.name,
+		Tag:            e.tag,
+		StreamID:       e.streamID,
+		Seq:            e.seq,
+		Grid:           e.cfg.Grid,
+		Block:          e.cfg.Block,
+		RegsPerThread:  e.cfg.RegsPerThread,
+		SharedMemBytes: e.cfg.SharedMemBytes,
+		Queued:         time.Duration(e.issue),
+		Start:          time.Duration(e.start),
+		End:            time.Duration(e.end),
+		FLOPs:          float64(e.totalBlocks) * e.flopsPerBlock,
+		Bytes:          float64(e.totalBlocks) * e.bytesPerBlock,
+	}
+	if d.tracing {
+		if d.maxTrace > 0 && len(d.records) >= d.maxTrace {
+			d.traceDropped++
+		} else {
+			d.records = append(d.records, r)
+		}
+	}
+	for _, fn := range d.listeners {
+		fn(r)
+	}
+}
+
+// Stats is a snapshot of device counters, used by tests and reports.
+type Stats struct {
+	Launches     int64
+	Syncs        int64
+	StreamsMade  int64
+	TraceDropped int64
+	// ThreadNSIntegral is ∫ resident threads dt over the simulation, in
+	// thread-nanoseconds; dividing by elapsed×maxResident gives achieved
+	// occupancy.
+	ThreadNSIntegral float64
+	FLOPsRetired     float64
+	BytesRetired     float64
+	DeviceTime       time.Duration
+}
+
+// Stats drains pending work and returns the counter snapshot.
+func (d *Device) Stats() (Stats, error) {
+	if _, err := d.Synchronize(); err != nil {
+		return Stats{}, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Stats{
+		Launches:         d.launches,
+		Syncs:            d.syncs,
+		StreamsMade:      d.streamsMade,
+		TraceDropped:     d.traceDropped,
+		ThreadNSIntegral: d.eng.threadNSIntegral,
+		FLOPsRetired:     d.eng.flopsRetired,
+		BytesRetired:     d.eng.bytesRetired,
+		DeviceTime:       time.Duration(d.eng.now),
+	}, nil
+}
+
+// Machine is a host with one or more GPUs, mirroring the paper's topology:
+// GLP4NN shares one resource tracker and stream manager per machine and
+// gives each device a private analyzer and scheduler.
+type Machine struct {
+	devices []*Device
+}
+
+// NewMachine builds a machine over the given device specs.
+func NewMachine(specs ...DeviceSpec) *Machine {
+	m := &Machine{}
+	for i, s := range specs {
+		d := NewDevice(s)
+		d.SetID(i)
+		m.devices = append(m.devices, d)
+	}
+	return m
+}
+
+// Devices returns the machine's GPUs in id order.
+func (m *Machine) Devices() []*Device { return m.devices }
+
+// Device returns GPU i.
+func (m *Machine) Device(i int) *Device { return m.devices[i] }
+
+// SynchronizeAll drains every device and returns the max device clock.
+func (m *Machine) SynchronizeAll() (time.Duration, error) {
+	var max time.Duration
+	for _, d := range m.devices {
+		t, err := d.Synchronize()
+		if err != nil {
+			return 0, err
+		}
+		if t > max {
+			max = t
+		}
+	}
+	return max, nil
+}

@@ -1,0 +1,242 @@
+package simgpu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// randomWorkload drives a device with a random soup of kernels over random
+// streams (including the default stream) and returns the trace.
+func randomWorkload(t *testing.T, seed int64, spec DeviceSpec) []KernelRecord {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d := NewDevice(spec)
+	nStreams := 1 + rng.Intn(5)
+	streams := []*Stream{nil} // default stream
+	for i := 0; i < nStreams; i++ {
+		streams = append(streams, d.CreateStream())
+	}
+	n := 5 + rng.Intn(40)
+	for i := 0; i < n; i++ {
+		k := &Kernel{
+			Name: "k",
+			Config: LaunchConfig{
+				Grid:           D1(1 + rng.Intn(64)),
+				Block:          D1(32 * (1 + rng.Intn(8))),
+				SharedMemBytes: rng.Intn(3) * 4096,
+			},
+			Cost: Cost{
+				FLOPs: float64(rng.Intn(1_000_000)),
+				Bytes: float64(rng.Intn(500_000)),
+			},
+		}
+		if err := d.Launch(k, streams[rng.Intn(len(streams))]); err != nil {
+			t.Fatalf("seed %d: launch %d: %v", seed, i, err)
+		}
+		// Occasionally synchronize mid-stream to exercise lazy draining.
+		if rng.Intn(10) == 0 {
+			if _, err := d.Synchronize(); err != nil {
+				t.Fatalf("seed %d: sync: %v", seed, err)
+			}
+		}
+	}
+	recs, err := d.Trace()
+	if err != nil {
+		t.Fatalf("seed %d: trace: %v", seed, err)
+	}
+	if len(recs) != n {
+		t.Fatalf("seed %d: %d records for %d launches", seed, len(recs), n)
+	}
+	return recs
+}
+
+// TestQuickEngineInvariants checks structural invariants on random
+// workloads: timestamps are sane, per-stream execution is ordered, the
+// default stream is a two-sided barrier, and achieved throughput never
+// exceeds the device peak.
+func TestQuickEngineInvariants(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(2))}
+	f := func(seed int64) bool {
+		recs := randomWorkload(t, seed, testSpec)
+
+		bySeq := append([]KernelRecord(nil), recs...)
+		// Trace is completion-ordered; rebuild submission order by Seq.
+		for i := range bySeq {
+			for j := i + 1; j < len(bySeq); j++ {
+				if bySeq[j].Seq < bySeq[i].Seq {
+					bySeq[i], bySeq[j] = bySeq[j], bySeq[i]
+				}
+			}
+		}
+
+		var lastPerStream = map[int]KernelRecord{}
+		var lastDefault *KernelRecord
+		totalFlops := 0.0
+		var maxEnd time.Duration
+		for i := range bySeq {
+			r := bySeq[i]
+			if r.End < r.Start || r.Start < r.Queued {
+				t.Logf("seed %d: bad timestamps %+v", seed, r)
+				return false
+			}
+			if prev, ok := lastPerStream[r.StreamID]; ok && r.Start < prev.End {
+				t.Logf("seed %d: stream %d order violated: %v starts before %v ends",
+					seed, r.StreamID, r.Seq, prev.Seq)
+				return false
+			}
+			if r.StreamID == 0 {
+				// Barrier: must start after every earlier kernel ends.
+				for j := 0; j < i; j++ {
+					if bySeq[j].End > r.Start {
+						t.Logf("seed %d: default kernel %d started before kernel %d ended",
+							seed, r.Seq, bySeq[j].Seq)
+						return false
+					}
+				}
+				lastDefault = &bySeq[i]
+			} else if lastDefault != nil && r.Start < lastDefault.End {
+				t.Logf("seed %d: kernel %d overtook default barrier %d", seed, r.Seq, lastDefault.Seq)
+				return false
+			}
+			lastPerStream[r.StreamID] = r
+			totalFlops += r.FLOPs
+			if r.End > maxEnd {
+				maxEnd = r.End
+			}
+		}
+		if maxEnd > 0 {
+			peakPerNS := testSpec.PeakFlops() * 1e-9
+			if totalFlops/float64(maxEnd.Nanoseconds()) > peakPerNS*1.001 {
+				t.Logf("seed %d: throughput above peak", seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEngineDeterminism: the same seed must reproduce an identical
+// trace, timestamps included.
+func TestQuickEngineDeterminism(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(3))}
+	f := func(seed int64) bool {
+		a := randomWorkload(t, seed, testSpec)
+		b := randomWorkload(t, seed, testSpec)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Logf("seed %d: record %d differs:\n%v\n%v", seed, i, a[i], b[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickOccupancyNeverExceeded runs random workloads on catalog devices
+// and checks the residency integral never exceeds device capacity.
+func TestQuickOccupancyNeverExceeded(t *testing.T) {
+	specs := []DeviceSpec{TeslaK40C, TeslaP100, TitanXP}
+	cfg := &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(4))}
+	i := 0
+	f := func(seed int64) bool {
+		spec := specs[i%len(specs)]
+		i++
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDevice(spec)
+		streams := []*Stream{d.CreateStream(), d.CreateStream(), d.CreateStream()}
+		for j := 0; j < 25; j++ {
+			k := &Kernel{
+				Name: "k",
+				Config: LaunchConfig{
+					Grid:  D1(1 + rng.Intn(200)),
+					Block: D1(64 * (1 + rng.Intn(8))),
+				},
+				Cost: Cost{FLOPs: float64(1000 + rng.Intn(5_000_000))},
+			}
+			if err := d.Launch(k, streams[j%3]); err != nil {
+				return false
+			}
+		}
+		st, err := d.Stats()
+		if err != nil {
+			return false
+		}
+		elapsed := float64(st.DeviceTime.Nanoseconds())
+		if elapsed == 0 {
+			return false
+		}
+		capacity := float64(spec.SMCount * spec.MaxThreadsPerSM)
+		return st.ThreadNSIntegral/elapsed <= capacity*1.0001
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLongUnsyncedRunStaysFast guards against the quadratic dependency
+// explosion the original default-stream barrier had: thousands of launches
+// without an intervening sync must complete quickly.
+func TestLongUnsyncedRunStaysFast(t *testing.T) {
+	d := NewDevice(testSpec, WithTraceLimit(1))
+	start := time.Now()
+	for i := 0; i < 20000; i++ {
+		if err := d.Launch(computeKernel("k", 2, 128, 50000), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Synchronize(); err != nil {
+		t.Fatal(err)
+	}
+	if wall := time.Since(start); wall > 10*time.Second {
+		t.Fatalf("20k unsynced launches took %v", wall)
+	}
+}
+
+// TestFractionalCostsDoNotStallEngine is the regression test for a
+// floating-point event-loop stall: work residuals below the clock
+// resolution but above the absolute epsilon used to stall drain() forever.
+// Fractional costs at realistic magnitudes reproduce it.
+func TestFractionalCostsDoNotStallEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	d := NewDevice(TeslaP100, WithTraceLimit(1))
+	streams := []*Stream{nil, d.CreateStream(), d.CreateStream(), d.CreateStream()}
+	start := time.Now()
+	for i := 0; i < 3000; i++ {
+		k := &Kernel{
+			Name: "k",
+			Config: LaunchConfig{
+				Grid:  D1(1 + rng.Intn(80)),
+				Block: D1(32 + 32*rng.Intn(10)),
+			},
+			Cost: Cost{
+				FLOPs: rng.Float64() * 3e7,
+				Bytes: rng.Float64() * 4e6,
+			},
+		}
+		if err := d.Launch(k, streams[i%len(streams)]); err != nil {
+			t.Fatal(err)
+		}
+		if i%100 == 99 {
+			if _, err := d.Synchronize(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := d.Synchronize(); err != nil {
+		t.Fatal(err)
+	}
+	if wall := time.Since(start); wall > 20*time.Second {
+		t.Fatalf("engine took %v for 3000 fractional-cost kernels", wall)
+	}
+}

@@ -1,0 +1,103 @@
+package simgpu
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stream is a CUDA-like stream: an in-order command queue. Work on different
+// non-default streams may overlap on the device; the default stream has
+// legacy barrier semantics (a kernel on it waits for all prior work on every
+// stream and blocks all later work).
+type Stream struct {
+	id        int
+	dev       *Device
+	isDefault bool
+	destroyed bool
+	tail      *kernelExec // last kernel launched into this stream
+}
+
+// ID returns the stream's device-unique identifier; the default stream is 0.
+func (s *Stream) ID() int { return s.id }
+
+// IsDefault reports whether this is the device's default stream.
+func (s *Stream) IsDefault() bool { return s.isDefault }
+
+// Device returns the owning device.
+func (s *Stream) Device() *Device { return s.dev }
+
+// Synchronize blocks (in virtual time) until all work queued on this stream
+// has completed. With a lazy event engine every synchronization drains the
+// whole device, which is conservative but preserves all ordering guarantees.
+func (s *Stream) Synchronize() (time.Duration, error) {
+	return s.dev.Synchronize()
+}
+
+func (s *Stream) String() string {
+	if s.isDefault {
+		return "stream<default>"
+	}
+	return fmt.Sprintf("stream<%d>", s.id)
+}
+
+// Event is a CUDA-like event: a marker recorded into a stream whose
+// timestamp is the completion time of all work that preceded it there.
+type Event struct {
+	dev      *Device
+	recorded bool
+	after    *kernelExec // nil means "beginning of time" on an empty stream
+	at       float64     // resolved timestamp, valid once resolved
+	resolved bool
+}
+
+// NewEvent creates an unrecorded event on the device.
+func (d *Device) NewEvent() *Event { return &Event{dev: d} }
+
+// Record marks the event after the current tail of the stream.
+func (e *Event) Record(s *Stream) error {
+	if s.dev != e.dev {
+		return fmt.Errorf("simgpu: event recorded on stream of a different device")
+	}
+	s.dev.mu.Lock()
+	defer s.dev.mu.Unlock()
+	if s.destroyed {
+		return fmt.Errorf("simgpu: record on destroyed %v", s)
+	}
+	e.recorded = true
+	e.resolved = false
+	e.after = s.tail
+	return nil
+}
+
+// Synchronize resolves the event's timestamp, draining the device.
+func (e *Event) Synchronize() (time.Duration, error) {
+	if !e.recorded {
+		return 0, fmt.Errorf("simgpu: synchronize on unrecorded event")
+	}
+	if _, err := e.dev.Synchronize(); err != nil {
+		return 0, err
+	}
+	e.dev.mu.Lock()
+	defer e.dev.mu.Unlock()
+	if e.after == nil {
+		e.at = 0
+	} else {
+		e.at = e.after.end
+	}
+	e.resolved = true
+	return time.Duration(e.at), nil
+}
+
+// Elapsed returns the virtual time between two resolved events, like
+// cudaEventElapsedTime.
+func Elapsed(start, end *Event) (time.Duration, error) {
+	st, err := start.Synchronize()
+	if err != nil {
+		return 0, err
+	}
+	en, err := end.Synchronize()
+	if err != nil {
+		return 0, err
+	}
+	return en - st, nil
+}

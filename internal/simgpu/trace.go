@@ -1,0 +1,148 @@
+package simgpu
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// KernelRecord is the per-kernel activity record the simulator emits on
+// completion. It carries exactly the fields the paper's resource tracker
+// collects through CUPTI: the launch configuration (grid, block, registers
+// per thread, shared memory per block) and the execution timestamps.
+type KernelRecord struct {
+	Name string
+	Tag  string
+
+	StreamID int
+	Seq      int
+
+	Grid           Dim3
+	Block          Dim3
+	RegsPerThread  int
+	SharedMemBytes int
+
+	Queued time.Duration // host time the launch call completed
+	Start  time.Duration // first block cohort admitted to an SM
+	End    time.Duration // last block cohort retired
+
+	FLOPs float64
+	Bytes float64
+}
+
+// Duration is the kernel's resident time on the device.
+func (r KernelRecord) Duration() time.Duration { return r.End - r.Start }
+
+func (r KernelRecord) String() string {
+	return fmt.Sprintf("%-12s grid=%v block=%v regs=%d smem=%dB stream=%d [%v → %v] (%v)",
+		r.Name, r.Grid, r.Block, r.RegsPerThread, r.SharedMemBytes, r.StreamID,
+		r.Start, r.End, r.Duration())
+}
+
+// Timeline renders a set of kernel records as an ASCII per-stream Gantt
+// chart, the textual analogue of the paper's Fig. 3 profiler timeline. Width
+// is the number of character columns used for the time axis.
+func Timeline(records []KernelRecord, width int) string {
+	if len(records) == 0 {
+		return "(empty timeline)\n"
+	}
+	if width <= 0 {
+		width = 100
+	}
+	minT := records[0].Start
+	maxT := records[0].End
+	streams := map[int][]KernelRecord{}
+	for _, r := range records {
+		if r.Start < minT {
+			minT = r.Start
+		}
+		if r.End > maxT {
+			maxT = r.End
+		}
+		streams[r.StreamID] = append(streams[r.StreamID], r)
+	}
+	span := maxT - minT
+	if span <= 0 {
+		span = 1
+	}
+	ids := make([]int, 0, len(streams))
+	for id := range streams {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline %v .. %v (span %v)\n", minT, maxT, span)
+	for _, id := range ids {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		recs := streams[id]
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Start < recs[j].Start })
+		for _, r := range recs {
+			lo := int(float64(r.Start-minT) / float64(span) * float64(width))
+			hi := int(float64(r.End-minT) / float64(span) * float64(width))
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > width {
+				hi = width
+			}
+			glyph := kernelGlyph(r.Name)
+			for i := lo; i < hi; i++ {
+				row[i] = glyph
+			}
+		}
+		label := fmt.Sprintf("stream %2d", id)
+		if id == 0 {
+			label = "stream  0 (default)"
+		}
+		fmt.Fprintf(&b, "%-20s |%s|\n", label, row)
+	}
+	b.WriteString("legend: ")
+	seen := map[byte]string{}
+	order := []byte{}
+	for _, id := range ids {
+		for _, r := range streams[id] {
+			g := kernelGlyph(r.Name)
+			if _, ok := seen[g]; !ok {
+				seen[g] = r.Name
+				order = append(order, g)
+			}
+		}
+	}
+	for i, g := range order {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%c=%s", g, seen[g])
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func kernelGlyph(name string) byte {
+	if name == "" {
+		return '#'
+	}
+	switch {
+	case strings.Contains(name, "im2col"):
+		return 'i'
+	case strings.Contains(name, "gemmk"):
+		return 'b'
+	case strings.Contains(name, "gemm"):
+		return 'g'
+	case strings.Contains(name, "pool"):
+		return 'p'
+	case strings.Contains(name, "relu"):
+		return 'r'
+	default:
+		c := name[0]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+			return c
+		}
+		return '#'
+	}
+}

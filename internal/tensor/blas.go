@@ -1,0 +1,173 @@
+package tensor
+
+import "fmt"
+
+// Gemm computes C = alpha * op(A)·op(B) + beta * C for row-major packed
+// matrices, mirroring the cblas_sgemm calls Caffe makes: op(A) is M×K,
+// op(B) is K×N, C is M×N. transA/transB select op = transpose.
+//
+// The kernel is an ikj loop with a contiguous AXPY inner loop, which is
+// cache-friendly for row-major data and lets the compiler vectorize; for the
+// transposed cases the operand is repacked once, so every hot loop runs on
+// contiguous rows.
+func Gemm(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	if m < 0 || n < 0 || k < 0 {
+		panic(fmt.Sprintf("tensor: Gemm negative dims m=%d n=%d k=%d", m, n, k))
+	}
+	if len(c) < m*n {
+		panic(fmt.Sprintf("tensor: Gemm C too small: %d < %d", len(c), m*n))
+	}
+	if len(a) < m*k {
+		panic(fmt.Sprintf("tensor: Gemm A too small: %d < %d", len(a), m*k))
+	}
+	if len(b) < k*n {
+		panic(fmt.Sprintf("tensor: Gemm B too small: %d < %d", len(b), k*n))
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+
+	// Scale C by beta first.
+	switch beta {
+	case 1:
+	case 0:
+		for i := 0; i < m*n; i++ {
+			c[i] = 0
+		}
+	default:
+		for i := 0; i < m*n; i++ {
+			c[i] *= beta
+		}
+	}
+	if k == 0 || alpha == 0 {
+		return
+	}
+
+	// Repack transposed operands so inner loops are contiguous.
+	// After packing: A is M×K row-major, B is K×N row-major.
+	if transA {
+		a = transpose(a, k, m) // stored K×M → M×K
+	}
+	if transB {
+		b = transpose(b, n, k) // stored N×K → K×N
+	}
+
+	for i := 0; i < m; i++ {
+		ci := c[i*n : i*n+n]
+		ai := a[i*k : i*k+k]
+		for l := 0; l < k; l++ {
+			av := alpha * ai[l]
+			if av == 0 {
+				continue
+			}
+			bl := b[l*n : l*n+n]
+			axpy(av, bl, ci)
+		}
+	}
+}
+
+// axpy computes y += a*x over equal-length slices. Split out so the bounds
+// check hoists and the loop vectorizes.
+func axpy(a float32, x, y []float32) {
+	_ = y[len(x)-1]
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// transpose returns the transpose of an r×c row-major matrix as a c×r
+// row-major matrix.
+func transpose(src []float32, r, c int) []float32 {
+	dst := make([]float32, r*c)
+	for i := 0; i < r; i++ {
+		row := src[i*c : i*c+c]
+		for j, v := range row {
+			dst[j*r+i] = v
+		}
+	}
+	return dst
+}
+
+// Gemv computes y = alpha * op(A)·x + beta * y, A row-major M×N.
+func Gemv(trans bool, m, n int, alpha float32, a, x []float32, beta float32, y []float32) {
+	ylen, xlen := m, n
+	if trans {
+		ylen, xlen = n, m
+	}
+	if len(x) < xlen || len(y) < ylen {
+		panic("tensor: Gemv operand too small")
+	}
+	switch beta {
+	case 1:
+	case 0:
+		for i := 0; i < ylen; i++ {
+			y[i] = 0
+		}
+	default:
+		for i := 0; i < ylen; i++ {
+			y[i] *= beta
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	if !trans {
+		for i := 0; i < m; i++ {
+			row := a[i*n : i*n+n]
+			s := float32(0)
+			for j, v := range row {
+				s += v * x[j]
+			}
+			y[i] += alpha * s
+		}
+	} else {
+		for i := 0; i < m; i++ {
+			row := a[i*n : i*n+n]
+			ax := alpha * x[i]
+			if ax == 0 {
+				continue
+			}
+			axpy(ax, row, y[:n])
+		}
+	}
+}
+
+// Axpy computes y += a*x.
+func Axpy(a float32, x, y []float32) {
+	if len(y) < len(x) {
+		panic("tensor: Axpy y shorter than x")
+	}
+	if a == 0 || len(x) == 0 {
+		return
+	}
+	axpy(a, x, y[:len(x)])
+}
+
+// Axpby computes y = a*x + b*y.
+func Axpby(a float32, x []float32, b float32, y []float32) {
+	if len(y) < len(x) {
+		panic("tensor: Axpby y shorter than x")
+	}
+	for i, v := range x {
+		y[i] = a*v + b*y[i]
+	}
+}
+
+// Scal scales x by a.
+func Scal(a float32, x []float32) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Dot returns xᵀy in float64.
+func Dot(x, y []float32) float64 {
+	if len(x) != len(y) {
+		panic("tensor: Dot length mismatch")
+	}
+	s := 0.0
+	for i := range x {
+		s += float64(x[i]) * float64(y[i])
+	}
+	return s
+}

@@ -1,0 +1,93 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Filler initializes tensors, mirroring Caffe's filler taxonomy. Fillers are
+// deterministic given the provided RNG, which keeps whole-training runs
+// reproducible (the convergence experiment depends on it).
+type Filler interface {
+	Fill(t *Tensor, rng *rand.Rand)
+}
+
+// ConstantFiller sets every element to Value.
+type ConstantFiller struct{ Value float32 }
+
+// Fill implements Filler.
+func (f ConstantFiller) Fill(t *Tensor, _ *rand.Rand) { t.Fill(f.Value) }
+
+// UniformFiller draws from [Min, Max).
+type UniformFiller struct{ Min, Max float32 }
+
+// Fill implements Filler.
+func (f UniformFiller) Fill(t *Tensor, rng *rand.Rand) {
+	span := f.Max - f.Min
+	d := t.Data()
+	for i := range d {
+		d[i] = f.Min + span*rng.Float32()
+	}
+}
+
+// GaussianFiller draws from N(Mean, Std²).
+type GaussianFiller struct{ Mean, Std float32 }
+
+// Fill implements Filler.
+func (f GaussianFiller) Fill(t *Tensor, rng *rand.Rand) {
+	d := t.Data()
+	for i := range d {
+		d[i] = f.Mean + f.Std*float32(rng.NormFloat64())
+	}
+}
+
+// XavierFiller draws uniformly from ±sqrt(3/fan_in), Caffe's default "xavier"
+// variance scaling for convolution and inner-product weights.
+type XavierFiller struct{}
+
+// Fill implements Filler.
+func (XavierFiller) Fill(t *Tensor, rng *rand.Rand) {
+	fanIn := fanInOf(t)
+	if fanIn == 0 {
+		fanIn = 1
+	}
+	scale := float32(math.Sqrt(3.0 / float64(fanIn)))
+	d := t.Data()
+	for i := range d {
+		d[i] = (2*rng.Float32() - 1) * scale
+	}
+}
+
+// MSRAFiller draws from N(0, 2/fan_in), the He initialization Caffe calls
+// "msra"; appropriate ahead of ReLU nonlinearities.
+type MSRAFiller struct{}
+
+// Fill implements Filler.
+func (MSRAFiller) Fill(t *Tensor, rng *rand.Rand) {
+	fanIn := fanInOf(t)
+	if fanIn == 0 {
+		fanIn = 1
+	}
+	std := float32(math.Sqrt(2.0 / float64(fanIn)))
+	d := t.Data()
+	for i := range d {
+		d[i] = std * float32(rng.NormFloat64())
+	}
+}
+
+// fanInOf follows Caffe: for a weight blob shaped (out, in, kh, kw) or
+// (out, in), the fan-in is the product of all dimensions but the first.
+func fanInOf(t *Tensor) int {
+	s := t.Shape()
+	if len(s) == 0 {
+		return 1
+	}
+	f := 1
+	for _, d := range s[1:] {
+		f *= d
+	}
+	if len(s) == 1 {
+		f = s[0]
+	}
+	return f
+}

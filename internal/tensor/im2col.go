@@ -1,0 +1,106 @@
+package tensor
+
+// ConvGeom describes one 2-D convolution's spatial geometry, mirroring the
+// layer parameters of the paper's Table 5: C_i input channels, H×W input,
+// F_h×F_w filter, stride S, padding P (symmetric).
+type ConvGeom struct {
+	Channels         int // C_i
+	Height, Width    int // H, W
+	KernelH, KernelW int
+	StrideH, StrideW int
+	PadH, PadW       int
+}
+
+// OutH returns the output feature-map height.
+func (g ConvGeom) OutH() int {
+	return (g.Height+2*g.PadH-g.KernelH)/g.StrideH + 1
+}
+
+// OutW returns the output feature-map width.
+func (g ConvGeom) OutW() int {
+	return (g.Width+2*g.PadW-g.KernelW)/g.StrideW + 1
+}
+
+// ColRows returns C_i·F_h·F_w, the number of rows of the column buffer.
+func (g ConvGeom) ColRows() int { return g.Channels * g.KernelH * g.KernelW }
+
+// ColCols returns OutH·OutW, the number of columns of the column buffer.
+func (g ConvGeom) ColCols() int { return g.OutH() * g.OutW() }
+
+// Im2col expands one image (C×H×W, row-major) into the column buffer used
+// by GEMM-based convolution, exactly as Caffe's im2col_gpu kernel does:
+// col is (C·KH·KW) × (OutH·OutW) row-major, zero-padded where the window
+// leaves the image.
+func Im2col(img []float32, g ConvGeom, col []float32) {
+	oh, ow := g.OutH(), g.OutW()
+	if len(img) < g.Channels*g.Height*g.Width {
+		panic("tensor: Im2col image too small")
+	}
+	if len(col) < g.ColRows()*g.ColCols() {
+		panic("tensor: Im2col column buffer too small")
+	}
+	idx := 0
+	for c := 0; c < g.Channels; c++ {
+		plane := img[c*g.Height*g.Width:]
+		for kh := 0; kh < g.KernelH; kh++ {
+			for kw := 0; kw < g.KernelW; kw++ {
+				for y := 0; y < oh; y++ {
+					iy := y*g.StrideH - g.PadH + kh
+					if iy < 0 || iy >= g.Height {
+						for x := 0; x < ow; x++ {
+							col[idx] = 0
+							idx++
+						}
+						continue
+					}
+					rowBase := iy * g.Width
+					for x := 0; x < ow; x++ {
+						ix := x*g.StrideW - g.PadW + kw
+						if ix < 0 || ix >= g.Width {
+							col[idx] = 0
+						} else {
+							col[idx] = plane[rowBase+ix]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2im is the adjoint of Im2col: it accumulates the column buffer back
+// into image gradients (C×H×W). The destination must be zeroed by the
+// caller when accumulation from scratch is wanted.
+func Col2im(col []float32, g ConvGeom, img []float32) {
+	oh, ow := g.OutH(), g.OutW()
+	if len(img) < g.Channels*g.Height*g.Width {
+		panic("tensor: Col2im image too small")
+	}
+	if len(col) < g.ColRows()*g.ColCols() {
+		panic("tensor: Col2im column buffer too small")
+	}
+	idx := 0
+	for c := 0; c < g.Channels; c++ {
+		plane := img[c*g.Height*g.Width : (c+1)*g.Height*g.Width]
+		for kh := 0; kh < g.KernelH; kh++ {
+			for kw := 0; kw < g.KernelW; kw++ {
+				for y := 0; y < oh; y++ {
+					iy := y*g.StrideH - g.PadH + kh
+					if iy < 0 || iy >= g.Height {
+						idx += ow
+						continue
+					}
+					rowBase := iy * g.Width
+					for x := 0; x < ow; x++ {
+						ix := x*g.StrideW - g.PadW + kw
+						if ix >= 0 && ix < g.Width {
+							plane[rowBase+ix] += col[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}

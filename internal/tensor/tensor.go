@@ -1,0 +1,229 @@
+// Package tensor provides the dense float32 n-dimensional arrays and the
+// small BLAS subset (GEMM, GEMV, AXPY, im2col/col2im) that the Caffe-like
+// framework in internal/dnn computes with. Layout is row-major (Caffe's
+// N×C×H×W convention for 4-D blobs). All math runs on the host CPU: in this
+// reproduction the GPU is simulated for *timing*, while numerical results
+// are real so convergence experiments are genuine.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Tensor is a dense row-major float32 array with an explicit shape.
+type Tensor struct {
+	shape []int
+	data  []float32
+}
+
+// New allocates a zeroed tensor with the given shape. A zero-dimensional
+// tensor holds one scalar element.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape; the slice is used
+// directly, not copied.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v needs %d elements, slice has %d", shape, n, len(data)))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: data}
+}
+
+// Shape returns the tensor's dimensions (not a copy; callers must not
+// mutate).
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dim returns the i-th dimension.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// NumDims returns the rank.
+func (t *Tensor) NumDims() int { return len(t.shape) }
+
+// Len returns the total element count.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Data exposes the backing slice.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// At reads the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float32 { return t.data[t.Offset(idx...)] }
+
+// Set writes the element at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) { t.data[t.Offset(idx...)] = v }
+
+// Offset converts a multi-index to a flat offset.
+func (t *Tensor) Offset(idx ...int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d vs shape rank %d", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// Reshape reinterprets the tensor with a new shape of the same size.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)",
+			t.shape, len(t.data), shape, n))
+	}
+	t.shape = append(t.shape[:0], shape...)
+	return t
+}
+
+// Clone deep-copies the tensor.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// CopyFrom copies src's data into t; shapes must have equal element counts.
+func (t *Tensor) CopyFrom(src *Tensor) {
+	if len(src.data) != len(t.data) {
+		panic(fmt.Sprintf("tensor: copy size mismatch %d vs %d", len(src.data), len(t.data)))
+	}
+	copy(t.data, src.data)
+}
+
+// Zero sets all elements to 0.
+func (t *Tensor) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// Fill sets all elements to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Scale multiplies all elements by a.
+func (t *Tensor) Scale(a float32) {
+	if a == 1 {
+		return
+	}
+	for i := range t.data {
+		t.data[i] *= a
+	}
+}
+
+// AddFrom accumulates src into t element-wise.
+func (t *Tensor) AddFrom(src *Tensor) {
+	if len(src.data) != len(t.data) {
+		panic("tensor: AddFrom size mismatch")
+	}
+	for i, v := range src.data {
+		t.data[i] += v
+	}
+}
+
+// Sum returns the element sum in float64 for accuracy.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += float64(v)
+	}
+	return s
+}
+
+// AbsSum returns the L1 norm (Caffe's asum, used for loss and debug).
+func (t *Tensor) AbsSum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += math.Abs(float64(v))
+	}
+	return s
+}
+
+// SquaredSum returns the L2 norm squared.
+func (t *Tensor) SquaredSum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += float64(v) * float64(v)
+	}
+	return s
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference between
+// two same-sized tensors (test helper for invariance checks).
+func MaxAbsDiff(a, b *Tensor) float64 {
+	if a.Len() != b.Len() {
+		panic("tensor: MaxAbsDiff size mismatch")
+	}
+	m := 0.0
+	for i := range a.data {
+		d := math.Abs(float64(a.data[i]) - float64(b.data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Equal reports whether two tensors have identical shape and bitwise-equal
+// data (the paper's convergence-invariance is "no parameter changes"; our
+// test asserts this exactly).
+func Equal(a, b *Tensor) bool {
+	if len(a.shape) != len(b.shape) {
+		return false
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			return false
+		}
+	}
+	for i := range a.data {
+		if math.Float32bits(a.data[i]) != math.Float32bits(b.data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a short description plus up to eight leading values.
+func (t *Tensor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tensor%v[", t.shape)
+	n := len(t.data)
+	if n > 8 {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%.4g", t.data[i])
+	}
+	if n < len(t.data) {
+		b.WriteString(" ...")
+	}
+	b.WriteString("]")
+	return b.String()
+}

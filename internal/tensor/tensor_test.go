@@ -1,0 +1,441 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndIndexing(t *testing.T) {
+	a := New(2, 3, 4)
+	if a.Len() != 24 || a.NumDims() != 3 || a.Dim(1) != 3 {
+		t.Fatalf("bad dims: len=%d rank=%d", a.Len(), a.NumDims())
+	}
+	a.Set(7, 1, 2, 3)
+	if a.At(1, 2, 3) != 7 {
+		t.Fatal("Set/At roundtrip failed")
+	}
+	if a.Offset(1, 2, 3) != 1*12+2*4+3 {
+		t.Fatalf("offset = %d", a.Offset(1, 2, 3))
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	a := New(2, 2)
+	assertPanics(t, func() { a.At(2, 0) })
+	assertPanics(t, func() { a.At(0) })
+	assertPanics(t, func() { New(-1) })
+	assertPanics(t, func() { a.Reshape(3, 3) })
+	assertPanics(t, func() { FromSlice([]float32{1, 2, 3}, 2, 2) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestReshapeAndClone(t *testing.T) {
+	a := New(2, 6)
+	a.Set(5, 1, 3)
+	a.Reshape(3, 4)
+	if a.At(2, 1) != 5 { // flat offset 9 in both shapes
+		t.Fatal("reshape moved data")
+	}
+	c := a.Clone()
+	c.Set(9, 0, 0)
+	if a.At(0, 0) == 9 {
+		t.Fatal("clone aliases data")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float32{1, -2, 3}, 3)
+	b := FromSlice([]float32{10, 20, 30}, 3)
+	a.AddFrom(b)
+	if a.At(1) != 18 {
+		t.Fatalf("AddFrom: %v", a)
+	}
+	a.Scale(2)
+	if a.At(0) != 22 {
+		t.Fatalf("Scale: %v", a)
+	}
+	a.Fill(1.5)
+	if a.Sum() != 4.5 {
+		t.Fatalf("Fill/Sum: %v", a.Sum())
+	}
+	a.Zero()
+	if a.AbsSum() != 0 {
+		t.Fatal("Zero failed")
+	}
+	c := FromSlice([]float32{3, -4}, 2)
+	if c.SquaredSum() != 25 {
+		t.Fatalf("SquaredSum = %v", c.SquaredSum())
+	}
+}
+
+func TestEqualAndMaxAbsDiff(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := FromSlice([]float32{1, 2}, 2)
+	if !Equal(a, b) {
+		t.Fatal("equal tensors reported unequal")
+	}
+	b.Set(2.5, 1)
+	if Equal(a, b) {
+		t.Fatal("unequal tensors reported equal")
+	}
+	if MaxAbsDiff(a, b) != 0.5 {
+		t.Fatalf("MaxAbsDiff = %v", MaxAbsDiff(a, b))
+	}
+	c := FromSlice([]float32{1, 2}, 1, 2)
+	if Equal(a, c) {
+		t.Fatal("different shapes reported equal")
+	}
+}
+
+// gemmRef is the straightforward triple loop used as ground truth.
+func gemmRef(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	at := func(i, l int) float32 {
+		if transA {
+			return a[l*m+i]
+		}
+		return a[i*k+l]
+	}
+	bt := func(l, j int) float32 {
+		if transB {
+			return b[j*k+l]
+		}
+		return b[l*n+j]
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := float32(0)
+			for l := 0; l < k; l++ {
+				s += at(i, l) * bt(l, j)
+			}
+			c[i*n+j] = alpha*s + beta*c[i*n+j]
+		}
+	}
+}
+
+func TestGemmAllTransposeCombos(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, ta := range []bool{false, true} {
+		for _, tb := range []bool{false, true} {
+			for trial := 0; trial < 8; trial++ {
+				m, n, k := 1+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(12)
+				a := randSlice(rng, m*k)
+				b := randSlice(rng, k*n)
+				c0 := randSlice(rng, m*n)
+				alpha := float32(rng.NormFloat64())
+				beta := float32(rng.NormFloat64())
+
+				got := append([]float32(nil), c0...)
+				want := append([]float32(nil), c0...)
+				Gemm(ta, tb, m, n, k, alpha, a, b, beta, got)
+				gemmRef(ta, tb, m, n, k, alpha, a, b, beta, want)
+				for i := range got {
+					if math.Abs(float64(got[i]-want[i])) > 1e-3 {
+						t.Fatalf("ta=%v tb=%v m=%d n=%d k=%d: C[%d]=%v want %v",
+							ta, tb, m, n, k, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGemmEdgeCases(t *testing.T) {
+	// k=0 with beta=0 zeroes C; alpha=0 leaves beta*C.
+	c := []float32{1, 2, 3, 4}
+	Gemm(false, false, 2, 2, 0, 1, nil, nil, 0, c)
+	for _, v := range c {
+		if v != 0 {
+			t.Fatalf("k=0 beta=0 left %v", c)
+		}
+	}
+	c = []float32{1, 2, 3, 4}
+	a := []float32{1, 1, 1, 1}
+	b := []float32{1, 1, 1, 1}
+	Gemm(false, false, 2, 2, 2, 0, a, b, 2, c)
+	if c[0] != 2 || c[3] != 8 {
+		t.Fatalf("alpha=0 beta=2: %v", c)
+	}
+	// m=0 / n=0 are no-ops.
+	Gemm(false, false, 0, 2, 2, 1, a, b, 1, nil)
+	assertPanics(t, func() { Gemm(false, false, 2, 2, 2, 1, a[:3], b, 1, c) })
+	assertPanics(t, func() { Gemm(false, false, -1, 2, 2, 1, a, b, 1, c) })
+}
+
+func TestQuickGemmMatchesReference(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(3))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n, k := 1+rng.Intn(20), 1+rng.Intn(20), 1+rng.Intn(20)
+		ta, tb := rng.Intn(2) == 0, rng.Intn(2) == 0
+		a := randSlice(rng, m*k)
+		b := randSlice(rng, k*n)
+		got := randSlice(rng, m*n)
+		want := append([]float32(nil), got...)
+		Gemm(ta, tb, m, n, k, 1, a, b, 1, got)
+		gemmRef(ta, tb, m, n, k, 1, a, b, 1, want)
+		for i := range got {
+			if math.Abs(float64(got[i]-want[i])) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGemv(t *testing.T) {
+	// A = [[1,2],[3,4],[5,6]] (3×2)
+	a := []float32{1, 2, 3, 4, 5, 6}
+	x := []float32{1, 1}
+	y := make([]float32, 3)
+	Gemv(false, 3, 2, 1, a, x, 0, y)
+	want := []float32{3, 7, 11}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("Gemv: %v want %v", y, want)
+		}
+	}
+	// transposed: Aᵀ·[1,1,1] = [9,12]
+	x3 := []float32{1, 1, 1}
+	y2 := make([]float32, 2)
+	Gemv(true, 3, 2, 1, a, x3, 0, y2)
+	if y2[0] != 9 || y2[1] != 12 {
+		t.Fatalf("Gemv trans: %v", y2)
+	}
+	// beta accumulate
+	Gemv(false, 3, 2, 1, a, x, 1, y)
+	if y[0] != 6 {
+		t.Fatalf("Gemv beta=1: %v", y)
+	}
+	assertPanics(t, func() { Gemv(false, 3, 2, 1, a, x[:1], 0, y) })
+}
+
+func TestVectorOps(t *testing.T) {
+	x := []float32{1, 2, 3}
+	y := []float32{10, 10, 10}
+	Axpy(2, x, y)
+	if y[2] != 16 {
+		t.Fatalf("Axpy: %v", y)
+	}
+	Axpby(1, x, 0.5, y)
+	if y[0] != 7 {
+		t.Fatalf("Axpby: %v", y)
+	}
+	Scal(2, x)
+	if x[1] != 4 {
+		t.Fatalf("Scal: %v", x)
+	}
+	if Dot([]float32{1, 2}, []float32{3, 4}) != 11 {
+		t.Fatal("Dot")
+	}
+	assertPanics(t, func() { Dot([]float32{1}, []float32{1, 2}) })
+	assertPanics(t, func() { Axpy(1, x, y[:1]) })
+}
+
+func TestConvGeom(t *testing.T) {
+	// CaffeNet conv1: 227×227, 11×11 filter, stride 4, no pad → 55×55.
+	g := ConvGeom{Channels: 3, Height: 227, Width: 227, KernelH: 11, KernelW: 11, StrideH: 4, StrideW: 4}
+	if g.OutH() != 55 || g.OutW() != 55 {
+		t.Fatalf("CaffeNet conv1 out = %dx%d, want 55x55", g.OutH(), g.OutW())
+	}
+	// CIFAR10 conv1: 32×32, 5×5, stride 1, pad 2 → 32×32.
+	g2 := ConvGeom{Channels: 3, Height: 32, Width: 32, KernelH: 5, KernelW: 5, StrideH: 1, StrideW: 1, PadH: 2, PadW: 2}
+	if g2.OutH() != 32 || g2.OutW() != 32 {
+		t.Fatalf("CIFAR10 conv1 out = %dx%d, want 32x32", g2.OutH(), g2.OutW())
+	}
+	if g2.ColRows() != 3*25 || g2.ColCols() != 32*32 {
+		t.Fatal("col dims wrong")
+	}
+}
+
+// convRef computes direct convolution as ground truth for the im2col+GEMM
+// path.
+func convRef(img []float32, g ConvGeom, w []float32, co int) []float32 {
+	oh, ow := g.OutH(), g.OutW()
+	out := make([]float32, co*oh*ow)
+	for o := 0; o < co; o++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				s := float32(0)
+				for c := 0; c < g.Channels; c++ {
+					for kh := 0; kh < g.KernelH; kh++ {
+						for kw := 0; kw < g.KernelW; kw++ {
+							iy := y*g.StrideH - g.PadH + kh
+							ix := x*g.StrideW - g.PadW + kw
+							if iy < 0 || iy >= g.Height || ix < 0 || ix >= g.Width {
+								continue
+							}
+							wv := w[((o*g.Channels+c)*g.KernelH+kh)*g.KernelW+kw]
+							s += wv * img[(c*g.Height+iy)*g.Width+ix]
+						}
+					}
+				}
+				out[(o*oh+y)*ow+x] = s
+			}
+		}
+	}
+	return out
+}
+
+func TestIm2colGemmMatchesDirectConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := ConvGeom{Channels: 3, Height: 8, Width: 7, KernelH: 3, KernelW: 2, StrideH: 2, StrideW: 1, PadH: 1, PadW: 1}
+	co := 4
+	img := randSlice(rng, g.Channels*g.Height*g.Width)
+	w := randSlice(rng, co*g.ColRows())
+	col := make([]float32, g.ColRows()*g.ColCols())
+	Im2col(img, g, col)
+	got := make([]float32, co*g.ColCols())
+	Gemm(false, false, co, g.ColCols(), g.ColRows(), 1, w, col, 0, got)
+	want := convRef(img, g, w, co)
+	for i := range want {
+		if math.Abs(float64(got[i]-want[i])) > 1e-4 {
+			t.Fatalf("conv mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestQuickCol2imIsAdjointOfIm2col checks the defining property of the
+// adjoint: ⟨im2col(x), y⟩ = ⟨x, col2im(y)⟩ for random x, y, geometry.
+func TestQuickCol2imIsAdjointOfIm2col(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(5))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := ConvGeom{
+			Channels: 1 + rng.Intn(3),
+			Height:   3 + rng.Intn(6),
+			Width:    3 + rng.Intn(6),
+			KernelH:  1 + rng.Intn(3),
+			KernelW:  1 + rng.Intn(3),
+			StrideH:  1 + rng.Intn(2),
+			StrideW:  1 + rng.Intn(2),
+			PadH:     rng.Intn(2),
+			PadW:     rng.Intn(2),
+		}
+		if g.OutH() <= 0 || g.OutW() <= 0 {
+			return true
+		}
+		x := randSlice(rng, g.Channels*g.Height*g.Width)
+		y := randSlice(rng, g.ColRows()*g.ColCols())
+		cx := make([]float32, len(y))
+		Im2col(x, g, cx)
+		xy := Dot(cx, y)
+		back := make([]float32, len(x))
+		Col2im(y, g, back)
+		yx := Dot(x, back)
+		return math.Abs(xy-yx) < 1e-2*(1+math.Abs(xy))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIm2colSizePanics(t *testing.T) {
+	g := ConvGeom{Channels: 1, Height: 4, Width: 4, KernelH: 2, KernelW: 2, StrideH: 1, StrideW: 1}
+	assertPanics(t, func() { Im2col(make([]float32, 3), g, make([]float32, 100)) })
+	assertPanics(t, func() { Im2col(make([]float32, 16), g, make([]float32, 3)) })
+	assertPanics(t, func() { Col2im(make([]float32, 3), g, make([]float32, 16)) })
+	assertPanics(t, func() { Col2im(make([]float32, 100), g, make([]float32, 3)) })
+}
+
+func TestFillers(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	w := New(32, 16, 3, 3) // fan-in 144
+
+	ConstantFiller{Value: 2}.Fill(w, rng)
+	if w.Sum() != float64(2*w.Len()) {
+		t.Fatal("constant filler")
+	}
+
+	UniformFiller{Min: -1, Max: 1}.Fill(w, rng)
+	for _, v := range w.Data() {
+		if v < -1 || v >= 1 {
+			t.Fatalf("uniform out of range: %v", v)
+		}
+	}
+
+	GaussianFiller{Mean: 0, Std: 0.1}.Fill(w, rng)
+	std := math.Sqrt(w.SquaredSum() / float64(w.Len()))
+	if std < 0.08 || std > 0.12 {
+		t.Fatalf("gaussian std = %v, want ≈0.1", std)
+	}
+
+	XavierFiller{}.Fill(w, rng)
+	bound := math.Sqrt(3.0 / 144.0)
+	for _, v := range w.Data() {
+		if float64(v) < -bound || float64(v) > bound {
+			t.Fatalf("xavier out of ±%v: %v", bound, v)
+		}
+	}
+
+	MSRAFiller{}.Fill(w, rng)
+	std = math.Sqrt(w.SquaredSum() / float64(w.Len()))
+	wantStd := math.Sqrt(2.0 / 144.0)
+	if std < wantStd*0.8 || std > wantStd*1.2 {
+		t.Fatalf("msra std = %v, want ≈%v", std, wantStd)
+	}
+
+	// Determinism given the same seed.
+	a, b := New(8), New(8)
+	XavierFiller{}.Fill(a, rand.New(rand.NewSource(1)))
+	XavierFiller{}.Fill(b, rand.New(rand.NewSource(1)))
+	if !Equal(a, b) {
+		t.Fatal("filler not deterministic under fixed seed")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	a := New(3, 4)
+	s := a.String()
+	if s == "" {
+		t.Fatal("empty String")
+	}
+	big := New(100)
+	if bs := big.String(); len(bs) > 200 {
+		t.Fatalf("String of big tensor too long: %d chars", len(bs))
+	}
+}
+
+func randSlice(rng *rand.Rand, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = float32(rng.NormFloat64())
+	}
+	return s
+}
+
+func BenchmarkGemm128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 128
+	a := randSlice(rng, n*n)
+	bb := randSlice(rng, n*n)
+	c := make([]float32, n*n)
+	b.SetBytes(int64(2 * n * n * n)) // FLOPs as "bytes" proxy
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gemm(false, false, n, n, n, 1, a, bb, 0, c)
+	}
+}
+
+func BenchmarkIm2colCIFAR(b *testing.B) {
+	g := ConvGeom{Channels: 3, Height: 32, Width: 32, KernelH: 5, KernelW: 5, StrideH: 1, StrideW: 1, PadH: 2, PadW: 2}
+	img := make([]float32, g.Channels*g.Height*g.Width)
+	col := make([]float32, g.ColRows()*g.ColCols())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Im2col(img, g, col)
+	}
+}
