@@ -1,0 +1,45 @@
+GO ?= go
+
+# Every main in the module; `make bins` proves each still builds.
+MAINS := \
+	./cmd/glp4nn-bench \
+	./cmd/glp4nn-info \
+	./cmd/glp4nn-train \
+	./examples/caffenet-sweep \
+	./examples/convergence \
+	./examples/dataparallel \
+	./examples/multigpu \
+	./examples/quickstart \
+	./examples/timeline
+
+.PHONY: tier1 vet build test race bins bench clean
+
+# tier1 is the CI gate: vet, build, the full test suite under the race
+# detector (the host-side parallel engine must stay race-clean), and a
+# build of every binary.
+tier1: vet build race bins
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bins:
+	@mkdir -p bin
+	@set -e; for m in $(MAINS); do \
+		echo "build $$m"; \
+		$(GO) build -o bin/$$(basename $$m) $$m; \
+	done
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+clean:
+	rm -rf bin

@@ -87,4 +87,6 @@ func BenchmarkFig11Convergence(b *testing.B) {
 
 func BenchmarkAblationEngine(b *testing.B) { benchExperiment(b, "ablation-engine", quick()) }
 
+func BenchmarkHostParallelEngine(b *testing.B) { benchExperiment(b, "hostpar", quick()) }
+
 func BenchmarkAblationPoolPolicy(b *testing.B) { benchExperiment(b, "ablation-pool", quick()) }

@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dnn"
+	"repro/internal/hostpool"
 	"repro/internal/models"
 	"repro/internal/simgpu"
 )
@@ -81,6 +82,11 @@ type (
 
 	// Feeder fills a net's inputs with the next mini-batch.
 	Feeder = models.Feeder
+
+	// HostPool is the bounded worker pool of the host-side parallel
+	// execution engine: kernel host math of independent dependency chains
+	// runs on separate goroutines while the simulated timeline is unchanged.
+	HostPool = hostpool.Pool
 )
 
 // The paper's three evaluation GPUs (Table 3).
@@ -120,6 +126,22 @@ func WithFusion(inner Launcher, spec DeviceSpec, threshold time.Duration) Launch
 
 // NewContext builds a training context over a launcher with a fixed seed.
 func NewContext(l Launcher, seed int64) *Context { return dnn.NewContext(l, seed) }
+
+// NewHostPool builds a worker pool with the given number of workers
+// (≤ 0 selects GOMAXPROCS). Pools are cheap and shareable: one pool can
+// back many contexts, bounding total host parallelism machine-wide.
+func NewHostPool(workers int) *HostPool { return hostpool.New(workers) }
+
+// DefaultHostPool returns the process-wide shared GOMAXPROCS-sized pool.
+func DefaultHostPool() *HostPool { return hostpool.Default() }
+
+// NewParallelContext builds a training context whose kernel host math runs
+// chain-parallel on a worker pool (nil selects the shared default pool).
+// Training remains bitwise identical to NewContext at the same launcher
+// width — the engine's convergence-invariance guarantee.
+func NewParallelContext(l Launcher, seed int64, pool *HostPool) *Context {
+	return dnn.NewParallelContext(l, seed, pool)
+}
 
 // NewSolver builds a momentum-SGD solver.
 func NewSolver(net *Net, ctx *Context, cfg SolverConfig) *Solver {

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"repro/internal/dnn"
+	"repro/internal/hostpool"
+	"repro/internal/models"
+	"repro/internal/simgpu"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "hostpar",
+		Title: "Host-side parallel execution engine: wall-clock speedup",
+		Paper: "Extension: the simulator's host math is the reproduction's real cost; " +
+			"running independent kernel chains on a worker pool is this repo's analogue " +
+			"of the paper's stream-level concurrency, with the same convergence-invariance bar.",
+		Run: runHostParallel,
+	})
+}
+
+// widthLauncher is HostLauncher with a configurable chain width: kernels run
+// inline (or are offloaded by the context's pool), layers size per-chain
+// scratch by Width.
+type widthLauncher struct{ w int }
+
+func (widthLauncher) BeginLayer(string) {}
+
+func (widthLauncher) Launch(k *simgpu.Kernel, _ int) error {
+	if k.Fn != nil {
+		k.Fn()
+	}
+	return nil
+}
+
+func (widthLauncher) Sync() error { return nil }
+
+func (l widthLauncher) Width() int { return l.w }
+
+// runHostParallel trains the same workload twice — chain closures inline
+// versus offloaded to the shared worker pool — and reports host wall-clock
+// per training step plus a bitwise comparison of the trained parameters.
+// Speedup requires a multi-core host (the pool is bounded by GOMAXPROCS);
+// bit-identity must hold everywhere.
+func runHostParallel(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	name := "CIFAR10"
+	if len(cfg.Networks) > 0 {
+		name = cfg.Networks[0]
+	}
+	wl, err := models.Get(name)
+	if err != nil {
+		return err
+	}
+	batch, width, steps := 32, 8, 3
+	if cfg.Quick {
+		batch, width, steps = 8, 4, 1
+	}
+
+	train := func(pool *hostpool.Pool) ([][]float32, time.Duration, error) {
+		ctx := dnn.NewContext(widthLauncher{width}, cfg.Seed)
+		ctx.Pool = pool
+		net, err := wl.Build(ctx, batch, cfg.Seed)
+		if err != nil {
+			return nil, 0, err
+		}
+		feed := wl.NewFeeder(batch, cfg.Seed+1)
+		s := dnn.NewSolver(net, ctx, dnn.SolverConfig{BaseLR: 0.001, Momentum: 0.9, WeightDecay: 0.001})
+		start := time.Now()
+		for i := 0; i < steps; i++ {
+			if err := feed(net); err != nil {
+				return nil, 0, err
+			}
+			if _, err := s.Step(); err != nil {
+				return nil, 0, err
+			}
+		}
+		wall := time.Since(start)
+		var params [][]float32
+		for _, p := range net.Params() {
+			params = append(params, append([]float32(nil), p.Data.Data()...))
+		}
+		return params, wall, nil
+	}
+
+	serialParams, serialWall, err := train(nil)
+	if err != nil {
+		return err
+	}
+	pooledParams, pooledWall, err := train(hostpool.Default())
+	if err != nil {
+		return err
+	}
+
+	identical := len(serialParams) == len(pooledParams)
+	for i := 0; identical && i < len(serialParams); i++ {
+		identical = len(serialParams[i]) == len(pooledParams[i])
+		for j := 0; identical && j < len(serialParams[i]); j++ {
+			identical = math.Float32bits(serialParams[i][j]) == math.Float32bits(pooledParams[i][j])
+		}
+	}
+
+	fmt.Fprintf(w, "%s, batch %d, chain width %d, %d step(s), %d worker(s) (GOMAXPROCS %d)\n\n",
+		name, batch, width, steps, hostpool.Default().Workers(), runtime.GOMAXPROCS(0))
+	t := newTable("execution", "wall/step (ms)", "speedup")
+	t.addf("serial inline\t%s\t1.00x", ms(serialWall/time.Duration(steps)))
+	t.addf("worker pool\t%s\t%.2fx", ms(pooledWall/time.Duration(steps)),
+		float64(serialWall)/float64(pooledWall))
+	t.write(w)
+	fmt.Fprintf(w, "\ntrained parameters bitwise identical: %v\n", identical)
+	if !identical {
+		return fmt.Errorf("bench: hostpar broke convergence invariance (parameters differ)")
+	}
+	return nil
+}

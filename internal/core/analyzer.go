@@ -93,6 +93,21 @@ func (a *Analyzer) Cached(key string) (*Plan, bool) {
 	return p, ok
 }
 
+// CacheFallback pins a serial (1-stream) fallback plan for a key whose
+// profile could not be collected or analyzed, so the scheduler has a cached
+// decision instead of retrying the failed path every iteration. An existing
+// cached plan wins: a real analysis is never overwritten by a fallback.
+func (a *Analyzer) CacheFallback(key string) *Plan {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if p, ok := a.cache[key]; ok {
+		return p
+	}
+	p := &Plan{Key: key, Streams: 1, Fallback: true}
+	a.cache[key] = p
+	return p
+}
+
 // Plans returns all cached plans (the data behind the paper's Fig. 8).
 func (a *Analyzer) Plans() []*Plan {
 	a.mu.Lock()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sync"
 
 	"repro/internal/simgpu"
@@ -121,13 +122,16 @@ func (l *FixedLauncher) Width() int {
 	return len(l.streams)
 }
 
-// Release destroys the pool streams.
+// Release destroys the pool streams. Like StreamPool.Release, a destroy
+// failure does not strand the remaining streams: all are attempted, the
+// slice is cleared, and the errors are joined.
 func (l *FixedLauncher) Release() error {
+	var errs []error
 	for _, s := range l.streams {
 		if err := l.dev.DestroyStream(s); err != nil {
-			return err
+			errs = append(errs, err)
 		}
 	}
 	l.streams = nil
-	return nil
+	return errors.Join(errs...)
 }

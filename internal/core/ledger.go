@@ -41,6 +41,8 @@ type Ledger struct {
 	profiledKernels int64
 	analyzedLayers  int64
 	dispatches      int64
+	profileFailures int64
+	analyzeFailures int64
 }
 
 // Per-record host memory for the tracker's own structures: two 8-byte
@@ -63,6 +65,12 @@ type Snapshot struct {
 	ProfiledKernels int64
 	AnalyzedLayers  int64
 	Dispatches      int64
+
+	// ProfileFailures counts profiling sessions that could not start or
+	// collect; AnalyzeFailures counts profiles the analyzer rejected. Each
+	// failure pins the affected layers to a cached serial-fallback plan.
+	ProfileFailures int64
+	AnalyzeFailures int64
 }
 
 // TTotal is the paper's Eq. 12: T_p + T_a + T_s.
@@ -95,6 +103,18 @@ func (l *Ledger) addAnalysis(ta time.Duration) {
 	l.ta += ta
 }
 
+func (l *Ledger) addProfileFailure() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.profileFailures++
+}
+
+func (l *Ledger) addAnalyzeFailure() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.analyzeFailures++
+}
+
 // tsPerDispatch is the nominal cost of one round-robin stream-selection
 // decision; the paper's static scheduler makes T_s "safely ignorable", and
 // this keeps it measured rather than assumed.
@@ -117,5 +137,7 @@ func (l *Ledger) Snapshot() Snapshot {
 		ProfiledKernels: l.profiledKernels,
 		AnalyzedLayers:  l.analyzedLayers,
 		Dispatches:      l.dispatches,
+		ProfileFailures: l.profileFailures,
+		AnalyzeFailures: l.analyzeFailures,
 	}
 }

@@ -71,33 +71,51 @@ func (r *Runtime) BeginLayer(key string) {
 	r.currentPlan = nil
 	if profile, ok := r.profiles[key]; ok {
 		// Profiled earlier; analyze now (lazily, once per key).
-		if plan, err := r.analyzer.Analyze(profile); err == nil {
-			r.dev.AdvanceHost(plan.SolveTime)
-			r.pool.EnsureSize(plan.Streams)
-			r.currentPlan = plan
-		}
+		r.currentPlan = r.analyzeLocked(profile)
 		return
 	}
 	if r.pending[key] {
 		// Second sighting without a profile: the profiling iteration is
 		// over; collect everything and analyze this layer.
 		r.finalizeLocked()
+		if plan, ok := r.analyzer.Cached(key); ok {
+			// Collection failed: the layer was pinned to the serial
+			// fallback.
+			r.currentPlan = plan
+			return
+		}
 		if profile, ok := r.profiles[key]; ok {
-			if plan, err := r.analyzer.Analyze(profile); err == nil {
-				r.dev.AdvanceHost(plan.SolveTime)
-				r.pool.EnsureSize(plan.Streams)
-				r.currentPlan = plan
-			}
+			r.currentPlan = r.analyzeLocked(profile)
 		}
 		return
 	}
 	// First sighting: profile it.
-	r.pending[key] = true
 	if !r.profiling {
-		if err := r.tracker.StartProfiling(r.dev); err == nil {
-			r.profiling = true
+		if err := r.tracker.StartProfiling(r.dev); err != nil {
+			// No profiler, no plan, ever: record the failure and pin the
+			// serial fallback instead of futilely retrying each iteration.
+			r.ledger.addProfileFailure()
+			r.currentPlan = r.analyzer.CacheFallback(key)
+			return
 		}
+		r.profiling = true
 	}
+	r.pending[key] = true
+}
+
+// analyzeLocked runs the analyzer on a collected profile, charging the
+// solve time and sizing the pool. A failed analysis is recorded in the
+// ledger and pins a cached serial-fallback plan, so the layer is not
+// re-analyzed every iteration. Called with r.mu held.
+func (r *Runtime) analyzeLocked(profile *LayerProfile) *Plan {
+	plan, err := r.analyzer.Analyze(profile)
+	if err != nil {
+		r.ledger.addAnalyzeFailure()
+		return r.analyzer.CacheFallback(profile.Key)
+	}
+	r.dev.AdvanceHost(plan.SolveTime)
+	r.pool.EnsureSize(plan.Streams)
+	return plan
 }
 
 // finalizeLocked flushes the tracker and stores the parsed profiles. Called
@@ -109,6 +127,15 @@ func (r *Runtime) finalizeLocked() {
 	r.profiling = false
 	profiles, err := r.tracker.Collect(r.dev, r.ledger)
 	if err != nil {
+		// The profiling records are lost. Record the failure and pin every
+		// pending layer to a cached serial-fallback plan: training proceeds
+		// correctly (just without concurrency for these layers) and the
+		// collect is not retried forever.
+		r.ledger.addProfileFailure()
+		for key := range r.pending {
+			r.analyzer.CacheFallback(key)
+			delete(r.pending, key)
+		}
 		return
 	}
 	for key, p := range profiles {
@@ -135,6 +162,11 @@ func (r *Runtime) Width() int {
 
 // Launch implements dnn.Launcher: chains round-robin over the layer's
 // stream share; chain −1 and unplanned layers use the default stream.
+//
+// The scheduler key is prefixed onto the kernel tag through a local copy of
+// the kernel: the caller's kernel is never mutated, so a re-launched kernel
+// cannot accumulate prefixes and concurrent chain dispatch cannot race on
+// shared kernel state.
 func (r *Runtime) Launch(k *simgpu.Kernel, chain int) error {
 	r.mu.Lock()
 	plan := r.currentPlan
@@ -142,11 +174,13 @@ func (r *Runtime) Launch(k *simgpu.Kernel, chain int) error {
 	r.mu.Unlock()
 
 	if key != "" {
+		tag := key
 		if k.Tag != "" {
-			k.Tag = key + "|" + k.Tag
-		} else {
-			k.Tag = key + "|"
+			tag = key + "|" + k.Tag
 		}
+		kk := *k
+		kk.Tag = tag
+		k = &kk
 	}
 	var stream *simgpu.Stream
 	if chain >= 0 && plan != nil && plan.Streams > 1 {

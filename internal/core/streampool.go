@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sync"
 
 	"repro/internal/simgpu"
@@ -45,23 +46,30 @@ func (p *StreamPool) Stream(i int) *simgpu.Stream {
 	if len(p.streams) == 0 {
 		return nil
 	}
+	// Euclidean modulo: negating i would overflow on math.MinInt and maps
+	// -1 and 1 to the same stream; shifting the remainder does neither.
+	i %= len(p.streams)
 	if i < 0 {
-		i = -i
+		i += len(p.streams)
 	}
-	return p.streams[i%len(p.streams)]
+	return p.streams[i]
 }
 
-// Release destroys all pool streams.
+// Release destroys all pool streams. A destroy failure does not abort the
+// sweep: every stream is still attempted, the pool is emptied regardless (so
+// a retried Release cannot double-destroy the already-freed streams), and the
+// individual errors are joined in the return value.
 func (p *StreamPool) Release() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	var errs []error
 	for _, s := range p.streams {
 		if err := p.dev.DestroyStream(s); err != nil {
-			return err
+			errs = append(errs, err)
 		}
 	}
 	p.streams = nil
-	return nil
+	return errors.Join(errs...)
 }
 
 // StreamManager is the machine-shared stream manager module: one pool per

@@ -124,8 +124,15 @@ func (s *Session) EnableKernelActivity() error {
 
 // DisableKernelActivity stops collecting, first synchronizing the device so
 // kernels launched while enabled are captured. Records already buffered
-// remain available to Flush.
+// remain available to Flush. Like the other activity calls it fails on a
+// closed session (CUPTI: CUPTI_ERROR_INVALID_PARAMETER after unsubscribe).
 func (s *Session) DisableKernelActivity() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("cuptisim: session closed")
+	}
+	s.mu.Unlock()
 	if _, err := s.dev.Synchronize(); err != nil {
 		return err
 	}
@@ -136,7 +143,8 @@ func (s *Session) DisableKernelActivity() error {
 }
 
 // Flush synchronizes the device (completing all in-flight kernels) and
-// returns the buffered records, clearing the buffer.
+// returns the buffered records, clearing the buffer. A closed session
+// flushes empty rather than erroring, so teardown paths can always drain.
 func (s *Session) Flush() ([]KernelActivity, error) {
 	if _, err := s.dev.Synchronize(); err != nil {
 		return nil, err

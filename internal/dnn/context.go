@@ -3,6 +3,7 @@ package dnn
 import (
 	"math/rand"
 
+	"repro/internal/hostpool"
 	"repro/internal/simgpu"
 )
 
@@ -101,11 +102,27 @@ func (l SerialLauncher) Width() int { return 1 }
 // timing-only mode used by large benchmark workloads (e.g. CaffeNet at
 // batch 256), where numerical outputs are irrelevant but the kernel stream
 // and its launch configurations must be exact.
+//
+// With Pool set, Dispatch runs kernel host math chain-parallel: the closure
+// of a chain-c kernel executes asynchronously on hostpool lane c % Width(),
+// while the (closure-stripped) kernel is still launched inline so the
+// simulated timeline is unchanged. Lanes mirror the layers' per-chain
+// scratch indexing (chain % width), so chains that share buffers share a
+// lane and stay serialized; everything a lane runs executes in submission
+// order, which keeps training bit-identical to serial host execution at the
+// same width. Chain −1 keeps default-stream semantics on the host too: it
+// waits for all in-flight lane work, then runs inline.
 type Context struct {
 	L       Launcher
 	Phase   Phase
 	RNG     *rand.Rand
 	Compute bool
+	// Pool, when non-nil, is the host-side parallel execution engine used
+	// for chain closures. Nil means serial host execution (closures run
+	// inside Launch), the pre-existing behavior.
+	Pool *hostpool.Pool
+
+	chains *hostpool.ChainSet // lazily sized to the current layer width
 }
 
 // NewContext builds a training-phase context over a launcher with real
@@ -114,19 +131,78 @@ func NewContext(l Launcher, seed int64) *Context {
 	return &Context{L: l, Phase: Train, RNG: rand.New(rand.NewSource(seed)), Compute: true}
 }
 
-// Dispatch submits a kernel, honoring the Compute flag.
+// NewParallelContext builds a training context whose kernel host math runs
+// chain-parallel on the given worker pool (nil selects the shared default
+// pool).
+func NewParallelContext(l Launcher, seed int64, pool *hostpool.Pool) *Context {
+	if pool == nil {
+		pool = hostpool.Default()
+	}
+	c := NewContext(l, seed)
+	c.Pool = pool
+	return c
+}
+
+// Dispatch submits a kernel, honoring the Compute flag. With a Pool
+// configured and a launcher width above 1, the host closure of a chain
+// kernel is offloaded to the chain's lane instead of running inline.
 func (c *Context) Dispatch(k *simgpu.Kernel, chain int) error {
 	if !c.Compute {
 		k.Fn = nil
 	}
-	return c.L.Launch(k, chain)
+	if c.Pool == nil || k.Fn == nil {
+		return c.L.Launch(k, chain)
+	}
+	if chain < 0 {
+		// Default-stream semantics on the host: synchronization-sensitive
+		// work (parameter updates, gradient folds) runs inline after every
+		// in-flight chain closure has finished.
+		if err := c.drainChains(); err != nil {
+			return err
+		}
+		return c.L.Launch(k, chain)
+	}
+	width := c.Width()
+	if width <= 1 {
+		return c.L.Launch(k, chain)
+	}
+	if c.chains == nil || c.chains.Lanes() != width {
+		// Width changed (new plan for this layer): the previous set's lanes
+		// must drain first so the old chain→lane mapping cannot race the
+		// new one.
+		if err := c.drainChains(); err != nil {
+			return err
+		}
+		c.chains = c.Pool.NewChainSet(width)
+	}
+	fn := k.Fn
+	k.Fn = nil
+	if err := c.L.Launch(k, chain); err != nil {
+		return err
+	}
+	c.chains.Submit(chain, fn)
+	return nil
+}
+
+// drainChains waits for all offloaded chain closures.
+func (c *Context) drainChains() error {
+	if c.chains == nil {
+		return nil
+	}
+	return c.chains.Wait()
 }
 
 // Begin marks the start of a layer invocation for the launcher.
 func (c *Context) Begin(key string) { c.L.BeginLayer(key) }
 
-// Barrier is the layer-boundary synchronization.
-func (c *Context) Barrier() error { return c.L.Sync() }
+// Barrier is the layer-boundary synchronization: all offloaded host math
+// completes, then the launcher joins the device streams.
+func (c *Context) Barrier() error {
+	if err := c.drainChains(); err != nil {
+		return err
+	}
+	return c.L.Sync()
+}
 
 // Width returns the launcher's chain width.
 func (c *Context) Width() int {

@@ -1,0 +1,174 @@
+// Package hostpool is the host-side parallel execution engine: a shared,
+// bounded worker pool that runs independent kernel dependency chains on
+// separate goroutines. It is the host mirror of the simulated stream pool —
+// where internal/core's StreamPool overlaps kernels in *virtual* time, a
+// hostpool.Pool overlaps the kernels' real float32 host math in *wall-clock*
+// time, so a layer whose plan says "8 streams" really computes 8 chains at
+// once on host cores.
+//
+// Determinism contract: work is submitted to logical lanes. Every task in a
+// lane executes in submission order on a single in-flight runner, so two
+// chains that share scratch buffers (layers index per-chain scratch by
+// chain % width and route both chains to the same lane) can never race, and
+// the floating-point operations of one lane happen in exactly the order the
+// serial path would execute them. Cross-lane work touches disjoint memory by
+// the layer contract (per-sample slices, per-chain partial buffers folded in
+// fixed order after a barrier), so any interleaving of lanes yields
+// bit-identical results.
+package hostpool
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Pool bounds how many chain tasks may execute concurrently. It is shared:
+// one pool can serve many ChainSets (many layers, many nets, many replicas)
+// at once, so total host CPU use stays bounded no matter how wide the
+// planned stream pools are.
+type Pool struct {
+	sem chan struct{}
+}
+
+// New builds a pool running at most workers tasks at once; workers <= 0
+// selects GOMAXPROCS.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+func (p *Pool) acquire() { p.sem <- struct{}{} }
+func (p *Pool) release() { <-p.sem }
+
+var (
+	defaultOnce sync.Once
+	defaultPool *Pool
+)
+
+// Default returns the process-wide shared pool, sized by GOMAXPROCS.
+func Default() *Pool {
+	defaultOnce.Do(func() { defaultPool = New(0) })
+	return defaultPool
+}
+
+// ChainSet runs tasks over a fixed number of lanes. Tasks submitted to the
+// same lane execute serially in FIFO order; distinct lanes execute
+// concurrently, bounded by the owning pool. A ChainSet is intended for a
+// single submitting goroutine (the kernel dispatcher): Submit calls must not
+// race with each other or with Wait, which mirrors how one host thread
+// drives a GPU's streams.
+type ChainSet struct {
+	pool  *Pool
+	lanes []*lane
+
+	wg sync.WaitGroup
+
+	errMu sync.Mutex
+	errs  []error
+}
+
+// lane is one in-order task queue with at most one in-flight runner.
+type lane struct {
+	cs *ChainSet
+
+	mu     sync.Mutex
+	queue  []func()
+	active bool
+}
+
+// NewChainSet builds a chain set with the given number of lanes (minimum 1)
+// executing on the pool.
+func (p *Pool) NewChainSet(lanes int) *ChainSet {
+	if lanes < 1 {
+		lanes = 1
+	}
+	cs := &ChainSet{pool: p, lanes: make([]*lane, lanes)}
+	for i := range cs.lanes {
+		cs.lanes[i] = &lane{cs: cs}
+	}
+	return cs
+}
+
+// Lanes returns the lane count.
+func (cs *ChainSet) Lanes() int { return len(cs.lanes) }
+
+// Submit queues fn on lane i (mod the lane count; negative i maps to lane
+// 0). The task runs asynchronously after every earlier task of the same
+// lane has finished.
+func (cs *ChainSet) Submit(i int, fn func()) {
+	if fn == nil {
+		return
+	}
+	if i < 0 {
+		i = 0
+	}
+	l := cs.lanes[i%len(cs.lanes)]
+	l.mu.Lock()
+	l.queue = append(l.queue, fn)
+	if !l.active {
+		l.active = true
+		cs.wg.Add(1)
+		go l.run()
+	}
+	l.mu.Unlock()
+}
+
+// run drains the lane queue in FIFO order, holding a pool slot only while a
+// task executes so wide chain sets cannot starve other ChainSets sharing
+// the pool.
+func (l *lane) run() {
+	defer l.cs.wg.Done()
+	for {
+		l.mu.Lock()
+		if len(l.queue) == 0 {
+			l.active = false
+			l.mu.Unlock()
+			return
+		}
+		fn := l.queue[0]
+		l.queue[0] = nil
+		l.queue = l.queue[1:]
+		l.mu.Unlock()
+
+		l.cs.pool.acquire()
+		err := protect(fn)
+		l.cs.pool.release()
+		if err != nil {
+			l.cs.errMu.Lock()
+			l.cs.errs = append(l.cs.errs, err)
+			l.cs.errMu.Unlock()
+		}
+	}
+}
+
+// protect runs fn, converting a panic into an error so one bad kernel
+// closure cannot take the whole process down from a worker goroutine.
+func protect(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("hostpool: chain task panic: %v", r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+// Wait blocks until every submitted task has finished and returns the
+// joined errors of tasks that panicked (nil when all succeeded). After Wait
+// returns the ChainSet is empty and may be reused for the next batch of
+// submissions.
+func (cs *ChainSet) Wait() error {
+	cs.wg.Wait()
+	cs.errMu.Lock()
+	errs := cs.errs
+	cs.errs = nil
+	cs.errMu.Unlock()
+	return errors.Join(errs...)
+}

@@ -1,0 +1,151 @@
+package hostpool
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestLaneFIFOOrder: tasks on one lane run in submission order even with
+// many lanes active (the determinism contract layers rely on).
+func TestLaneFIFOOrder(t *testing.T) {
+	p := New(4)
+	cs := p.NewChainSet(8)
+	const perLane, lanes = 200, 8
+	got := make([][]int, lanes)
+	for i := 0; i < perLane; i++ {
+		for lane := 0; lane < lanes; lane++ {
+			lane, i := lane, i
+			cs.Submit(lane, func() { got[lane] = append(got[lane], i) })
+		}
+	}
+	if err := cs.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for lane := 0; lane < lanes; lane++ {
+		if len(got[lane]) != perLane {
+			t.Fatalf("lane %d ran %d/%d tasks", lane, len(got[lane]), perLane)
+		}
+		for i, v := range got[lane] {
+			if v != i {
+				t.Fatalf("lane %d task %d ran out of order (got %d)", lane, i, v)
+			}
+		}
+	}
+}
+
+// TestLaneModuloRouting: chain ids beyond the lane count wrap (chains
+// sharing scratch buffers share a lane and therefore serialize).
+func TestLaneModuloRouting(t *testing.T) {
+	p := New(2)
+	cs := p.NewChainSet(3)
+	var order []int
+	for chain := 0; chain < 9; chain += 3 { // chains 0,3,6 → all lane 0
+		chain := chain
+		cs.Submit(chain, func() { order = append(order, chain) })
+	}
+	if err := cs.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 3 || order[2] != 6 {
+		t.Fatalf("same-lane chains ran out of order: %v", order)
+	}
+}
+
+// TestBoundedWorkers: concurrent task execution never exceeds the pool
+// bound, even with more lanes than workers.
+func TestBoundedWorkers(t *testing.T) {
+	const workers = 3
+	p := New(workers)
+	cs := p.NewChainSet(16)
+	var cur, max atomic.Int64
+	var mu sync.Mutex
+	for i := 0; i < 64; i++ {
+		cs.Submit(i, func() {
+			n := cur.Add(1)
+			mu.Lock()
+			if n > max.Load() {
+				max.Store(n)
+			}
+			mu.Unlock()
+			runtime.Gosched()
+			cur.Add(-1)
+		})
+	}
+	if err := cs.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if m := max.Load(); m > workers {
+		t.Fatalf("observed %d concurrent tasks, pool bound is %d", m, workers)
+	}
+}
+
+// TestPanicCapture: a panicking task surfaces as an error from Wait and the
+// set is reusable afterwards.
+func TestPanicCapture(t *testing.T) {
+	p := New(2)
+	cs := p.NewChainSet(2)
+	ran := false
+	cs.Submit(0, func() { panic("boom") })
+	cs.Submit(1, func() { ran = true })
+	err := cs.Wait()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("panic not captured: %v", err)
+	}
+	if !ran {
+		t.Fatal("healthy lane did not run")
+	}
+	// Reuse after an error: the set must be clean.
+	ok := false
+	cs.Submit(0, func() { ok = true })
+	if err := cs.Wait(); err != nil || !ok {
+		t.Fatalf("reuse after error failed: %v ok=%v", err, ok)
+	}
+}
+
+// TestSharedPoolManySets: several chain sets share one pool concurrently
+// (the multi-replica trainer shape). Run with -race.
+func TestSharedPoolManySets(t *testing.T) {
+	p := New(4)
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for r := 0; r < 6; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cs := p.NewChainSet(4)
+			for i := 0; i < 100; i++ {
+				cs.Submit(i, func() { total.Add(1) })
+			}
+			if err := cs.Wait(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if total.Load() != 600 {
+		t.Fatalf("ran %d/600 tasks", total.Load())
+	}
+}
+
+// TestDefaults: worker sizing and the shared default pool.
+func TestDefaults(t *testing.T) {
+	if w := New(0).Workers(); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("New(0) workers = %d, want GOMAXPROCS", w)
+	}
+	if Default() != Default() {
+		t.Fatal("Default() is not a singleton")
+	}
+	cs := Default().NewChainSet(0)
+	if cs.Lanes() != 1 {
+		t.Fatalf("lanes clamp: %d", cs.Lanes())
+	}
+	ran := false
+	cs.Submit(-5, func() { ran = true }) // negative chain → lane 0
+	cs.Submit(0, nil)                    // nil task is a no-op
+	if err := cs.Wait(); err != nil || !ran {
+		t.Fatalf("negative-lane submit: err=%v ran=%v", err, ran)
+	}
+}

@@ -1,0 +1,101 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dnn"
+	"repro/internal/hostpool"
+	"repro/internal/simgpu"
+)
+
+// hostWidthLauncher is HostLauncher with a configurable chain width, so the
+// layers allocate per-chain scratch and the context's pool path engages.
+type hostWidthLauncher struct{ w int }
+
+func (hostWidthLauncher) BeginLayer(string) {}
+
+func (hostWidthLauncher) Launch(k *simgpu.Kernel, _ int) error {
+	if k.Fn != nil {
+		k.Fn()
+	}
+	return nil
+}
+
+func (hostWidthLauncher) Sync() error { return nil }
+
+func (l hostWidthLauncher) Width() int { return l.w }
+
+// trainWorkload trains a workload for `steps` solver iterations at the given
+// launcher width, optionally offloading chain closures to a worker pool, and
+// returns the final parameters.
+func trainWorkload(t *testing.T, name string, batch, width, steps int, pool *hostpool.Pool) [][]float32 {
+	t.Helper()
+	w, err := Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := dnn.NewContext(hostWidthLauncher{width}, 5)
+	ctx.Pool = pool
+	net, err := w.Build(ctx, batch, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := w.NewFeeder(batch, 6)
+	s := dnn.NewSolver(net, ctx, dnn.SolverConfig{BaseLR: 0.001, Momentum: 0.9, WeightDecay: 0.001})
+	for i := 0; i < steps; i++ {
+		if err := feed(net); err != nil {
+			t.Fatal(err)
+		}
+		loss, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(loss) || math.IsInf(loss, 0) {
+			t.Fatalf("%s step %d: loss = %v", name, i, loss)
+		}
+	}
+	var out [][]float32
+	for _, p := range net.Params() {
+		out = append(out, append([]float32(nil), p.Data.Data()...))
+	}
+	return out
+}
+
+// TestConvergenceInvariance is the paper's headline property carried onto the
+// host engine: at a fixed chain width, training with chain closures offloaded
+// to the shared worker pool must yield trained parameters bitwise identical
+// to serial inline execution — for every one of the four evaluated workloads.
+func TestConvergenceInvariance(t *testing.T) {
+	cases := []struct {
+		name         string
+		batch, width int
+		steps        int
+	}{
+		{"CIFAR10", 4, 3, 2},
+		{"Siamese", 4, 3, 2},
+		{"CaffeNet", 2, 2, 1}, // ~6 GFLOP per image on the host: keep it small
+		{"GoogLeNet", 4, 4, 2},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			serial := trainWorkload(t, c.name, c.batch, c.width, c.steps, nil)
+			pooled := trainWorkload(t, c.name, c.batch, c.width, c.steps, hostpool.New(4))
+			if len(serial) != len(pooled) {
+				t.Fatalf("param count mismatch: %d vs %d", len(serial), len(pooled))
+			}
+			for i := range serial {
+				if len(serial[i]) != len(pooled[i]) {
+					t.Fatalf("param %d length mismatch", i)
+				}
+				for j := range serial[i] {
+					if math.Float32bits(serial[i][j]) != math.Float32bits(pooled[i][j]) {
+						t.Fatalf("%s: param %d[%d] differs: serial %v pooled %v",
+							c.name, i, j, serial[i][j], pooled[i][j])
+					}
+				}
+			}
+		})
+	}
+}

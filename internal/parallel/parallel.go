@@ -15,10 +15,12 @@ package parallel
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dnn"
+	"repro/internal/hostpool"
 	"repro/internal/simgpu"
 )
 
@@ -78,6 +80,11 @@ type Config struct {
 	UseGLP  bool // run each replica through GLP4NN
 	Compute bool // real math (true) or timing-only
 	Seed    int64
+	// HostPool, when non-nil, additionally runs each replica's kernel host
+	// math chain-parallel on the shared worker pool (see internal/hostpool).
+	// Replicas already run concurrently with each other during Phase 1; the
+	// pool parallelizes *within* a replica too, bounded by the pool size.
+	HostPool *hostpool.Pool
 }
 
 // NewTrainer builds one replica per machine device. The build function must
@@ -102,6 +109,7 @@ func NewTrainer(machine *simgpu.Machine, build BuildFunc, cfg Config) (*Trainer,
 		}
 		ctx := dnn.NewContext(l, cfg.Seed)
 		ctx.Compute = cfg.Compute
+		ctx.Pool = cfg.HostPool
 		net, err := build(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("parallel: building replica on %s: %w", dev.Name(), err)
@@ -151,31 +159,57 @@ func (t *Trainer) Step(feed FeedFunc) (StepResult, error) {
 	var res StepResult
 	n := len(t.replicas)
 
-	// Phase 1: local forward/backward on every replica.
-	var lossSum float64
+	// Phase 1: local forward/backward on every replica, concurrently — one
+	// goroutine per replica, mirroring the real hardware where each GPU (and
+	// its driving host thread) advances independently. Feeding stays serial
+	// because FeedFuncs commonly pull shards from one shared data source.
 	for i, r := range t.replicas {
 		if feed != nil {
 			if err := feed(i, r.net); err != nil {
 				return res, err
 			}
 		}
-		if err := r.dev.ResetClocks(); err != nil {
-			return res, err
+	}
+	losses := make([]float64, n)
+	times := make([]time.Duration, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, r := range t.replicas {
+		wg.Add(1)
+		go func(i int, r *replica) {
+			defer wg.Done()
+			if err := r.dev.ResetClocks(); err != nil {
+				errs[i] = err
+				return
+			}
+			loss, err := r.net.ForwardBackward(r.ctx)
+			if err != nil {
+				errs[i] = fmt.Errorf("parallel: replica %d: %w", i, err)
+				return
+			}
+			losses[i] = loss
+			d, err := r.dev.Synchronize()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if h := r.dev.HostTime(); h > d {
+				d = h
+			}
+			times[i] = d
+		}(i, r)
+	}
+	wg.Wait()
+	// Reductions in fixed replica order, so MeanLoss is deterministic no
+	// matter which goroutine finished first.
+	var lossSum float64
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return res, errs[i]
 		}
-		loss, err := r.net.ForwardBackward(r.ctx)
-		if err != nil {
-			return res, fmt.Errorf("parallel: replica %d: %w", i, err)
-		}
-		lossSum += loss
-		d, err := r.dev.Synchronize()
-		if err != nil {
-			return res, err
-		}
-		if h := r.dev.HostTime(); h > d {
-			d = h
-		}
-		if d > res.ComputeTime {
-			res.ComputeTime = d
+		lossSum += losses[i]
+		if times[i] > res.ComputeTime {
+			res.ComputeTime = times[i]
 		}
 	}
 	res.MeanLoss = lossSum / float64(n)

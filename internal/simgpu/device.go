@@ -6,11 +6,16 @@ import (
 	"time"
 )
 
-// Device is one simulated GPU. All methods are safe for concurrent use, but
-// the launch order observed under the device lock is the order that defines
-// both numerical execution (closures run at launch) and the virtual
-// timeline; GLP4NN's design point is precisely that a *single* host
-// dispatcher drives the device, so typical use is single-goroutine.
+// Device is one simulated GPU. All methods are safe for concurrent use: the
+// device clock, stream tails, and event engine live behind one mutex, so
+// launches and synchronizes may arrive from any goroutine (the data-parallel
+// trainer drives each replica's device from its own goroutine). The launch
+// order observed under the device lock is the order that defines the virtual
+// timeline. Kernel closures run inline at launch on the *caller's*
+// goroutine, before the lock is taken — which is exactly what lets the
+// host-side parallel engine (internal/hostpool) strip a closure, launch the
+// timing-only kernel in program order, and run the math elsewhere: the
+// timeline is unchanged while host work proceeds in parallel.
 type Device struct {
 	spec DeviceSpec
 	id   int
