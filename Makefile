@@ -12,12 +12,12 @@ MAINS := \
 	./examples/quickstart \
 	./examples/timeline
 
-.PHONY: tier1 vet build test race bins bench clean
+.PHONY: tier1 vet build test race alloc bins bench bench-tensor clean
 
 # tier1 is the CI gate: vet, build, the full test suite under the race
-# detector (the host-side parallel engine must stay race-clean), and a
-# build of every binary.
-tier1: vet build race bins
+# detector (the host-side parallel engine must stay race-clean), the
+# zero-allocation kernel gate, and a build of every binary.
+tier1: vet build race alloc bins
 
 vet:
 	$(GO) vet ./...
@@ -31,6 +31,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The steady-state allocation contract (Gemm, Im2col/Col2im, the scratch
+# arena) must run without -race: race instrumentation skews the allocation
+# accounting, so the tests skip themselves under the race build.
+alloc:
+	$(GO) test -run 'SteadyStateAllocs' ./internal/tensor
+
 bins:
 	@mkdir -p bin
 	@set -e; for m in $(MAINS); do \
@@ -40,6 +46,11 @@ bins:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Kernel micro-benchmarks over the paper's Table 5 convolution geometries
+# (GEMM shapes and im2col/col2im column layouts).
+bench-tensor:
+	$(GO) test -run '^$$' -bench 'Gemm|Im2col|Col2im' -benchmem ./internal/tensor
 
 clean:
 	rm -rf bin

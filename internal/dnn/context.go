@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/hostpool"
 	"repro/internal/simgpu"
+	"repro/internal/tensor"
 )
 
 // Phase distinguishes training from testing, like Caffe's phase (dropout and
@@ -202,6 +203,18 @@ func (c *Context) Barrier() error {
 		return err
 	}
 	return c.L.Sync()
+}
+
+// RowPar returns the context's pool as a row-parallel GEMM runner, or nil
+// when the context is serial. Layers pass it to kernels.SgemmP so large-M
+// GEMM closures shard disjoint row bands across the pool; the pool's Run
+// never blocks on a full pool (the caller participates), so nesting inside
+// an offloaded chain closure is safe.
+func (c *Context) RowPar() tensor.RowParallel {
+	if c.Pool == nil {
+		return nil
+	}
+	return c.Pool
 }
 
 // Width returns the launcher's chain width.

@@ -60,11 +60,16 @@ type ConvLayer struct {
 
 	wino *winogradState // transformed filters for the winograd engine
 
-	colBufs  [][]float32 // per-chain im2col scratch
-	dcolBufs [][]float32 // per-chain backward scratch
-	partW    [][]float32 // per-chain weight-gradient partials
-	partB    [][]float32 // per-chain bias-gradient partials
-	onesP    []float32   // length p, for bias broadcast
+	// Per-chain scratch is leased from the shared tensor arena for the
+	// duration of one pass (acquired before dispatch, released after the
+	// batch barrier retires every closure referencing it), so layers and
+	// nets share slabs instead of each holding peak-sized buffers. The
+	// slices themselves persist so a steady-state pass allocates nothing.
+	colBufs  []*tensor.Buf // per-chain im2col scratch
+	dcolBufs []*tensor.Buf // per-chain backward scratch
+	partW    []*tensor.Buf // per-chain weight-gradient partials
+	partB    []*tensor.Buf // per-chain bias-gradient partials
+	onesP    []float32     // length p, for bias broadcast
 }
 
 // NewConv constructs a convolution layer.
@@ -133,47 +138,61 @@ func (l *ConvLayer) Setup(ctx *Context, bottom, top []*Blob) error {
 	return nil
 }
 
-// ensureScratch sizes the per-chain buffers for the launcher width.
-func (l *ConvLayer) ensureScratch(width int, backward bool) {
-	for len(l.colBufs) < width {
-		l.colBufs = append(l.colBufs, make([]float32, l.k*l.p))
-	}
+// leaseScratch leases the per-chain buffers for the launcher width from the
+// shared arena; releaseScratch returns them. Callers must only release
+// after a barrier has retired every kernel closure that references them.
+func (l *ConvLayer) leaseScratch(width int, backward bool) {
+	l.colBufs = tensor.LeaseInto(l.colBufs, width, l.k*l.p)
 	if !backward {
 		return
 	}
-	for len(l.dcolBufs) < width {
-		l.dcolBufs = append(l.dcolBufs, make([]float32, l.k*l.p))
-	}
-	for len(l.partW) < width {
-		l.partW = append(l.partW, make([]float32, l.weight.Count()))
-	}
+	l.dcolBufs = tensor.LeaseInto(l.dcolBufs, width, l.k*l.p)
+	l.partW = tensor.LeaseInto(l.partW, width, l.weight.Count())
 	if l.bias != nil {
-		for len(l.partB) < width {
-			l.partB = append(l.partB, make([]float32, l.co))
-		}
+		l.partB = tensor.LeaseInto(l.partB, width, l.co)
 	}
 }
 
+func (l *ConvLayer) releaseScratch() {
+	tensor.PutBufs(l.colBufs)
+	tensor.PutBufs(l.dcolBufs)
+	tensor.PutBufs(l.partW)
+	tensor.PutBufs(l.partB)
+}
+
 // Forward implements Layer: per-image im2col → sgemm → gemmk chains (or
-// the Winograd transform chain when the engine is "winograd").
+// the Winograd transform chain when the engine is "winograd"). Scratch is
+// leased from the shared arena for the pass and released only after the
+// barrier has retired every closure that references it.
 func (l *ConvLayer) Forward(ctx *Context, bottom, top []*Blob) error {
 	if l.cfg.Engine == "winograd" {
 		return l.forwardWino(ctx, bottom, top)
 	}
 	width := ctx.Width()
-	l.ensureScratch(width, false)
+	l.leaseScratch(width, false)
+	err := l.forwardDispatch(ctx, bottom, top, width)
+	berr := ctx.Barrier()
+	l.releaseScratch()
+	if err != nil {
+		return err
+	}
+	return berr
+}
+
+func (l *ConvLayer) forwardDispatch(ctx *Context, bottom, top []*Blob, width int) error {
 	n := bottom[0].Num()
+	w := l.weight.Data.Data()
+	par := ctx.RowPar()
 	for i := 0; i < n; i++ {
 		chain := i
-		buf := l.colBufs[i%width]
+		buf := l.colBufs[i%width].Data
 		img := bottom[0].SampleData(i)
 		out := top[0].SampleData(i)
 		tag := fmt.Sprintf("%s/n%d", l.name, i)
 		if err := ctx.Dispatch(kernels.Im2col(tag, img, l.geom, buf), chain); err != nil {
 			return err
 		}
-		w := l.weight.Data.Data()
-		if err := ctx.Dispatch(kernels.Sgemm(tag, false, false, l.co, l.p, l.k, 1, w, buf, 0, out), chain); err != nil {
+		if err := ctx.Dispatch(kernels.SgemmP(tag, par, false, false, l.co, l.p, l.k, 1, w, buf, 0, out), chain); err != nil {
 			return err
 		}
 		if l.bias != nil {
@@ -182,7 +201,7 @@ func (l *ConvLayer) Forward(ctx *Context, bottom, top []*Blob) error {
 			}
 		}
 	}
-	return ctx.Barrier()
+	return nil
 }
 
 // forwardWino dispatches the Winograd kernel chain per image. The filter
@@ -215,21 +234,34 @@ func (l *ConvLayer) forwardWino(ctx *Context, bottom, top []*Blob) error {
 // (the default stream) after the batch barrier.
 func (l *ConvLayer) Backward(ctx *Context, top []*Blob, propagate []bool, bottom []*Blob) error {
 	width := ctx.Width()
-	l.ensureScratch(width, true)
+	l.leaseScratch(width, true)
+	err := l.backwardDispatch(ctx, top, propagate, bottom, width)
+	berr := ctx.Barrier()
+	l.releaseScratch()
+	if err != nil {
+		return err
+	}
+	return berr
+}
+
+func (l *ConvLayer) backwardDispatch(ctx *Context, top []*Blob, propagate []bool, bottom []*Blob, width int) error {
 	if ctx.Compute {
+		// Arena slabs arrive with unspecified contents; the partials
+		// accumulate (beta=1), so they must start from zero every pass.
 		for j := 0; j < width; j++ {
-			zero(l.partW[j])
+			zero(l.partW[j].Data)
 			if l.bias != nil {
-				zero(l.partB[j])
+				zero(l.partB[j].Data)
 			}
 		}
 	}
 	n := bottom[0].Num()
 	w := l.weight.Data.Data()
+	par := ctx.RowPar()
 	for i := 0; i < n; i++ {
 		chain := i
 		j := i % width
-		buf := l.colBufs[j]
+		buf := l.colBufs[j].Data
 		img := bottom[0].SampleData(i)
 		dtop := top[0].SampleDiff(i)
 		tag := fmt.Sprintf("%s/n%d", l.name, i)
@@ -238,19 +270,19 @@ func (l *ConvLayer) Backward(ctx *Context, top []*Blob, propagate []bool, bottom
 			return err
 		}
 		// dW_j += dTop(Co×P) · colᵀ(P×K)
-		if err := ctx.Dispatch(kernels.Sgemm(tag, false, true, l.co, l.k, l.p, 1, dtop, buf, 1, l.partW[j]), chain); err != nil {
+		if err := ctx.Dispatch(kernels.SgemmP(tag, par, false, true, l.co, l.k, l.p, 1, dtop, buf, 1, l.partW[j].Data), chain); err != nil {
 			return err
 		}
 		if l.bias != nil {
-			db := l.partB[j]
+			db := l.partB[j].Data
 			co, p := l.co, l.p
 			if err := ctx.Dispatch(kernels.BiasBackward(tag, co, p, dtop, l.onesP, db), chain); err != nil {
 				return err
 			}
 		}
 		if propagate[0] {
-			dcol := l.dcolBufs[j]
-			if err := ctx.Dispatch(kernels.Sgemm(tag, true, false, l.k, l.p, l.co, 1, w, dtop, 0, dcol), chain); err != nil {
+			dcol := l.dcolBufs[j].Data
+			if err := ctx.Dispatch(kernels.SgemmP(tag, par, true, false, l.k, l.p, l.co, 1, w, dtop, 0, dcol), chain); err != nil {
 				return err
 			}
 			dimg := bottom[0].SampleDiff(i)
@@ -265,7 +297,7 @@ func (l *ConvLayer) Backward(ctx *Context, top []*Blob, propagate []bool, bottom
 	// Deterministic fold of the per-chain partials, on the default stream.
 	dw := l.weight.Diff.Data()
 	for j := 0; j < width; j++ {
-		part := l.partW[j]
+		part := l.partW[j].Data
 		if err := ctx.Dispatch(kernels.AxpyKernel("axpy_fold_w", l.name, len(part), func() {
 			tensor.Axpy(1, part, dw)
 		}), -1); err != nil {
@@ -275,7 +307,7 @@ func (l *ConvLayer) Backward(ctx *Context, top []*Blob, propagate []bool, bottom
 	if l.bias != nil {
 		db := l.bias.Diff.Data()
 		for j := 0; j < width; j++ {
-			part := l.partB[j]
+			part := l.partB[j].Data
 			if err := ctx.Dispatch(kernels.AxpyKernel("axpy_fold_b", l.name, len(part), func() {
 				tensor.Axpy(1, part, db)
 			}), -1); err != nil {
@@ -283,7 +315,7 @@ func (l *ConvLayer) Backward(ctx *Context, top []*Blob, propagate []bool, bottom
 			}
 		}
 	}
-	return ctx.Barrier()
+	return nil
 }
 
 func zero(s []float32) {

@@ -79,8 +79,9 @@ func (l *IPLayer) Forward(ctx *Context, bottom, top []*Blob) error {
 	x := bottom[0].Data.Data()
 	y := top[0].Data.Data()
 	w := l.weight.Data.Data()
-	// y = x(N×In) · Wᵀ(In×Out)
-	if err := ctx.Dispatch(kernels.Sgemm(l.name, false, true, n, l.out, l.in, 1, x, w, 0, y), 0); err != nil {
+	// y = x(N×In) · Wᵀ(In×Out). FC layers run one whole-batch GEMM on a
+	// single chain, so row-band parallelism is what puts the pool to work.
+	if err := ctx.Dispatch(kernels.SgemmP(l.name, ctx.RowPar(), false, true, n, l.out, l.in, 1, x, w, 0, y), 0); err != nil {
 		return err
 	}
 	if l.bias != nil {
@@ -99,7 +100,7 @@ func (l *IPLayer) Backward(ctx *Context, top []*Blob, propagate []bool, bottom [
 	dy := top[0].Diff.Data()
 	// dW += dyᵀ(Out×N)·x(N×In)
 	dw := l.weight.Diff.Data()
-	if err := ctx.Dispatch(kernels.Sgemm(l.name, true, false, l.out, l.in, n, 1, dy, x, 1, dw), 0); err != nil {
+	if err := ctx.Dispatch(kernels.SgemmP(l.name, ctx.RowPar(), true, false, l.out, l.in, n, 1, dy, x, 1, dw), 0); err != nil {
 		return err
 	}
 	if l.bias != nil {
@@ -118,7 +119,7 @@ func (l *IPLayer) Backward(ctx *Context, top []*Blob, propagate []bool, bottom [
 		// dx += dy(N×Out)·W(Out×In)
 		dx := bottom[0].Diff.Data()
 		w := l.weight.Data.Data()
-		if err := ctx.Dispatch(kernels.Sgemm(l.name, false, false, n, l.in, l.out, 1, dy, w, 1, dx), 0); err != nil {
+		if err := ctx.Dispatch(kernels.SgemmP(l.name, ctx.RowPar(), false, false, n, l.in, l.out, 1, dy, w, 1, dx), 0); err != nil {
 			return err
 		}
 	}

@@ -41,10 +41,13 @@ type RNNLayer struct {
 	hs  []float32 // cached hidden states: N × (T+1) × H, hs[.,0,.] = 0
 	pre []float32 // cached pre-activations: N × T × H (for backward)
 
-	partWx [][]float32
-	partWh [][]float32
-	partB  [][]float32
-	dhBuf  [][]float32 // per-chain dh_{t} scratch
+	// Per-chain backward scratch, leased from the shared tensor arena for
+	// one pass and released after the final fold barrier (see ConvLayer).
+	partWx  []*tensor.Buf
+	partWh  []*tensor.Buf
+	partB   []*tensor.Buf
+	dhBuf   []*tensor.Buf // per-chain dh_{t} carry
+	dpreBuf []*tensor.Buf // per-chain dpre scratch (was a per-step alloc)
 }
 
 // NewRNN constructs a recurrent layer.
@@ -91,13 +94,20 @@ func (l *RNNLayer) Setup(ctx *Context, bottom, top []*Blob) error {
 	return nil
 }
 
-func (l *RNNLayer) ensureScratch(width int) {
-	for len(l.partWx) < width {
-		l.partWx = append(l.partWx, make([]float32, l.h*l.d))
-		l.partWh = append(l.partWh, make([]float32, l.h*l.h))
-		l.partB = append(l.partB, make([]float32, l.h))
-		l.dhBuf = append(l.dhBuf, make([]float32, l.h))
-	}
+func (l *RNNLayer) leaseScratch(width int) {
+	l.partWx = tensor.LeaseInto(l.partWx, width, l.h*l.d)
+	l.partWh = tensor.LeaseInto(l.partWh, width, l.h*l.h)
+	l.partB = tensor.LeaseInto(l.partB, width, l.h)
+	l.dhBuf = tensor.LeaseInto(l.dhBuf, width, l.h)
+	l.dpreBuf = tensor.LeaseInto(l.dpreBuf, width, l.h)
+}
+
+func (l *RNNLayer) releaseScratch() {
+	tensor.PutBufs(l.partWx)
+	tensor.PutBufs(l.partWh)
+	tensor.PutBufs(l.partB)
+	tensor.PutBufs(l.dhBuf)
+	tensor.PutBufs(l.dpreBuf)
 }
 
 // Forward implements Layer: per sample, a chain of T rnn_step kernels.
@@ -139,12 +149,24 @@ func (l *RNNLayer) Forward(ctx *Context, bottom, top []*Blob) error {
 // rnn_step_bwd kernels; weight gradients land in per-chain partials.
 func (l *RNNLayer) Backward(ctx *Context, top []*Blob, propagate []bool, bottom []*Blob) error {
 	width := ctx.Width()
-	l.ensureScratch(width)
+	l.leaseScratch(width)
+	err := l.backwardDispatch(ctx, top, propagate, bottom, width)
+	berr := ctx.Barrier()
+	l.releaseScratch()
+	if err != nil {
+		return err
+	}
+	return berr
+}
+
+func (l *RNNLayer) backwardDispatch(ctx *Context, top []*Blob, propagate []bool, bottom []*Blob, width int) error {
 	if ctx.Compute {
+		// Arena slabs arrive with unspecified contents; the accumulating
+		// partials must start the pass at zero.
 		for j := 0; j < width; j++ {
-			zero(l.partWx[j])
-			zero(l.partWh[j])
-			zero(l.partB[j])
+			zero(l.partWx[j].Data)
+			zero(l.partWh[j].Data)
+			zero(l.partB[j].Data)
 		}
 	}
 	x := bottom[0].Data.Data()
@@ -158,27 +180,29 @@ func (l *RNNLayer) Backward(ctx *Context, top []*Blob, propagate []bool, bottom 
 		j := n % width
 		tag := fmt.Sprintf("%s/n%d", l.name, n)
 		// reset dh carry for this chain
-		reset := kernels.AxpyKernel("rnn_bwd_init", tag, l.h, func() { zero(l.dhBuf[j]) })
+		reset := kernels.AxpyKernel("rnn_bwd_init", tag, l.h, func() { zero(l.dhBuf[j].Data) })
 		if err := ctx.Dispatch(reset, n); err != nil {
 			return err
 		}
 		for t := l.t - 1; t >= 0; t-- {
 			t := t
 			k := kernels.Elementwise("rnn_step_bwd", tag, l.h, 4*float64(l.d+2*l.h+4), float64(4*(l.d+l.h)+10), func() {
-				dh := l.dhBuf[j]
+				dh := l.dhBuf[j].Data
 				for i := 0; i < l.h; i++ {
 					dh[i] += dy[(n*l.t+t)*l.h+i]
 				}
-				// through tanh: dpre = dh ⊙ (1 − h²)
+				// through tanh: dpre = dh ⊙ (1 − h²). Chains sharing lane j
+				// run serialized, so the per-chain scratch replaces what used
+				// to be a per-step allocation.
 				hCur := l.hs[(n*(l.t+1)+t+1)*l.h : (n*(l.t+1)+t+2)*l.h]
-				dpre := make([]float32, l.h)
+				dpre := l.dpreBuf[j].Data
 				for i := 0; i < l.h; i++ {
 					dpre[i] = dh[i] * (1 - hCur[i]*hCur[i])
 				}
 				xt := x[(n*l.t+t)*l.d : (n*l.t+t+1)*l.d]
 				hPrev := l.hs[(n*(l.t+1)+t)*l.h : (n*(l.t+1)+t+1)*l.h]
 				// dWx += dpre ⊗ xt ; dWh += dpre ⊗ hPrev ; db += dpre
-				pwx, pwh, pb := l.partWx[j], l.partWh[j], l.partB[j]
+				pwx, pwh, pb := l.partWx[j].Data, l.partWh[j].Data, l.partB[j].Data
 				for i := 0; i < l.h; i++ {
 					g := dpre[i]
 					if g == 0 {
@@ -205,9 +229,9 @@ func (l *RNNLayer) Backward(ctx *Context, top []*Blob, propagate []bool, bottom 
 		return err
 	}
 	// Fixed-order fold of partials, on the default stream.
-	fold := func(kind string, parts [][]float32, dst []float32) error {
+	fold := func(kind string, parts []*tensor.Buf, dst []float32) error {
 		for j := 0; j < width; j++ {
-			part := parts[j]
+			part := parts[j].Data
 			if err := ctx.Dispatch(kernels.AxpyKernel("axpy_fold_"+kind, l.name, len(part), func() {
 				tensor.Axpy(1, part, dst)
 			}), -1); err != nil {
@@ -225,5 +249,5 @@ func (l *RNNLayer) Backward(ctx *Context, top []*Blob, propagate []bool, bottom 
 	if err := fold("b", l.partB, l.b.Diff.Data()); err != nil {
 		return err
 	}
-	return ctx.Barrier()
+	return nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/kernels"
 	"repro/internal/simgpu"
+	"repro/internal/tensor"
 )
 
 // Winograd F(2×2, 3×3) convolution — the arithmetic-complexity-reduction
@@ -108,7 +109,12 @@ func (l *ConvLayer) forwardWinograd(img []float32, out []float32) {
 		bias = l.bias.Data.Data()
 	}
 
-	vAll := make([]float32, ci*16)
+	// Per-call transformed-input scratch comes from the shared arena; the
+	// whole function runs inside one kernel closure, so lease/Put bracket a
+	// single goroutine's use and the steady state allocates nothing.
+	vBuf := tensor.GetBuf(ci * 16)
+	defer vBuf.Put()
+	vAll := vBuf.Data
 	for ty := 0; ty < tilesY; ty++ {
 		for tx := 0; tx < tilesX; tx++ {
 			// Input tile origin in image coordinates (top-left of the 4×4

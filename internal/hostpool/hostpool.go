@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Pool bounds how many chain tasks may execute concurrently. It is shared:
@@ -46,6 +47,64 @@ func (p *Pool) Workers() int { return cap(p.sem) }
 
 func (p *Pool) acquire() { p.sem <- struct{}{} }
 func (p *Pool) release() { <-p.sem }
+
+// tryAcquire takes a pool slot only if one is free right now.
+func (p *Pool) tryAcquire() bool {
+	select {
+	case p.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Run executes fn(0..tasks-1), sharding tasks across pool slots. The calling
+// goroutine always participates and helper goroutines only join when a slot
+// is free at spawn time (non-blocking acquire), so Run is safe to call from
+// inside a pool task — a fully loaded pool degrades to serial execution on
+// the caller instead of deadlocking. Tasks must touch disjoint state (the
+// row-band contract of tensor.GemmParallel); Run returns after every task
+// has completed.
+func (p *Pool) Run(tasks int, fn func(task int)) {
+	if tasks <= 0 {
+		return
+	}
+	if tasks == 1 {
+		fn(0)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	helpers := tasks - 1
+	if w := cap(p.sem); helpers > w {
+		helpers = w
+	}
+	for h := 0; h < helpers; h++ {
+		if !p.tryAcquire() {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer p.release()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= tasks {
+					return
+				}
+				fn(t)
+			}
+		}()
+	}
+	for {
+		t := int(next.Add(1)) - 1
+		if t >= tasks {
+			break
+		}
+		fn(t)
+	}
+	wg.Wait()
+}
 
 var (
 	defaultOnce sync.Once

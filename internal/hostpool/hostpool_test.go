@@ -149,3 +149,78 @@ func TestDefaults(t *testing.T) {
 		t.Fatalf("negative-lane submit: err=%v ran=%v", err, ran)
 	}
 }
+
+// TestRunCoversEveryTask: Run(tasks, fn) executes each task index exactly
+// once for a spread of task counts and pool widths.
+func TestRunCoversEveryTask(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		p := New(workers)
+		for _, tasks := range []int{0, 1, 2, 3, 7, 64} {
+			counts := make([]atomic.Int32, tasks+1)
+			p.Run(tasks, func(task int) {
+				if task < 0 || task >= tasks {
+					t.Errorf("Run(workers=%d, tasks=%d) invoked out-of-range task %d", workers, tasks, task)
+					return
+				}
+				counts[task].Add(1)
+			})
+			for i := 0; i < tasks; i++ {
+				if n := counts[i].Load(); n != 1 {
+					t.Errorf("Run(workers=%d, tasks=%d): task %d ran %d times, want 1", workers, tasks, i, n)
+				}
+			}
+		}
+	}
+}
+
+// TestRunNestedInsidePoolTask: Run called from inside a chain task on a
+// fully loaded pool must not deadlock — the caller participates and helpers
+// only join via non-blocking acquire. This is the shape SgemmP creates when
+// a row-parallel GEMM runs inside an offloaded chain closure.
+func TestRunNestedInsidePoolTask(t *testing.T) {
+	p := New(2)
+	cs := p.NewChainSet(2)
+	var total atomic.Int32
+	for lane := 0; lane < 2; lane++ {
+		cs.Submit(lane, func() {
+			p.Run(8, func(task int) { total.Add(1) })
+		})
+	}
+	if err := cs.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 16 {
+		t.Fatalf("nested Run completed %d tasks, want 16", total.Load())
+	}
+}
+
+// TestRunSerialWhenSaturated: with every slot held, Run degrades to serial
+// execution on the calling goroutine and still finishes all tasks.
+func TestRunSerialWhenSaturated(t *testing.T) {
+	p := New(1)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.acquire()
+		<-release
+		p.release()
+	}()
+	for !func() bool { // wait until the slot is actually held
+		if p.tryAcquire() {
+			p.release()
+			return false
+		}
+		return true
+	}() {
+		runtime.Gosched()
+	}
+	var ran atomic.Int32
+	p.Run(5, func(task int) { ran.Add(1) })
+	close(release)
+	wg.Wait()
+	if ran.Load() != 5 {
+		t.Fatalf("saturated Run completed %d tasks, want 5", ran.Load())
+	}
+}

@@ -126,6 +126,15 @@ func Col2im(tag string, col []float32, g tensor.ConvGeom, img []float32) *simgpu
 // Sgemm builds a tiled GEMM kernel computing C = alpha·op(A)op(B) + beta·C
 // with the 64×64-tile launch geometry of cuBLAS.
 func Sgemm(tag string, transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) *simgpu.Kernel {
+	return SgemmP(tag, nil, transA, transB, m, n, k, alpha, a, b, beta, c)
+}
+
+// SgemmP is Sgemm with an optional row-parallel runner for the host math:
+// with a non-nil par, the closure shards disjoint row bands of C across the
+// runner's workers (bit-identical to the serial kernel at any width — see
+// tensor.GemmParallel). The simulated kernel and its launch geometry are
+// unchanged; only the host-side wall-clock of the closure improves.
+func SgemmP(tag string, par tensor.RowParallel, transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) *simgpu.Kernel {
 	gx := (n + 63) / 64
 	gy := (m + 63) / 64
 	if gx < 1 {
@@ -149,7 +158,7 @@ func Sgemm(tag string, transA, transB bool, m, n, k int, alpha float32, a, b []f
 			FLOPs: flops / gemmEff,
 			Bytes: traffic / memEff,
 		},
-		Fn: func() { tensor.Gemm(transA, transB, m, n, k, alpha, a, b, beta, c) },
+		Fn: func() { tensor.GemmParallel(par, transA, transB, m, n, k, alpha, a, b, beta, c) },
 	}
 }
 

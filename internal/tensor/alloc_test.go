@@ -1,0 +1,65 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestGemmSteadyStateAllocs pins the zero-allocation contract: once the
+// sync.Pool arena is warm, Gemm must not touch the heap — for any transpose
+// combination, including the ones the naive kernel used to allocate a full
+// transpose repack for.
+func TestGemmSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is skewed by race instrumentation")
+	}
+	rng := rand.New(rand.NewSource(2))
+	m, n, k := 70, 520, 300 // straddles MC/NC/KC so every pack path runs
+	a := randSlice(rng, m*k)
+	b := randSlice(rng, k*n)
+	c := make([]float32, m*n)
+	for _, ta := range []bool{false, true} {
+		for _, tb := range []bool{false, true} {
+			ta, tb := ta, tb
+			Gemm(ta, tb, m, n, k, 1, a, b, 0, c) // warm the arena
+			allocs := testing.AllocsPerRun(10, func() {
+				Gemm(ta, tb, m, n, k, 1, a, b, 0, c)
+			})
+			if allocs != 0 {
+				t.Errorf("Gemm(transA=%v, transB=%v) allocates %.1f objects per call in steady state, want 0", ta, tb, allocs)
+			}
+		}
+	}
+}
+
+// TestIm2colSteadyStateAllocs pins Im2col and Col2im at zero allocations.
+func TestIm2colSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is skewed by race instrumentation")
+	}
+	g := ConvGeom{Channels: 8, Height: 27, Width: 27, KernelH: 5, KernelW: 5, StrideH: 1, StrideW: 1, PadH: 2, PadW: 2}
+	img := make([]float32, g.Channels*g.Height*g.Width)
+	col := make([]float32, g.ColRows()*g.ColCols())
+	if allocs := testing.AllocsPerRun(10, func() { Im2col(img, g, col) }); allocs != 0 {
+		t.Errorf("Im2col allocates %.1f objects per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(10, func() { Col2im(col, g, img) }); allocs != 0 {
+		t.Errorf("Col2im allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestBufArenaSteadyStateAllocs pins the shared scratch arena: a warm
+// Get/Put cycle at a stable size must not allocate.
+func TestBufArenaSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is skewed by race instrumentation")
+	}
+	b := GetBuf(4096)
+	b.Put()
+	if allocs := testing.AllocsPerRun(10, func() {
+		b := GetBuf(4096)
+		b.Put()
+	}); allocs != 0 {
+		t.Errorf("Buf arena allocates %.1f objects per warm cycle, want 0", allocs)
+	}
+}

@@ -6,11 +6,28 @@ import "fmt"
 // matrices, mirroring the cblas_sgemm calls Caffe makes: op(A) is M×K,
 // op(B) is K×N, C is M×N. transA/transB select op = transpose.
 //
-// The kernel is an ikj loop with a contiguous AXPY inner loop, which is
-// cache-friendly for row-major data and lets the compiler vectorize; for the
-// transposed cases the operand is repacked once, so every hot loop runs on
-// contiguous rows.
+// The implementation is the cache-blocked, packed-panel kernel in pack.go.
+// Its determinism contract: every C element accumulates its k terms in
+// strictly ascending order, exactly as the retained naive kernel
+// (gemmNaive) does, so results are bit-identical to the historical
+// implementation for all transpose combinations and all alpha/beta values.
+// Steady-state calls perform zero heap allocations: packing buffers come
+// from a sync.Pool-backed arena.
 func Gemm(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	checkGemmDims(transA, transB, m, n, k, a, b, c)
+	if m == 0 || n == 0 {
+		return
+	}
+	gemmScaleBeta(beta, c[:m*n])
+	if k == 0 || alpha == 0 {
+		return
+	}
+	gemmBlocked(transA, transB, 0, m, m, n, k, alpha, a, b, c)
+}
+
+// checkGemmDims validates operand sizes against the logical dims; the panic
+// messages are part of the package's contract (tests pin them).
+func checkGemmDims(transA, transB bool, m, n, k int, a, b, c []float32) {
 	if m < 0 || n < 0 || k < 0 {
 		panic(fmt.Sprintf("tensor: Gemm negative dims m=%d n=%d k=%d", m, n, k))
 	}
@@ -23,22 +40,35 @@ func Gemm(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta 
 	if len(b) < k*n {
 		panic(fmt.Sprintf("tensor: Gemm B too small: %d < %d", len(b), k*n))
 	}
-	if m == 0 || n == 0 {
-		return
-	}
+}
 
-	// Scale C by beta first.
+// gemmScaleBeta applies the beta pass over C exactly as the naive kernel
+// did: beta==1 is a no-op, beta==0 zero-fills (so NaN/Inf in C do not leak
+// through), anything else scales in place.
+func gemmScaleBeta(beta float32, c []float32) {
 	switch beta {
 	case 1:
 	case 0:
-		for i := 0; i < m*n; i++ {
+		for i := range c {
 			c[i] = 0
 		}
 	default:
-		for i := 0; i < m*n; i++ {
+		for i := range c {
 			c[i] *= beta
 		}
 	}
+}
+
+// gemmNaive is the pre-blocking reference kernel, retained verbatim: an ikj
+// loop with a contiguous AXPY inner loop, repacking transposed operands into
+// freshly allocated buffers. It defines the bit pattern the blocked kernel
+// must reproduce and is what the property tests compare against.
+func gemmNaive(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	checkGemmDims(transA, transB, m, n, k, a, b, c)
+	if m == 0 || n == 0 {
+		return
+	}
+	gemmScaleBeta(beta, c[:m*n])
 	if k == 0 || alpha == 0 {
 		return
 	}
@@ -94,6 +124,9 @@ func Gemv(trans bool, m, n int, alpha float32, a, x []float32, beta float32, y [
 	if trans {
 		ylen, xlen = n, m
 	}
+	if len(a) < m*n {
+		panic(fmt.Sprintf("tensor: Gemv A too small: %d < %d", len(a), m*n))
+	}
 	if len(x) < xlen || len(y) < ylen {
 		panic("tensor: Gemv operand too small")
 	}
@@ -143,20 +176,45 @@ func Axpy(a float32, x, y []float32) {
 	axpy(a, x, y[:len(x)])
 }
 
-// Axpby computes y = a*x + b*y.
+// Axpby computes y = a*x + b*y over the first len(x) elements of y. Like
+// Axpy, it short-circuits the trivial coefficients: b==1 reduces to Axpy
+// (including its a==0 no-op) and a==0 reduces to Scal. For finite inputs the
+// fast paths are bit-identical to the general loop; like BLAS, the a==0 path
+// normalizes a signed zero that the term 0*x[i] would otherwise contribute.
 func Axpby(a float32, x []float32, b float32, y []float32) {
 	if len(y) < len(x) {
 		panic("tensor: Axpby y shorter than x")
+	}
+	if len(x) == 0 {
+		return
+	}
+	if b == 1 {
+		Axpy(a, x, y)
+		return
+	}
+	if a == 0 {
+		Scal(b, y[:len(x)])
+		return
 	}
 	for i, v := range x {
 		y[i] = a*v + b*y[i]
 	}
 }
 
-// Scal scales x by a.
+// Scal scales x by a. a==1 is a no-op and a==0 zero-fills (bit-identical to
+// the multiply loop for all finite inputs except that, like BLAS, it writes
+// +0 where x held a negative value or a NaN).
 func Scal(a float32, x []float32) {
-	for i := range x {
-		x[i] *= a
+	switch a {
+	case 1:
+	case 0:
+		for i := range x {
+			x[i] = 0
+		}
+	default:
+		for i := range x {
+			x[i] *= a
+		}
 	}
 }
 

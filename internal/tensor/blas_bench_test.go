@@ -1,0 +1,105 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Benchmark geometries follow the paper's Table 5 layers: the shapes below
+// are the (M, N, K) of the per-image forward SGEMM C(Co×P) = W(Co×K)·col(K×P)
+// with K = Ci·Fh·Fw and P = OutH·OutW.
+var gemmShapes = []struct {
+	name    string
+	m, n, k int
+}{
+	{"CIFAR10_conv1_32x1024x75", 32, 1024, 75},
+	{"Siamese_conv2_50x64x500", 50, 64, 500},
+	{"CaffeNet_conv1_96x3025x363", 96, 3025, 363},
+	{"CaffeNet_conv2_128x729x1200", 128, 729, 1200}, // the AlexNet conv2 shape of the acceptance bar
+	{"GoogLeNet_3a1_64x784x192", 64, 784, 192},
+}
+
+func benchGemm(b *testing.B, m, n, k int, fn func(a, bb, c []float32)) {
+	rng := rand.New(rand.NewSource(1))
+	a := randSlice(rng, m*k)
+	bb := randSlice(rng, k*n)
+	c := make([]float32, m*n)
+	b.SetBytes(int64(2) * int64(m) * int64(n) * int64(k)) // FLOPs as "bytes" so ns/op converts to GFLOP/s
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn(a, bb, c)
+	}
+}
+
+func BenchmarkGemm(b *testing.B) {
+	for _, s := range gemmShapes {
+		s := s
+		b.Run(s.name, func(b *testing.B) {
+			benchGemm(b, s.m, s.n, s.k, func(a, bb, c []float32) {
+				Gemm(false, false, s.m, s.n, s.k, 1, a, bb, 0, c)
+			})
+		})
+	}
+}
+
+// BenchmarkGemmTransB is the conv-backward dW shape: dTop(Co×P)·colᵀ(P×K).
+func BenchmarkGemmTransB(b *testing.B) {
+	m, n, k := 128, 1200, 729
+	benchGemm(b, m, n, k, func(a, bb, c []float32) {
+		Gemm(false, true, m, n, k, 1, a, bb, 0, c)
+	})
+}
+
+// BenchmarkGemmTransA is the conv-backward dcol shape: Wᵀ(K×Co)·dTop(Co×P).
+func BenchmarkGemmTransA(b *testing.B) {
+	m, n, k := 1200, 729, 128
+	benchGemm(b, m, n, k, func(a, bb, c []float32) {
+		Gemm(true, false, m, n, k, 1, a, bb, 0, c)
+	})
+}
+
+// Table 5 conv geometries for the im2col/col2im kernels.
+var colGeoms = []struct {
+	name string
+	g    ConvGeom
+}{
+	{"CIFAR10_conv1", ConvGeom{Channels: 3, Height: 32, Width: 32, KernelH: 5, KernelW: 5, StrideH: 1, StrideW: 1, PadH: 2, PadW: 2}},
+	{"CaffeNet_conv1", ConvGeom{Channels: 3, Height: 227, Width: 227, KernelH: 11, KernelW: 11, StrideH: 4, StrideW: 4}},
+	{"CaffeNet_conv2", ConvGeom{Channels: 48, Height: 27, Width: 27, KernelH: 5, KernelW: 5, StrideH: 1, StrideW: 1, PadH: 2, PadW: 2}},
+	{"GoogLeNet_3a1", ConvGeom{Channels: 192, Height: 28, Width: 28, KernelH: 1, KernelW: 1, StrideH: 1, StrideW: 1}},
+}
+
+func BenchmarkIm2col(b *testing.B) {
+	for _, tc := range colGeoms {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			img := randSlice(rng, tc.g.Channels*tc.g.Height*tc.g.Width)
+			col := make([]float32, tc.g.ColRows()*tc.g.ColCols())
+			b.SetBytes(int64(4 * len(col)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Im2col(img, tc.g, col)
+			}
+		})
+	}
+}
+
+func BenchmarkCol2im(b *testing.B) {
+	for _, tc := range colGeoms {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			col := randSlice(rng, tc.g.ColRows()*tc.g.ColCols())
+			img := make([]float32, tc.g.Channels*tc.g.Height*tc.g.Width)
+			b.SetBytes(int64(4 * len(col)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Col2im(col, tc.g, img)
+			}
+		})
+	}
+}

@@ -1,0 +1,107 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestGemvATooSmall: Gemv must reject an undersized A like Gemm does,
+// instead of reading past the logical matrix (regression: the check was
+// missing while x and y were validated).
+func TestGemvATooSmall(t *testing.T) {
+	a := make([]float32, 5) // one short of 3×2
+	x := []float32{1, 1}
+	y := make([]float32, 3)
+	assertPanics(t, func() { Gemv(false, 3, 2, 1, a, x, 0, y) })
+	x3 := []float32{1, 1, 1}
+	y2 := make([]float32, 2)
+	assertPanics(t, func() { Gemv(true, 3, 2, 1, a, x3, 0, y2) })
+	// Exactly m*n must still be accepted.
+	Gemv(false, 3, 2, 1, make([]float32, 6), x, 0, y)
+}
+
+// axpbyRef is the plain per-element definition y = a·x + b·y.
+func axpbyRef(a float32, x []float32, b float32, y []float32) {
+	for i, v := range x {
+		y[i] = a*v + b*y[i]
+	}
+}
+
+// TestAxpbyShortCircuitBitIdentity: the a==0 and b==1 fast paths must
+// produce bit-for-bit the same y as the generic loop (for the finite
+// nonzero data training produces; signed zeros are normalized like BLAS).
+func TestAxpbyShortCircuitBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	nonzero := func(n int) []float32 {
+		s := make([]float32, n)
+		for i := range s {
+			for s[i] == 0 {
+				s[i] = float32(rng.NormFloat64())
+			}
+		}
+		return s
+	}
+	const n = 257
+	x := nonzero(n)
+	for _, coef := range []struct{ a, b float32 }{
+		{0, 0.5}, {0, 1}, {1, 1}, {2.5, 1}, {-3, 1}, {1.5, -0.25},
+	} {
+		y0 := nonzero(n)
+		got := append([]float32(nil), y0...)
+		want := append([]float32(nil), y0...)
+		Axpby(coef.a, x, coef.b, got)
+		axpbyRef(coef.a, x, coef.b, want)
+		for i := range got {
+			if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("Axpby(a=%v, b=%v) diverges at %d: %x want %x",
+					coef.a, coef.b, i, math.Float32bits(got[i]), math.Float32bits(want[i]))
+			}
+		}
+	}
+	// a==0, b==0 collapses to Scal(0, ·): every element becomes exactly +0
+	// (the reference loop would leave −0 for negative operands; the fast
+	// path normalizes like BLAS, which the doc comment pins down).
+	z := nonzero(n)
+	Axpby(0, x, 0, z)
+	for i := range z {
+		if math.Float32bits(z[i]) != 0 {
+			t.Fatalf("Axpby(0, x, 0, y) left %x at %d, want +0", math.Float32bits(z[i]), i)
+		}
+	}
+}
+
+// TestScalShortCircuits: a==1 must leave every bit untouched, a==0 must
+// produce exactly +0 everywhere, and the generic path must match the plain
+// multiply loop bitwise.
+func TestScalShortCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	x := randSlice(rng, 129)
+	orig := append([]float32(nil), x...)
+
+	Scal(1, x)
+	for i := range x {
+		if math.Float32bits(x[i]) != math.Float32bits(orig[i]) {
+			t.Fatalf("Scal(1) changed element %d", i)
+		}
+	}
+
+	y := append([]float32(nil), orig...)
+	want := append([]float32(nil), orig...)
+	Scal(0.75, y)
+	for i := range want {
+		want[i] *= 0.75
+	}
+	for i := range y {
+		if math.Float32bits(y[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("Scal(0.75) diverges at %d", i)
+		}
+	}
+
+	Scal(0, x)
+	for i := range x {
+		if math.Float32bits(x[i]) != 0 { // +0, sign bit clear
+			t.Fatalf("Scal(0) left %x at %d, want +0", math.Float32bits(x[i]), i)
+		}
+	}
+}

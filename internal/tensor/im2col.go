@@ -47,13 +47,25 @@ func Im2col(img []float32, g ConvGeom, col []float32) {
 				for y := 0; y < oh; y++ {
 					iy := y*g.StrideH - g.PadH + kh
 					if iy < 0 || iy >= g.Height {
-						for x := 0; x < ow; x++ {
-							col[idx] = 0
-							idx++
-						}
+						// Whole output row falls outside the image: one
+						// bulk zero-fill instead of ow scalar stores.
+						zeroFill(col[idx : idx+ow])
+						idx += ow
 						continue
 					}
 					rowBase := iy * g.Width
+					if g.StrideW == 1 {
+						// Stride-1 fast path: ix = x + (kw − PadW) walks the
+						// image row contiguously, so the interior is a bulk
+						// copy framed by zero-filled pad margins.
+						base := kw - g.PadW
+						x0, x1 := interiorSpan(base, ow, g.Width)
+						zeroFill(col[idx : idx+x0])
+						copy(col[idx+x0:idx+x1], plane[rowBase+base+x0:rowBase+base+x1])
+						zeroFill(col[idx+x1 : idx+ow])
+						idx += ow
+						continue
+					}
 					for x := 0; x < ow; x++ {
 						ix := x*g.StrideW - g.PadW + kw
 						if ix < 0 || ix >= g.Width {
@@ -66,6 +78,46 @@ func Im2col(img []float32, g ConvGeom, col []float32) {
 				}
 			}
 		}
+	}
+}
+
+// interiorSpan returns the half-open output range [x0, x1) whose image
+// column base+x lies inside [0, width); outside it the window reads padding.
+// x0 ≤ x1 always holds, so the caller's slices are valid even when the whole
+// row is padding.
+func interiorSpan(base, ow, width int) (x0, x1 int) {
+	x0 = 0
+	if base < 0 {
+		x0 = -base
+	}
+	x1 = width - base
+	if x1 > ow {
+		x1 = ow
+	}
+	if x1 < x0 {
+		x1 = x0
+	}
+	if x0 > ow {
+		x0, x1 = ow, ow
+	}
+	return x0, x1
+}
+
+// zeroFill sets every element of s to 0 (compiled to a memclr).
+func zeroFill(s []float32) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// addTo accumulates src into dst element-wise; slices have equal length.
+func addTo(dst, src []float32) {
+	if len(src) == 0 {
+		return
+	}
+	_ = dst[len(src)-1]
+	for i, v := range src {
+		dst[i] += v
 	}
 }
 
@@ -92,6 +144,16 @@ func Col2im(col []float32, g ConvGeom, img []float32) {
 						continue
 					}
 					rowBase := iy * g.Width
+					if g.StrideW == 1 {
+						// Stride-1 fast path: the interior accumulates
+						// contiguously (same ascending-x order as the
+						// scalar loop), pad margins contribute nothing.
+						base := kw - g.PadW
+						x0, x1 := interiorSpan(base, ow, g.Width)
+						addTo(plane[rowBase+base+x0:rowBase+base+x1], col[idx+x0:idx+x1])
+						idx += ow
+						continue
+					}
 					for x := 0; x < ow; x++ {
 						ix := x*g.StrideW - g.PadW + kw
 						if ix >= 0 && ix < g.Width {

@@ -1,0 +1,326 @@
+package tensor
+
+import "sync"
+
+// Blocked SGEMM: the GotoBLAS-style loop nest behind Gemm. The matrix is
+// processed in cache-sized panels — B in KC×NC panels that stay resident in
+// L2, A in MC×KC panels repacked into register-block order — with a 4-row
+// register-blocked micro-kernel at the bottom. Two properties are load
+// bearing and must survive any future tuning:
+//
+//  1. Determinism. Every C element accumulates its k terms in strictly
+//     ascending order: the KC loop walks k blocks in ascending order and the
+//     micro-kernel walks l within a block in ascending order, accumulating
+//     straight into C. Together with the per-row `av == 0` skip (inherited
+//     from the naive kernel) this makes the blocked kernel bit-identical to
+//     gemmNaive for every transpose combination, every alpha/beta, and any
+//     row banding — the convergence-invariance contract the dnn layers and
+//     internal/models/invariance_test.go rely on.
+//
+//  2. Zero steady-state allocation. Packing buffers are drawn from a
+//     sync.Pool-backed arena (gemmBufs); the transposed cases pack straight
+//     from the strided source into panels, so the naive kernel's per-call
+//     transpose allocation is gone entirely.
+//
+// Block sizes: KC×NC×4B = 512 KB keeps the B panel in L2; MC×KC×4B = 64 KB
+// streams the A panel through L1; MR=4 rows of C (≤ NC×4B each) live in
+// registers/L1 inside the micro-kernel, so each packed B row is loaded once
+// per 4 rows of output instead of once per row.
+const (
+	gemmMC = 64  // rows of A packed per panel
+	gemmKC = 256 // k extent of one panel pass
+	gemmNC = 512 // columns of B packed per panel
+	gemmMR = 4   // register-blocked rows per micro-kernel
+)
+
+// gemmBufs is one arena cell: the A and B packing panels for a single
+// in-flight Gemm (or one row band of GemmParallel). Capacity is fixed at the
+// maximum panel size, so steady-state Get/Put never reallocates.
+type gemmBufs struct {
+	ap []float32 // packed op(A) panel, MC×KC, alpha folded in
+	bp []float32 // packed op(B) panel, KC×NC row-major
+}
+
+var gemmPool = sync.Pool{New: func() any {
+	return &gemmBufs{
+		ap: make([]float32, gemmMC*gemmKC),
+		bp: make([]float32, gemmKC*gemmNC),
+	}
+}}
+
+// gemmBlocked computes rows [i0,i1) of C += op(A)·op(B) with alpha folded
+// into the packed A panel. m is the full logical M of op(A) (the lead
+// dimension of a transposed A), so a row band sees exactly the same memory
+// layout as the full product — the basis of GemmParallel's bitwise
+// determinism at any band count. The caller has already applied beta and
+// screened out the k==0 / alpha==0 / empty cases.
+func gemmBlocked(transA, transB bool, i0, i1, m, n, k int, alpha float32, a, b, c []float32) {
+	bufs := gemmPool.Get().(*gemmBufs)
+	ap, bp := bufs.ap, bufs.bp
+	for jc := 0; jc < n; jc += gemmNC {
+		nc := min(gemmNC, n-jc)
+		// k blocks strictly ascending: each C element in this column panel
+		// accumulates its k terms in the same order the naive kernel uses.
+		for pc := 0; pc < k; pc += gemmKC {
+			kc := min(gemmKC, k-pc)
+			packB(transB, b, bp, pc, jc, kc, nc, n, k)
+			for ic := i0; ic < i1; ic += gemmMC {
+				mc := min(gemmMC, i1-ic)
+				packA(transA, a, ap, ic, pc, mc, kc, m, k, alpha)
+				gemmMicro(ap, bp, c, ic, jc, mc, kc, nc, n)
+			}
+		}
+	}
+	bufs.ap, bufs.bp = ap, bp
+	gemmPool.Put(bufs)
+}
+
+// packB copies the kc×nc panel of op(B) starting at (pc, jc) into bp as a
+// contiguous row-major panel. For transB the stored layout is N×K, so the
+// pack reads each source row once (contiguous) and scatters it into a panel
+// column — this replaces the naive kernel's full N×K transpose allocation.
+func packB(transB bool, b, bp []float32, pc, jc, kc, nc, n, k int) {
+	if !transB {
+		for l := 0; l < kc; l++ {
+			src := b[(pc+l)*n+jc : (pc+l)*n+jc+nc]
+			copy(bp[l*nc:l*nc+nc], src)
+		}
+		return
+	}
+	for j := 0; j < nc; j++ {
+		src := b[(jc+j)*k+pc : (jc+j)*k+pc+kc]
+		for l, v := range src {
+			bp[l*nc+j] = v
+		}
+	}
+}
+
+// packA packs the mc×kc panel of op(A) starting at row ic, column pc, with
+// alpha folded in (av = alpha·a matches the naive kernel's per-term
+// multiply bit for bit). Layout: full 4-row strips interleaved by l
+// ([l*4+r] within a strip), then any remainder rows appended one contiguous
+// kc-length row each.
+func packA(transA bool, a, ap []float32, ic, pc, mc, kc, m, k int, alpha float32) {
+	at := func(i, l int) float32 {
+		if transA {
+			return a[l*m+i] // stored K×M
+		}
+		return a[i*k+l]
+	}
+	off := 0
+	strips := mc / gemmMR
+	for s := 0; s < strips; s++ {
+		r := ic + s*gemmMR
+		if !transA {
+			a0 := a[r*k+pc : r*k+pc+kc]
+			a1 := a[(r+1)*k+pc : (r+1)*k+pc+kc]
+			a2 := a[(r+2)*k+pc : (r+2)*k+pc+kc]
+			a3 := a[(r+3)*k+pc : (r+3)*k+pc+kc]
+			dst := ap[off : off+gemmMR*kc]
+			for l := 0; l < kc; l++ {
+				dst[l*gemmMR+0] = alpha * a0[l]
+				dst[l*gemmMR+1] = alpha * a1[l]
+				dst[l*gemmMR+2] = alpha * a2[l]
+				dst[l*gemmMR+3] = alpha * a3[l]
+			}
+		} else {
+			dst := ap[off : off+gemmMR*kc]
+			for l := 0; l < kc; l++ {
+				row := a[(pc+l)*m+r : (pc+l)*m+r+gemmMR]
+				dst[l*gemmMR+0] = alpha * row[0]
+				dst[l*gemmMR+1] = alpha * row[1]
+				dst[l*gemmMR+2] = alpha * row[2]
+				dst[l*gemmMR+3] = alpha * row[3]
+			}
+		}
+		off += gemmMR * kc
+	}
+	for r := ic + strips*gemmMR; r < ic+mc; r++ {
+		for l := 0; l < kc; l++ {
+			ap[off+l] = alpha * at(r, pc+l)
+		}
+		off += kc
+	}
+}
+
+// gemmMicro runs the packed panels against the C block at (ic, jc):
+// 4-row register-blocked strips through the 4×4 register-tile kernel, then
+// single remainder rows through a scalar kernel. Both keep their C elements
+// in registers across the whole k block (one load and one store per element
+// per panel pass instead of one round trip per k term — the difference
+// between the naive kernel's store-port bound and this one's FPU bound),
+// and both accumulate l in ascending order with the naive kernel's
+// `av == 0` skip applied per row, so every element's value is bit-identical
+// to the naive kernel's.
+func gemmMicro(ap, bp, c []float32, ic, jc, mc, kc, nc, n int) {
+	off := 0
+	strips := mc / gemmMR
+	for s := 0; s < strips; s++ {
+		r := ic + s*gemmMR
+		micro4(ap[off:off+gemmMR*kc], bp,
+			c[r*n+jc:r*n+jc+nc],
+			c[(r+1)*n+jc:(r+1)*n+jc+nc],
+			c[(r+2)*n+jc:(r+2)*n+jc+nc],
+			c[(r+3)*n+jc:(r+3)*n+jc+nc],
+			kc, nc)
+		off += gemmMR * kc
+	}
+	for r := ic + strips*gemmMR; r < ic+mc; r++ {
+		micro1(ap[off:off+kc], bp, c[r*n+jc:r*n+jc+nc], kc, nc)
+		off += kc
+	}
+}
+
+// micro4 computes four C rows against the packed panels: 4×8 SSE register
+// tiles where assembly is available, portable 4×4 register tiles plus a
+// scalar column tail otherwise. strip is the packed 4-row A strip
+// ([l*4+row], alpha folded in).
+func micro4(strip, bp, c0, c1, c2, c3 []float32, kc, nc int) {
+	j := 0
+	if hasAsmMicro && kc > 0 {
+		for ; j+8 <= nc; j += 8 {
+			micro4x8(&strip[0], &bp[j], &c0[j], &c1[j], &c2[j], &c3[j], kc, 4*nc)
+		}
+	}
+	for ; j+4 <= nc; j += 4 {
+		// The 16 accumulators live in registers for the whole k block.
+		s00, s01, s02, s03 := c0[j], c0[j+1], c0[j+2], c0[j+3]
+		s10, s11, s12, s13 := c1[j], c1[j+1], c1[j+2], c1[j+3]
+		s20, s21, s22, s23 := c2[j], c2[j+1], c2[j+2], c2[j+3]
+		s30, s31, s32, s33 := c3[j], c3[j+1], c3[j+2], c3[j+3]
+		for l := 0; l < kc; l++ {
+			bl := bp[l*nc+j : l*nc+j+4 : l*nc+j+4]
+			b0, b1, b2, b3 := bl[0], bl[1], bl[2], bl[3]
+			al := strip[l*gemmMR : l*gemmMR+gemmMR : l*gemmMR+gemmMR]
+			if a := al[0]; a != 0 {
+				s00 += a * b0
+				s01 += a * b1
+				s02 += a * b2
+				s03 += a * b3
+			}
+			if a := al[1]; a != 0 {
+				s10 += a * b0
+				s11 += a * b1
+				s12 += a * b2
+				s13 += a * b3
+			}
+			if a := al[2]; a != 0 {
+				s20 += a * b0
+				s21 += a * b1
+				s22 += a * b2
+				s23 += a * b3
+			}
+			if a := al[3]; a != 0 {
+				s30 += a * b0
+				s31 += a * b1
+				s32 += a * b2
+				s33 += a * b3
+			}
+		}
+		c0[j], c0[j+1], c0[j+2], c0[j+3] = s00, s01, s02, s03
+		c1[j], c1[j+1], c1[j+2], c1[j+3] = s10, s11, s12, s13
+		c2[j], c2[j+1], c2[j+2], c2[j+3] = s20, s21, s22, s23
+		c3[j], c3[j+1], c3[j+2], c3[j+3] = s30, s31, s32, s33
+	}
+	for ; j < nc; j++ {
+		s0, s1, s2, s3 := c0[j], c1[j], c2[j], c3[j]
+		for l := 0; l < kc; l++ {
+			b := bp[l*nc+j]
+			al := strip[l*gemmMR : l*gemmMR+gemmMR : l*gemmMR+gemmMR]
+			if a := al[0]; a != 0 {
+				s0 += a * b
+			}
+			if a := al[1]; a != 0 {
+				s1 += a * b
+			}
+			if a := al[2]; a != 0 {
+				s2 += a * b
+			}
+			if a := al[3]; a != 0 {
+				s3 += a * b
+			}
+		}
+		c0[j], c1[j], c2[j], c3[j] = s0, s1, s2, s3
+	}
+}
+
+// micro1 computes one C row against the packed panels (remainder rows of a
+// panel): 1×4 register tiles with a scalar tail, same ordering contract as
+// micro4.
+func micro1(arow, bp, ci []float32, kc, nc int) {
+	j := 0
+	for ; j+4 <= nc; j += 4 {
+		s0, s1, s2, s3 := ci[j], ci[j+1], ci[j+2], ci[j+3]
+		for l := 0; l < kc; l++ {
+			a := arow[l]
+			if a == 0 {
+				continue
+			}
+			bl := bp[l*nc+j : l*nc+j+4 : l*nc+j+4]
+			s0 += a * bl[0]
+			s1 += a * bl[1]
+			s2 += a * bl[2]
+			s3 += a * bl[3]
+		}
+		ci[j], ci[j+1], ci[j+2], ci[j+3] = s0, s1, s2, s3
+	}
+	for ; j < nc; j++ {
+		s := ci[j]
+		for l := 0; l < kc; l++ {
+			if a := arow[l]; a != 0 {
+				s += a * bp[l*nc+j]
+			}
+		}
+		ci[j] = s
+	}
+}
+
+// RowParallel is the execution resource GemmParallel shards row bands
+// across. hostpool.Pool implements it; the indirection keeps the tensor
+// package free of an execution-engine dependency.
+type RowParallel interface {
+	// Workers returns the concurrency bound.
+	Workers() int
+	// Run executes fn(0..tasks-1), possibly concurrently. Implementations
+	// must run every task exactly once and return after all complete.
+	Run(tasks int, fn func(task int))
+}
+
+// gemmMinBandRows is the smallest row band worth a parallel task: below
+// this, packing overhead dominates and the serial path wins.
+const gemmMinBandRows = 32
+
+// GemmParallel is Gemm with the rows of C sharded into disjoint bands
+// executed via p. Every band computes its rows with the same blocked kernel,
+// the same panel geometry, and the same ascending-k accumulation the serial
+// path uses, and bands touch disjoint C rows — so the result is bit-identical
+// to Gemm at every band count, which is what makes the mode safe to enable
+// under the convergence-invariance contract. A nil p, a single worker, or a
+// small M falls back to the serial kernel.
+func GemmParallel(p RowParallel, transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	bands := 0
+	if p != nil {
+		bands = min(p.Workers(), m/gemmMinBandRows)
+	}
+	if bands <= 1 {
+		Gemm(transA, transB, m, n, k, alpha, a, b, beta, c)
+		return
+	}
+	checkGemmDims(transA, transB, m, n, k, a, b, c)
+	if n == 0 {
+		return
+	}
+	quo, rem := m/bands, m%bands
+	p.Run(bands, func(band int) {
+		i0 := band*quo + min(band, rem)
+		i1 := i0 + quo
+		if band < rem {
+			i1++
+		}
+		gemmScaleBeta(beta, c[i0*n:i1*n])
+		if k == 0 || alpha == 0 {
+			return
+		}
+		gemmBlocked(transA, transB, i0, i1, m, n, k, alpha, a, b, c)
+	})
+}

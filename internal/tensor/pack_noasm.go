@@ -1,0 +1,12 @@
+//go:build !amd64 || purego
+
+package tensor
+
+// hasAsmMicro is false without an assembly micro-kernel; micro4 runs its
+// portable Go register-tile path instead.
+const hasAsmMicro = false
+
+// micro4x8 is unreachable when hasAsmMicro is false.
+func micro4x8(strip, b, c0, c1, c2, c3 *float32, kc, ldbBytes int) {
+	panic("tensor: micro4x8 called without assembly support")
+}
