@@ -12,7 +12,7 @@ MAINS := \
 	./examples/quickstart \
 	./examples/timeline
 
-.PHONY: tier1 vet build test race alloc bins bench bench-tensor clean
+.PHONY: tier1 vet build test race alloc bins bench bench-tensor chaos clean
 
 # tier1 is the CI gate: vet, build, the full test suite under the race
 # detector (the host-side parallel engine must stay race-clean), the
@@ -28,8 +28,11 @@ build:
 test:
 	$(GO) test ./...
 
+# The chaos soak trains all four workloads under fault storms; with race
+# instrumentation on a small CI box that legitimately exceeds go test's
+# default 10-minute per-package timeout, so the budget is raised here.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 45m ./...
 
 # The steady-state allocation contract (Gemm, Im2col/Col2im, the scratch
 # arena) must run without -race: race instrumentation skews the allocation
@@ -43,6 +46,14 @@ bins:
 		echo "build $$m"; \
 		$(GO) build -o bin/$$(basename $$m) $$m; \
 	done
+
+# Focused fault-injection/self-healing suite: the chaos soak (all four
+# workloads under seeded fault storms, bitwise-invariance checked), the
+# deterministic rollback test, and the mid-run degradation test. Not a
+# separate tier1 dependency: `race` already runs these via ./... — this
+# target exists for fast iteration on the recovery paths alone.
+chaos:
+	$(GO) test -race -timeout 45m -run 'TestChaosSoak|TestStepRollback|TestMidRunDegradation' -v ./internal/parallel/
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -32,16 +32,37 @@ func main() {
 		seed    = flag.Int64("seed", 1, "seed")
 		every   = flag.Int("log-every", 5, "print loss every N iterations")
 		trace   = flag.String("trace", "", "write a Chrome trace (chrome://tracing) of the final iteration to this file")
+
+		faultSeed   = flag.Int64("fault-seed", 0, "fault schedule seed (0 = reuse -seed)")
+		faultLaunch = flag.Float64("fault-launch", 0, "kernel-launch fault probability [0,1]")
+		faultSync   = flag.Float64("fault-sync", 0, "synchronize fault probability [0,1]")
+		faultMemcpy = flag.Float64("fault-memcpy", 0, "memcpy fault probability [0,1]")
+		faultCreate = flag.Float64("fault-create", 0, "stream-creation fault probability [0,1]")
+		faultHang   = flag.Float64("fault-hang", 0, "kernel hang probability [0,1] (trips the sync watchdog)")
+		maxFaults   = flag.Int64("max-faults", 64, "total injected-fault budget (0 = unbounded)")
 	)
 	flag.Parse()
 
-	if err := run(*netName, *batch, *iters, *device, *useGLP, *compute, *seed, *every, *trace); err != nil {
+	fp := simgpu.FaultPlan{
+		Seed:         *faultSeed,
+		Launch:       *faultLaunch,
+		Sync:         *faultSync,
+		Memcpy:       *faultMemcpy,
+		CreateStream: *faultCreate,
+		Hang:         *faultHang,
+		MaxFaults:    *maxFaults,
+	}
+	if fp.Seed == 0 {
+		fp.Seed = *seed
+	}
+
+	if err := run(*netName, *batch, *iters, *device, *useGLP, *compute, *seed, *every, *trace, fp); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(netName string, batch, iters int, device string, useGLP, compute bool, seed int64, every int, tracePath string) error {
+func run(netName string, batch, iters int, device string, useGLP, compute bool, seed int64, every int, tracePath string, fp simgpu.FaultPlan) error {
 	spec, ok := simgpu.DeviceByName(device)
 	if !ok {
 		return fmt.Errorf("unknown device %q (have %v)", device, simgpu.CatalogNames())
@@ -50,11 +71,23 @@ func run(netName string, batch, iters int, device string, useGLP, compute bool, 
 	if err != nil {
 		return err
 	}
+
 	if batch <= 0 {
 		batch = w.DefaultBatch
 	}
 
-	dev := simgpu.NewDevice(spec, simgpu.WithTraceLimit(1))
+	opts := []simgpu.Option{simgpu.WithTraceLimit(1)}
+	var injector *simgpu.PlanInjector
+	if fp.CreateStream > 0 || fp.Launch > 0 || fp.Memcpy > 0 || fp.Sync > 0 || fp.Hang > 0 {
+		injector = fp.Injector()
+		opts = append(opts, simgpu.WithInjector(injector))
+		fmt.Printf("fault injection armed (seed %d, budget %d); pair with -glp4nn for self-healing\n",
+			fp.Seed, fp.MaxFaults)
+	}
+	dev, err := simgpu.NewDeviceChecked(spec, opts...)
+	if err != nil {
+		return err
+	}
 	var launcher dnn.Launcher = dnn.SerialLauncher{Dev: dev}
 	var fw *core.Framework
 	if useGLP {
@@ -94,7 +127,7 @@ func run(netName string, batch, iters int, device string, useGLP, compute bool, 
 		if err != nil {
 			return err
 		}
-		devT, err := dev.Synchronize()
+		devT, err := syncRetry(dev, injector != nil)
 		if err != nil {
 			return err
 		}
@@ -129,13 +162,35 @@ func run(netName string, batch, iters int, device string, useGLP, compute bool, 
 		fmt.Printf("chrome trace of the final iteration written to %s\n", tracePath)
 	}
 
+	if injector != nil {
+		fmt.Printf("injected faults: %s\n", injector.Stats())
+	}
 	if fw != nil {
 		rt := fw.Runtime(dev)
 		fmt.Printf("glp4nn overhead: %s\n", rt.Ledger().Snapshot())
+		if snap := rt.Ledger().Snapshot(); snap.Recoveries() > 0 {
+			fmt.Printf("glp4nn recovery: %s\n", snap.Health())
+		}
 		fmt.Println("concurrency plans:")
 		for _, p := range rt.Plans() {
 			fmt.Printf("  %-22s %d streams\n", p.Key, p.Streams)
 		}
 	}
 	return nil
+}
+
+// syncRetry synchronizes the device; with fault injection armed, transient
+// faults on the training loop's own barrier are retried (the launcher-level
+// barriers self-heal inside the runtime, but this call sits above it — the
+// same integration-layer duty the data-parallel trainer discharges with
+// checkpoint rollback).
+func syncRetry(dev *simgpu.Device, faulty bool) (time.Duration, error) {
+	d, err := dev.Synchronize()
+	if !faulty {
+		return d, err
+	}
+	for attempt := 0; err != nil && core.IsTransient(err) && attempt < 8; attempt++ {
+		d, err = dev.Synchronize()
+	}
+	return d, err
 }

@@ -57,6 +57,22 @@ type (
 	Kernel = simgpu.Kernel
 	// KernelRecord is a completed kernel's activity record.
 	KernelRecord = simgpu.KernelRecord
+	// DeviceOption configures a Device at construction (see WithInjector).
+	DeviceOption = simgpu.Option
+
+	// FaultPlan is a seeded, probability-per-site fault schedule; its
+	// Injector deterministically fails stream creation, launches, copies and
+	// synchronizations, hangs kernels, and corrupts profiler records.
+	FaultPlan = simgpu.FaultPlan
+	// Injector decides, per device operation, whether to inject a fault.
+	Injector = simgpu.Injector
+	// PlanInjector is the deterministic FaultPlan-driven Injector.
+	PlanInjector = simgpu.PlanInjector
+	// InjectorStats is the census of faults a PlanInjector has injected.
+	InjectorStats = simgpu.InjectorStats
+	// FaultError marks an injected failure; the runtime classifies these as
+	// transient and retries, degrades or rolls back instead of aborting.
+	FaultError = simgpu.FaultError
 
 	// Net is a Caffe-like network.
 	Net = dnn.Net
@@ -100,7 +116,19 @@ var (
 var Workloads = models.Names
 
 // NewDevice creates a simulated GPU.
-func NewDevice(spec DeviceSpec) *Device { return simgpu.NewDevice(spec) }
+func NewDevice(spec DeviceSpec, opts ...DeviceOption) *Device {
+	return simgpu.NewDevice(spec, opts...)
+}
+
+// NewDeviceChecked creates a simulated GPU, validating the spec and options
+// and surfacing construction faults as errors instead of panics — the
+// entry point for fault-tolerant deployments.
+func NewDeviceChecked(spec DeviceSpec, opts ...DeviceOption) (*Device, error) {
+	return simgpu.NewDeviceChecked(spec, opts...)
+}
+
+// WithInjector attaches a fault injector to a device under construction.
+func WithInjector(in Injector) DeviceOption { return simgpu.WithInjector(in) }
 
 // DeviceByName resolves "K40C", "P100" or "TitanXP".
 func DeviceByName(name string) (DeviceSpec, bool) { return simgpu.DeviceByName(name) }

@@ -38,6 +38,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig2", "fig3", "fig4", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"table6", "ablation-engine", "ablation-pool",
 		"ablation-fusion", "ablation-analyzer", "ext-dataparallel", "ext-winograd",
+		"chaostrain",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -229,6 +230,16 @@ func TestExtensionExperiments(t *testing.T) {
 	out = runExp(t, "ext-winograd", quickCfg())
 	if !strings.Contains(out, "winograd") || !strings.Contains(out, "im2col") {
 		t.Fatalf("ext-winograd incomplete:\n%s", out)
+	}
+}
+
+func TestChaosTrainQuick(t *testing.T) {
+	out := runExp(t, "chaostrain", quickCfg())
+	if !strings.Contains(out, "injected") || !strings.Contains(out, "recovery") {
+		t.Fatalf("chaostrain missing fault/recovery census:\n%s", out)
+	}
+	if !strings.Contains(out, "bitwise identical") {
+		t.Fatalf("chaostrain did not report convergence invariance:\n%s", out)
 	}
 }
 

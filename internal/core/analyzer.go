@@ -35,11 +35,20 @@ type Plan struct {
 	OccupancyRatio float64 // OR_SM of Eq. 1 implied by the plan
 	MILPNodes      int
 	Fallback       bool // true when the MILP was infeasible and Streams=1 was forced
+	// Serial marks a plan demoted by the self-healing runtime: every launch
+	// routes to the default stream, but Streams keeps the planned width.
+	// Width is part of the numeric contract (layers index per-chain scratch
+	// and fold gradient partials by width), so preserving it keeps a degraded
+	// run bitwise identical to the healthy one — only concurrency is lost.
+	Serial bool
 }
 
 func (p *Plan) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "plan %s: %d streams (occupancy %.2f, solve %v)", p.Key, p.Streams, p.OccupancyRatio, p.SolveTime)
+	if p.Serial {
+		b.WriteString(" [degraded: serial dispatch]")
+	}
 	for _, k := range p.Kernels {
 		fmt.Fprintf(&b, "\n  %-14s #K=%d (bound %d) β/SM=%d τ=%d smem=%dB T=%v",
 			k.Name, k.Count, k.UpperBound, k.BlocksPerSM, k.Threads, k.SharedMem, k.AvgDuration)
@@ -104,6 +113,32 @@ func (a *Analyzer) CacheFallback(key string) *Plan {
 		return p
 	}
 	p := &Plan{Key: key, Streams: 1, Fallback: true}
+	a.cache[key] = p
+	return p
+}
+
+// ForceSerial demotes a key to default-stream dispatch, replacing any cached
+// concurrent plan with a serial-dispatch copy. This is the degradation path
+// of the self-healing runtime — a layer whose kernels hang or whose streams
+// the device refuses is pinned back to the default stream, which is always
+// correct (it is exactly the profiling-iteration execution mode). The copy
+// keeps the plan's Streams width: width determines the chain→scratch mapping
+// and gradient-partial fold order, so a width change would alter trained
+// bits, while a stream-assignment change cannot (convergence-invariant
+// degradation). A key with no cached plan gets a width-1 serial plan.
+func (a *Analyzer) ForceSerial(key string) *Plan {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if p, ok := a.cache[key]; ok {
+		if p.Serial || p.Streams <= 1 {
+			return p
+		}
+		q := *p
+		q.Serial = true
+		a.cache[key] = &q
+		return &q
+	}
+	p := &Plan{Key: key, Streams: 1, Fallback: true, Serial: true}
 	a.cache[key] = p
 	return p
 }

@@ -85,10 +85,17 @@ type FixedLauncher struct {
 }
 
 // NewFixedLauncher creates a launcher with n pool streams on the device.
+// Stream creation is best-effort: if the device refuses a stream, the pool
+// stops growing there and dispatch wraps around the streams that exist
+// (width 0 degenerates to the default stream).
 func NewFixedLauncher(dev *simgpu.Device, n int) *FixedLauncher {
 	l := &FixedLauncher{dev: dev}
 	for i := 0; i < n; i++ {
-		l.streams = append(l.streams, dev.CreateStream())
+		s, err := dev.CreateStream()
+		if err != nil {
+			break
+		}
+		l.streams = append(l.streams, s)
 	}
 	return l
 }

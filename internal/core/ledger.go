@@ -43,6 +43,14 @@ type Ledger struct {
 	dispatches      int64
 	profileFailures int64
 	analyzeFailures int64
+
+	launchRetries     int64
+	launchFailures    int64
+	syncRetries       int64
+	memcpyRetries     int64
+	streamQuarantines int64
+	degradations      int64
+	watchdogTrips     int64
 }
 
 // Per-record host memory for the tracker's own structures: two 8-byte
@@ -71,6 +79,35 @@ type Snapshot struct {
 	// failure pins the affected layers to a cached serial-fallback plan.
 	ProfileFailures int64
 	AnalyzeFailures int64
+
+	// Self-healing health counters. LaunchRetries / SyncRetries /
+	// MemcpyRetries count transient device errors absorbed by bounded
+	// retry; LaunchFailures counts launches that exhausted every retry and
+	// stream choice; StreamQuarantines counts pool streams torn down after
+	// persistent launch failures; Degradations counts layers demoted to the
+	// serial default-stream fallback plan; WatchdogTrips counts kernels the
+	// sync watchdog flagged as hung.
+	LaunchRetries     int64
+	LaunchFailures    int64
+	SyncRetries       int64
+	MemcpyRetries     int64
+	StreamQuarantines int64
+	Degradations      int64
+	WatchdogTrips     int64
+}
+
+// Recoveries sums every recovery action the runtime took — nonzero proves
+// the fault paths actually fired during a chaos run.
+func (s Snapshot) Recoveries() int64 {
+	return s.LaunchRetries + s.SyncRetries + s.MemcpyRetries +
+		s.StreamQuarantines + s.Degradations + s.WatchdogTrips
+}
+
+// Health renders the self-healing counters.
+func (s Snapshot) Health() string {
+	return fmt.Sprintf("retries: launch=%d sync=%d memcpy=%d | quarantines=%d degradations=%d watchdog=%d launch-failures=%d",
+		s.LaunchRetries, s.SyncRetries, s.MemcpyRetries,
+		s.StreamQuarantines, s.Degradations, s.WatchdogTrips, s.LaunchFailures)
 }
 
 // TTotal is the paper's Eq. 12: T_p + T_a + T_s.
@@ -115,6 +152,48 @@ func (l *Ledger) addAnalyzeFailure() {
 	l.analyzeFailures++
 }
 
+func (l *Ledger) addLaunchRetry() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.launchRetries++
+}
+
+func (l *Ledger) addLaunchFailure() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.launchFailures++
+}
+
+func (l *Ledger) addSyncRetry() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.syncRetries++
+}
+
+func (l *Ledger) addMemcpyRetry() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.memcpyRetries++
+}
+
+func (l *Ledger) addStreamQuarantine() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.streamQuarantines++
+}
+
+func (l *Ledger) addDegradation() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.degradations++
+}
+
+func (l *Ledger) addWatchdogTrip() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.watchdogTrips++
+}
+
 // tsPerDispatch is the nominal cost of one round-robin stream-selection
 // decision; the paper's static scheduler makes T_s "safely ignorable", and
 // this keeps it measured rather than assumed.
@@ -139,5 +218,13 @@ func (l *Ledger) Snapshot() Snapshot {
 		Dispatches:      l.dispatches,
 		ProfileFailures: l.profileFailures,
 		AnalyzeFailures: l.analyzeFailures,
+
+		LaunchRetries:     l.launchRetries,
+		LaunchFailures:    l.launchFailures,
+		SyncRetries:       l.syncRetries,
+		MemcpyRetries:     l.memcpyRetries,
+		StreamQuarantines: l.streamQuarantines,
+		Degradations:      l.degradations,
+		WatchdogTrips:     l.watchdogTrips,
 	}
 }

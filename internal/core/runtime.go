@@ -1,7 +1,9 @@
 package core
 
 import (
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/simgpu"
 )
@@ -32,10 +34,18 @@ type Runtime struct {
 	profiling   bool
 	current     string
 	currentPlan *Plan
+
+	// Watchdog state: the completion listener flags layer keys whose
+	// kernels overstayed wdLimit; Sync drains the set and degrades those
+	// layers. Guarded by wdMu, never by r.mu — the listener runs under the
+	// device lock and must stay free of device calls and runtime state.
+	wdMu    sync.Mutex
+	wdLimit time.Duration
+	wdHung  map[string]bool
 }
 
 func newRuntime(dev *simgpu.Device, tracker *Tracker, analyzer *Analyzer, pool *StreamPool, ledger *Ledger) *Runtime {
-	return &Runtime{
+	r := &Runtime{
 		dev:      dev,
 		tracker:  tracker,
 		analyzer: analyzer,
@@ -43,7 +53,10 @@ func newRuntime(dev *simgpu.Device, tracker *Tracker, analyzer *Analyzer, pool *
 		ledger:   ledger,
 		pending:  map[string]bool{},
 		profiles: map[string]*LayerProfile{},
+		wdLimit:  DefaultWatchdogLimit,
 	}
+	dev.Subscribe(r.watchdogObserve)
+	return r
 }
 
 // Device returns the scheduled device.
@@ -91,7 +104,7 @@ func (r *Runtime) BeginLayer(key string) {
 	}
 	// First sighting: profile it.
 	if !r.profiling {
-		if err := r.tracker.StartProfiling(r.dev); err != nil {
+		if err := r.profileRetry(func() error { return r.tracker.StartProfiling(r.dev) }); err != nil {
 			// No profiler, no plan, ever: record the failure and pin the
 			// serial fallback instead of futilely retrying each iteration.
 			r.ledger.addProfileFailure()
@@ -106,7 +119,11 @@ func (r *Runtime) BeginLayer(key string) {
 // analyzeLocked runs the analyzer on a collected profile, charging the
 // solve time and sizing the pool. A failed analysis is recorded in the
 // ledger and pins a cached serial-fallback plan, so the layer is not
-// re-analyzed every iteration. Called with r.mu held.
+// re-analyzed every iteration. If the device refuses to grow the pool past
+// the default stream, the layer is demoted to serial dispatch — the plan
+// keeps its width (the numeric contract) but every launch routes to the
+// default stream, so a streamless device still trains with unchanged bits.
+// Called with r.mu held.
 func (r *Runtime) analyzeLocked(profile *LayerProfile) *Plan {
 	plan, err := r.analyzer.Analyze(profile)
 	if err != nil {
@@ -114,7 +131,14 @@ func (r *Runtime) analyzeLocked(profile *LayerProfile) *Plan {
 		return r.analyzer.CacheFallback(profile.Key)
 	}
 	r.dev.AdvanceHost(plan.SolveTime)
-	r.pool.EnsureSize(plan.Streams)
+	if plan.Streams > 1 {
+		if n, err := r.pool.EnsureSize(plan.Streams); err != nil && n == 0 {
+			r.ledger.addDegradation()
+			return r.analyzer.ForceSerial(plan.Key)
+		}
+		// A partial pool (0 < n < plan.Streams) is fine: Stream wraps
+		// chain indices around the streams that do exist.
+	}
 	return plan
 }
 
@@ -125,7 +149,12 @@ func (r *Runtime) finalizeLocked() {
 		return
 	}
 	r.profiling = false
-	profiles, err := r.tracker.Collect(r.dev, r.ledger)
+	var profiles map[string]*LayerProfile
+	err := r.profileRetry(func() error {
+		var cerr error
+		profiles, cerr = r.tracker.Collect(r.dev, r.ledger)
+		return cerr
+	})
 	if err != nil {
 		// The profiling records are lost. Record the failure and pin every
 		// pending layer to a cached serial-fallback plan: training proceeds
@@ -149,6 +178,53 @@ func (r *Runtime) finalizeLocked() {
 	}
 }
 
+// profileRetry runs a profiler-control call (each issues a device
+// synchronize under the hood) under the sync retry policy. A transient
+// blip during the profiling window would otherwise pin the pending layers
+// to width-1 fallback plans forever — a permanent concurrency (and, since
+// width is part of the numeric contract, numerics) cost for a recoverable
+// fault.
+func (r *Runtime) profileRetry(f func() error) error {
+	var err error
+	for a := 1; a <= syncAttempts; a++ {
+		if err = f(); err == nil || !IsTransient(err) {
+			return err
+		}
+		if a < syncAttempts {
+			r.ledger.addSyncRetry()
+			r.dev.AdvanceHost(backoff(a))
+		}
+	}
+	return err
+}
+
+// ResetProfiling aborts an in-flight profiling iteration: pending layers
+// and buffered records are discarded, so the next iteration re-profiles
+// from a clean slate. Callers rolling a failed step back to a checkpoint
+// must invoke this — otherwise the retried iteration would look like the
+// "second sighting", collect the aborted iteration's profile early, and
+// run the retry pooled where the original (and any fault-free run) executed
+// it serially at width 1. Width is part of the numeric contract, so that
+// shortcut would change trained bits; re-profiling keeps the retry
+// bit-identical to the iteration it replaces. Profiles already collected
+// and plans already analyzed are kept — they came from completed profiling
+// windows and stay valid.
+func (r *Runtime) ResetProfiling() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for key := range r.pending {
+		delete(r.pending, key)
+	}
+	if !r.profiling {
+		return
+	}
+	r.profiling = false
+	_ = r.profileRetry(func() error {
+		_, err := r.tracker.Discard(r.dev)
+		return err
+	})
+}
+
 // Width implements dnn.Launcher: the planned stream count for the current
 // layer, 1 while profiling.
 func (r *Runtime) Width() int {
@@ -167,6 +243,13 @@ func (r *Runtime) Width() int {
 // the kernel: the caller's kernel is never mutated, so a re-launched kernel
 // cannot accumulate prefixes and concurrent chain dispatch cannot race on
 // shared kernel state.
+//
+// Self-healing: a transient launch failure is retried with backoff (safe —
+// a failed launch rejects the kernel before any of its math runs, so the
+// eventual successful attempt executes it exactly once). If a pool stream
+// keeps refusing the kernel, the stream is quarantined and this launch
+// degrades to the always-valid default stream; only a default-stream
+// failure that survives every retry is surfaced to the caller.
 func (r *Runtime) Launch(k *simgpu.Kernel, chain int) error {
 	r.mu.Lock()
 	plan := r.currentPlan
@@ -183,19 +266,127 @@ func (r *Runtime) Launch(k *simgpu.Kernel, chain int) error {
 		k = &kk
 	}
 	var stream *simgpu.Stream
-	if chain >= 0 && plan != nil && plan.Streams > 1 {
+	if chain >= 0 && plan != nil && plan.Streams > 1 && !plan.Serial {
 		stream = r.pool.Stream(chain % plan.Streams)
 		r.ledger.addDispatch()
 	}
-	return r.dev.Launch(k, stream)
+	err := r.launchRetry(k, stream)
+	if err == nil || !IsTransient(err) {
+		return err
+	}
+	if stream != nil {
+		// The stream is suspect: replace it and fall back to the default
+		// stream for this kernel.
+		if r.pool.Quarantine(stream) {
+			r.ledger.addStreamQuarantine()
+		}
+		r.ledger.addDegradation()
+		if err = r.launchRetry(k, nil); err == nil || !IsTransient(err) {
+			return err
+		}
+	}
+	r.ledger.addLaunchFailure()
+	return err
+}
+
+// launchRetry launches k on s with bounded retry and exponential backoff
+// for transient errors, charging the backoff to the host timeline.
+func (r *Runtime) launchRetry(k *simgpu.Kernel, s *simgpu.Stream) error {
+	var err error
+	for a := 1; a <= launchAttempts; a++ {
+		if err = r.dev.Launch(k, s); err == nil || !IsTransient(err) {
+			return err
+		}
+		if a < launchAttempts {
+			r.ledger.addLaunchRetry()
+			r.dev.AdvanceHost(backoff(a))
+		}
+	}
+	return err
 }
 
 // Sync implements dnn.Launcher: the inter-layer barrier joins all pool
 // streams through the default-stream synchronization the stream manager
-// owns.
+// owns. Transient sync failures are retried with backoff (a failed sync
+// loses no queued work — the drain simply has not happened yet). After a
+// successful barrier the hung-kernel watchdog verdicts are applied: every
+// layer that hosted a kernel overstaying the watchdog limit is degraded to
+// serial dispatch (width preserved, pool abandoned).
 func (r *Runtime) Sync() error {
-	_, err := r.dev.Synchronize()
-	return err
+	var err error
+	for a := 1; a <= syncAttempts; a++ {
+		if _, err = r.dev.Synchronize(); err == nil {
+			break
+		}
+		if !IsTransient(err) {
+			return err
+		}
+		if a < syncAttempts {
+			r.ledger.addSyncRetry()
+			r.dev.AdvanceHost(backoff(a))
+		}
+	}
+	if err != nil {
+		return err
+	}
+	r.drainWatchdog()
+	return nil
+}
+
+// SetWatchdogLimit sets the hung-kernel threshold; d ≤ 0 disables the
+// watchdog.
+func (r *Runtime) SetWatchdogLimit(d time.Duration) {
+	r.wdMu.Lock()
+	defer r.wdMu.Unlock()
+	r.wdLimit = d
+}
+
+// watchdogObserve is the device completion listener: it flags the layer key
+// of any kernel resident longer than the watchdog limit. It runs under the
+// device lock, so it only touches watchdog state.
+func (r *Runtime) watchdogObserve(rec simgpu.KernelRecord) {
+	r.wdMu.Lock()
+	defer r.wdMu.Unlock()
+	if r.wdLimit <= 0 || rec.Duration() < r.wdLimit {
+		return
+	}
+	r.ledger.addWatchdogTrip()
+	key := rec.Tag
+	if i := strings.IndexByte(key, '|'); i >= 0 {
+		key = key[:i]
+	}
+	if key == "" {
+		return // untagged kernel: nothing to degrade
+	}
+	if r.wdHung == nil {
+		r.wdHung = map[string]bool{}
+	}
+	r.wdHung[key] = true
+}
+
+// drainWatchdog demotes every layer the watchdog flagged since the last
+// barrier to serial dispatch. The demoted plan keeps its width so trained
+// numerics are untouched; only the layer's concurrency is given up.
+func (r *Runtime) drainWatchdog() {
+	r.wdMu.Lock()
+	hung := r.wdHung
+	r.wdHung = nil
+	r.wdMu.Unlock()
+	if len(hung) == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for key := range hung {
+		if p, ok := r.analyzer.Cached(key); ok && (p.Serial || p.Streams <= 1) {
+			continue // already serial
+		}
+		r.ledger.addDegradation()
+		plan := r.analyzer.ForceSerial(key)
+		if r.current == key {
+			r.currentPlan = plan
+		}
+	}
 }
 
 // Plans returns the analyzer's cached plans.
@@ -203,6 +394,17 @@ func (r *Runtime) Plans() []*Plan { return r.analyzer.Plans() }
 
 // UploadBytes models the host→device input copy on the default stream
 // (GLP4NN leaves data movement to the framework it integrates into).
+// Transient DMA failures are retried with backoff.
 func (r *Runtime) UploadBytes(n int64) error {
-	return r.dev.MemcpyHostToDevice(n, nil)
+	var err error
+	for a := 1; a <= launchAttempts; a++ {
+		if err = r.dev.MemcpyHostToDevice(n, nil); err == nil || !IsTransient(err) {
+			return err
+		}
+		if a < launchAttempts {
+			r.ledger.addMemcpyRetry()
+			r.dev.AdvanceHost(backoff(a))
+		}
+	}
+	return err
 }

@@ -22,13 +22,71 @@ type StreamPool struct {
 func (p *StreamPool) Device() *simgpu.Device { return p.dev }
 
 // EnsureSize grows the pool to at least n streams (paying the stream
-// creation overhead on the device's host timeline).
-func (p *StreamPool) EnsureSize(n int) {
+// creation overhead on the device's host timeline). Each stream creation is
+// retried with backoff on transient device errors; if the device still
+// refuses, growth stops early and the achieved size is returned with the
+// error. A short pool stays fully usable — Stream wraps indices around
+// whatever exists — so callers can degrade instead of aborting.
+func (p *StreamPool) EnsureSize(n int) (int, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	var err error
 	for len(p.streams) < n {
-		p.streams = append(p.streams, p.dev.CreateStream())
+		var s *simgpu.Stream
+		if s, err = p.createRetry(); err != nil {
+			break
+		}
+		p.streams = append(p.streams, s)
 	}
+	return len(p.streams), err
+}
+
+// createRetry creates one stream, retrying transient failures with
+// exponential backoff charged to the host timeline. Called with p.mu held.
+func (p *StreamPool) createRetry() (*simgpu.Stream, error) {
+	var err error
+	for a := 1; a <= createAttempts; a++ {
+		var s *simgpu.Stream
+		if s, err = p.dev.CreateStream(); err == nil {
+			return s, nil
+		}
+		if !IsTransient(err) {
+			return nil, err
+		}
+		if a < createAttempts {
+			p.dev.AdvanceHost(backoff(a))
+		}
+	}
+	return nil, err
+}
+
+// Quarantine takes a stream that keeps failing launches out of rotation: it
+// is destroyed and a fresh stream is created into its slot, so round-robin
+// dispatch keeps its width. If the device refuses a replacement the slot is
+// removed and the pool shrinks — Stream's modulo then spreads chains over
+// the survivors. Reports whether the stream was in the pool (the default
+// stream and foreign streams are never quarantined).
+func (p *StreamPool) Quarantine(s *simgpu.Stream) bool {
+	if s == nil || s.IsDefault() {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, have := range p.streams {
+		if have != s {
+			continue
+		}
+		// Best effort: a destroy failure must not keep a poisoned stream in
+		// rotation.
+		_ = p.dev.DestroyStream(s)
+		if ns, err := p.createRetry(); err == nil {
+			p.streams[i] = ns
+		} else {
+			p.streams = append(p.streams[:i], p.streams[i+1:]...)
+		}
+		return true
+	}
+	return false
 }
 
 // Size returns the current pool size.

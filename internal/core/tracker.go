@@ -140,6 +140,24 @@ func (t *Tracker) Collect(dev *simgpu.Device, ledger *Ledger) (map[string]*Layer
 	return out, nil
 }
 
+// Discard aborts an in-flight profiling window: collection is disabled and
+// any buffered records are dropped without being parsed or charged to a
+// ledger. The disable synchronizes the device first, so in-flight kernels
+// from the aborted iteration complete, land in the buffer, and are thrown
+// away here rather than polluting the next profiling window. Returns the
+// number of records discarded.
+func (t *Tracker) Discard(dev *simgpu.Device) (int, error) {
+	s := t.session(dev)
+	if err := s.DisableKernelActivity(); err != nil {
+		return 0, err
+	}
+	recs, err := s.Flush()
+	if err != nil {
+		return 0, err
+	}
+	return len(recs), nil
+}
+
 // Close releases all CUPTI sessions.
 func (t *Tracker) Close() {
 	t.mu.Lock()

@@ -124,12 +124,15 @@ type Context struct {
 	Pool *hostpool.Pool
 
 	chains *hostpool.ChainSet // lazily sized to the current layer width
+	rngSrc *countingSource    // RNG's source when built here; enables RNGState/RestoreRNG
 }
 
 // NewContext builds a training-phase context over a launcher with real
-// computation enabled and a deterministic RNG.
+// computation enabled and a deterministic, checkpointable RNG (the counting
+// source draws the exact sequence rand.NewSource(seed) would).
 func NewContext(l Launcher, seed int64) *Context {
-	return &Context{L: l, Phase: Train, RNG: rand.New(rand.NewSource(seed)), Compute: true}
+	src := newCountingSource(seed)
+	return &Context{L: l, Phase: Train, RNG: rand.New(src), Compute: true, rngSrc: src}
 }
 
 // NewParallelContext builds a training context whose kernel host math runs

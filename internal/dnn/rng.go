@@ -1,0 +1,82 @@
+package dnn
+
+import "math/rand"
+
+// Checkpointable randomness. Go's math/rand sources cannot export their
+// state, so the context's RNG draws through a counting wrapper: the state is
+// (seed, steps consumed), and restoring replays that many steps on a fresh
+// source. Replay is exact because the wrapper routes every draw — including
+// Uint64 — through the underlying source's Int63, so the step count fully
+// determines the source position regardless of which Rand methods were
+// mixed.
+
+// RNGState is a restorable position in a context RNG's deterministic
+// sequence.
+type RNGState struct {
+	Seed  int64
+	Steps int64
+}
+
+// countingSource wraps a math/rand source, counting underlying Int63 steps
+// so the stream position can be checkpointed and replayed.
+type countingSource struct {
+	src   rand.Source
+	seed  int64
+	steps int64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed), seed: seed}
+}
+
+// Int63 implements rand.Source.
+func (c *countingSource) Int63() int64 {
+	c.steps++
+	return c.src.Int63()
+}
+
+// Uint64 implements rand.Source64 as the composition of two Int63 steps
+// (the same construction math/rand uses), keeping the step count the only
+// state beyond the seed.
+func (c *countingSource) Uint64() uint64 {
+	return uint64(c.Int63())>>31 | uint64(c.Int63())<<32
+}
+
+// Seed implements rand.Source.
+func (c *countingSource) Seed(seed int64) {
+	c.seed, c.steps = seed, 0
+	c.src.Seed(seed)
+}
+
+// state returns the current checkpoint.
+func (c *countingSource) state() RNGState {
+	return RNGState{Seed: c.seed, Steps: c.steps}
+}
+
+// restoreCountingSource builds a source positioned at st.
+func restoreCountingSource(st RNGState) *countingSource {
+	c := newCountingSource(st.Seed)
+	for i := int64(0); i < st.Steps; i++ {
+		c.src.Int63() // replay without re-counting
+	}
+	c.steps = st.Steps
+	return c
+}
+
+// RNGState returns the checkpointable state of the context's RNG. The
+// second result is false when the RNG was replaced by hand with one the
+// context cannot restore.
+func (c *Context) RNGState() (RNGState, bool) {
+	if c.rngSrc == nil {
+		return RNGState{}, false
+	}
+	return c.rngSrc.state(), true
+}
+
+// RestoreRNG rewinds (or fast-forwards) the context's RNG to a state
+// previously returned by RNGState: every subsequent draw repeats the
+// sequence that followed the checkpoint.
+func (c *Context) RestoreRNG(st RNGState) {
+	c.rngSrc = restoreCountingSource(st)
+	c.RNG = rand.New(c.rngSrc)
+}

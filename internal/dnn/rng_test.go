@@ -1,0 +1,144 @@
+package dnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// drawMix pulls a representative mix of Rand methods (the ones layers use:
+// uniform floats for dropout and fill, ints for sampling) and returns the
+// values bit-exactly comparable.
+func drawMix(r *rand.Rand, n int) []uint64 {
+	out := make([]uint64, 0, 3*n)
+	for i := 0; i < n; i++ {
+		out = append(out,
+			uint64(math.Float32bits(r.Float32())),
+			uint64(r.Intn(1000)),
+			math.Float64bits(r.NormFloat64()),
+		)
+	}
+	return out
+}
+
+// TestContextRNGMatchesPlainSource: the counting source must not change the
+// RNG sequence relative to a plain rand.NewSource — contexts built before
+// and after the checkpointing change draw identical numbers.
+func TestContextRNGMatchesPlainSource(t *testing.T) {
+	ctx := NewContext(HostLauncher{}, 1234)
+	plain := rand.New(rand.NewSource(1234))
+	a, b := drawMix(ctx.RNG, 200), drawMix(plain, 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverged from plain source: %x vs %x", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRNGStateRestoreReplays: restoring a checkpoint replays the exact draw
+// sequence that followed it, including after further draws corrupted the
+// stream position.
+func TestRNGStateRestoreReplays(t *testing.T) {
+	ctx := NewContext(HostLauncher{}, 99)
+	drawMix(ctx.RNG, 57) // advance to an arbitrary position
+
+	st, ok := ctx.RNGState()
+	if !ok {
+		t.Fatal("context RNG not checkpointable")
+	}
+	want := drawMix(ctx.RNG, 100)
+
+	drawMix(ctx.RNG, 13) // keep moving; restore must rewind past this
+	ctx.RestoreRNG(st)
+	got := drawMix(ctx.RNG, 100)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("draw %d after restore diverged: %x vs %x", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRNGStateCrossesContexts: a state restores into a context built with a
+// different seed (the trainer restores checkpoint states into live replica
+// contexts).
+func TestRNGStateCrossesContexts(t *testing.T) {
+	a := NewContext(HostLauncher{}, 7)
+	drawMix(a.RNG, 31)
+	st, _ := a.RNGState()
+	want := drawMix(a.RNG, 50)
+
+	b := NewContext(HostLauncher{}, 1<<40)
+	drawMix(b.RNG, 5)
+	b.RestoreRNG(st)
+	got := drawMix(b.RNG, 50)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cross-context draw %d diverged", i)
+		}
+	}
+	if st2, ok := b.RNGState(); !ok || st2.Seed != st.Seed {
+		t.Fatalf("restored context lost checkpointability: %v %v", st2, ok)
+	}
+}
+
+// TestSolverHistorySnapshotRoundTrip: snapshots are deep copies and restore
+// rewinds both mutated and newly created history entries.
+func TestSolverHistorySnapshotRoundTrip(t *testing.T) {
+	ctx := NewContext(HostLauncher{}, 5)
+	net, err := NewNet("tiny").
+		Input("data", 2, 3).
+		Input("label", 2).
+		Add(NewIP("ip", IP(4)), []string{"data"}, []string{"scores"}).
+		Add(NewSoftmaxLoss("loss"), []string{"scores", "label"}, []string{"loss"}).
+		Build(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSolver(net, ctx, CIFAR10QuickSolver())
+	feed := func() {
+		d := net.Blob("data").Data.Data()
+		for i := range d {
+			d[i] = ctx.RNG.Float32()
+		}
+		l := net.Blob("label").Data.Data()
+		for i := range l {
+			l[i] = float32(i % 4)
+		}
+	}
+
+	feed()
+	if _, err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.HistorySnapshot()
+	if len(snap) == 0 {
+		t.Fatal("no history after a step")
+	}
+	before := make(map[*Blob][]float32, len(snap))
+	for p, h := range snap {
+		before[p] = append([]float32(nil), h...)
+	}
+
+	feed()
+	if _, err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	// The live history moved on; the snapshot must not have.
+	for p, h := range snap {
+		for i := range h {
+			if h[i] != before[p][i] {
+				t.Fatal("snapshot aliases live history")
+			}
+		}
+	}
+
+	s.RestoreHistory(snap)
+	for p, want := range snap {
+		got := s.HistorySnapshot()[p]
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("history of %s not restored", p.Name)
+			}
+		}
+	}
+}

@@ -94,6 +94,36 @@ func (s *Solver) Step() (float64, error) {
 	return loss, nil
 }
 
+// HistorySnapshot deep-copies the momentum history, keyed by parameter
+// blob. Together with the parameter data, the step counter, and the context
+// RNG state it forms a complete in-memory training checkpoint.
+func (s *Solver) HistorySnapshot() map[*Blob][]float32 {
+	out := make(map[*Blob][]float32, len(s.history))
+	for p, h := range s.history {
+		out[p] = append([]float32(nil), h.Data()...)
+	}
+	return out
+}
+
+// RestoreHistory rewinds the momentum history to a snapshot taken with
+// HistorySnapshot. Entries created since the snapshot are discarded, so a
+// rolled-back step leaves no trace.
+func (s *Solver) RestoreHistory(snap map[*Blob][]float32) {
+	for p := range s.history {
+		if _, ok := snap[p]; !ok {
+			delete(s.history, p)
+		}
+	}
+	for p, src := range snap {
+		h := s.history[p]
+		if h == nil {
+			h = tensor.New(p.Shape()...)
+			s.history[p] = h
+		}
+		copy(h.Data(), src)
+	}
+}
+
 // ApplyUpdate launches one sgd_update kernel per parameter blob.
 func (s *Solver) ApplyUpdate() error {
 	s.ctx.Begin("solver/update")

@@ -65,16 +65,35 @@ func (p *Pool) tryAcquire() bool {
 // the caller instead of deadlocking. Tasks must touch disjoint state (the
 // row-band contract of tensor.GemmParallel); Run returns after every task
 // has completed.
-func (p *Pool) Run(tasks int, fn func(task int)) {
+//
+// A panicking task is recovered — on helper goroutines and on the caller
+// alike — and surfaces in the joined error return; the remaining tasks
+// still run, so the exactly-once contract holds even when some tasks blow
+// up.
+func (p *Pool) Run(tasks int, fn func(task int)) error {
 	if tasks <= 0 {
-		return
+		return nil
 	}
 	if tasks == 1 {
-		fn(0)
-		return
+		return protectTask(fn, 0)
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var errs []error
+	loop := func() {
+		for {
+			t := int(next.Add(1)) - 1
+			if t >= tasks {
+				return
+			}
+			if err := protectTask(fn, t); err != nil {
+				errMu.Lock()
+				errs = append(errs, err)
+				errMu.Unlock()
+			}
+		}
+	}
 	helpers := tasks - 1
 	if w := cap(p.sem); helpers > w {
 		helpers = w
@@ -87,23 +106,23 @@ func (p *Pool) Run(tasks int, fn func(task int)) {
 		go func() {
 			defer wg.Done()
 			defer p.release()
-			for {
-				t := int(next.Add(1)) - 1
-				if t >= tasks {
-					return
-				}
-				fn(t)
-			}
+			loop()
 		}()
 	}
-	for {
-		t := int(next.Add(1)) - 1
-		if t >= tasks {
-			break
-		}
-		fn(t)
-	}
+	loop()
 	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// protectTask runs fn(t), converting a panic into an error.
+func protectTask(fn func(int), t int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("hostpool: task %d panic: %v", t, r)
+		}
+	}()
+	fn(t)
+	return nil
 }
 
 var (

@@ -1,6 +1,7 @@
 package hostpool
 
 import (
+	"fmt"
 	"runtime"
 	"strings"
 	"sync"
@@ -222,5 +223,47 @@ func TestRunSerialWhenSaturated(t *testing.T) {
 	wg.Wait()
 	if ran.Load() != 5 {
 		t.Fatalf("saturated Run completed %d tasks, want 5", ran.Load())
+	}
+}
+
+// TestRunPanicCapture: panicking Run tasks — on helpers and on the calling
+// goroutine — come back as errors, and the surviving tasks still all run
+// exactly once.
+func TestRunPanicCapture(t *testing.T) {
+	p := New(4)
+	const tasks = 64
+	var ran [tasks]atomic.Int64
+	err := p.Run(tasks, func(task int) {
+		ran[task].Add(1)
+		if task%5 == 0 {
+			panic(fmt.Sprintf("boom-%d", task))
+		}
+	})
+	if err == nil {
+		t.Fatal("panics not surfaced")
+	}
+	for i := range ran {
+		if n := ran[i].Load(); n != 1 {
+			t.Fatalf("task %d ran %d times, want 1", i, n)
+		}
+	}
+	for i := 0; i < tasks; i += 5 {
+		if !strings.Contains(err.Error(), fmt.Sprintf("boom-%d", i)) {
+			t.Fatalf("error lost panic of task %d: %v", i, err)
+		}
+	}
+	// The pool is healthy afterwards: no leaked slots, next Run succeeds.
+	var ok atomic.Int64
+	if err := p.Run(8, func(int) { ok.Add(1) }); err != nil || ok.Load() != 8 {
+		t.Fatalf("pool unhealthy after panics: %v ran=%d", err, ok.Load())
+	}
+}
+
+// TestRunSingleTaskPanic: the tasks==1 fast path also recovers.
+func TestRunSingleTaskPanic(t *testing.T) {
+	p := New(2)
+	err := p.Run(1, func(int) { panic("solo") })
+	if err == nil || !strings.Contains(err.Error(), "solo") {
+		t.Fatalf("single-task panic not captured: %v", err)
 	}
 }

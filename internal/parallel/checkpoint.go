@@ -1,0 +1,83 @@
+package parallel
+
+import "repro/internal/dnn"
+
+// In-memory checkpointing: the trainer's complete training state is
+// (parameters, solver momentum history, iteration counter, per-replica RNG
+// positions). Inputs are not part of the state — Step feeds the replicas
+// exactly once per call, outside the retry loop, so a rolled-back attempt
+// re-reads the same persisted shard without advancing the feeder.
+//
+// Replicas are parameter-identical by construction, so parameters and
+// history are captured once (from replica 0, by parameter index) and
+// restored into every replica — which also re-synchronizes a replica whose
+// failed step died between its local update and its peers'.
+
+// Checkpoint is a restorable snapshot of a Trainer's training state.
+type Checkpoint struct {
+	iter   int
+	params [][]float32    // by parameter index, from replica 0
+	hist   [][]float32    // by parameter index; nil = no momentum yet
+	rng    []dnn.RNGState // per replica
+	rngOK  []bool
+}
+
+// Iter returns the iteration the checkpoint was taken at.
+func (c *Checkpoint) Iter() int { return c.iter }
+
+// Checkpoint captures the trainer's current training state.
+func (t *Trainer) Checkpoint() *Checkpoint {
+	r0 := t.replicas[0]
+	params := r0.net.Params()
+	cp := &Checkpoint{
+		iter:   t.iter,
+		params: make([][]float32, len(params)),
+		hist:   make([][]float32, len(params)),
+		rng:    make([]dnn.RNGState, len(t.replicas)),
+		rngOK:  make([]bool, len(t.replicas)),
+	}
+	h0 := r0.solver.HistorySnapshot()
+	for pi, p := range params {
+		cp.params[pi] = append([]float32(nil), p.Data.Data()...)
+		if h, ok := h0[p]; ok {
+			cp.hist[pi] = h
+		}
+	}
+	for i, r := range t.replicas {
+		cp.rng[i], cp.rngOK[i] = r.ctx.RNGState()
+	}
+	return cp
+}
+
+// Restore rewinds the trainer to a checkpoint: every replica gets the
+// checkpointed parameters, momentum history, solver iteration, and RNG
+// position, and any in-flight GLP4NN profiling iteration is aborted so the
+// retried step re-profiles at width 1 exactly like the step it replaces.
+// After Restore the next Step repeats the checkpointed iteration
+// bit-for-bit (given the same inputs).
+func (t *Trainer) Restore(cp *Checkpoint) {
+	if t.fw != nil {
+		for _, r := range t.replicas {
+			t.fw.Runtime(r.dev).ResetProfiling()
+		}
+	}
+	for i, r := range t.replicas {
+		params := r.net.Params()
+		hist := make(map[*dnn.Blob][]float32, len(params))
+		for pi, p := range params {
+			copy(p.Data.Data(), cp.params[pi])
+			if cp.hist[pi] != nil {
+				hist[p] = cp.hist[pi]
+			}
+		}
+		r.solver.RestoreHistory(hist)
+		r.solver.SetIter(cp.iter)
+		if i < len(cp.rngOK) && cp.rngOK[i] {
+			r.ctx.RestoreRNG(cp.rng[i])
+		}
+	}
+	t.iter = cp.iter
+}
+
+// Rollbacks returns how many step attempts were rolled back and retried.
+func (t *Trainer) Rollbacks() int { return t.rollbacks }

@@ -70,7 +70,9 @@ type Trainer struct {
 	fw       *core.Framework
 	iter     int
 
-	gradBytes int64
+	gradBytes   int64
+	stepRetries int
+	rollbacks   int
 }
 
 // Config tunes a Trainer.
@@ -85,6 +87,11 @@ type Config struct {
 	// Replicas already run concurrently with each other during Phase 1; the
 	// pool parallelizes *within* a replica too, bounded by the pool size.
 	HostPool *hostpool.Pool
+	// StepRetries, when positive, arms rollback-and-retry: each Step is
+	// checkpointed first, and a step that fails with a transient device
+	// error is rolled back to the checkpoint and re-run, up to this many
+	// times. Zero keeps the legacy fail-fast behavior.
+	StepRetries int
 }
 
 // NewTrainer builds one replica per machine device. The build function must
@@ -98,7 +105,7 @@ func NewTrainer(machine *simgpu.Machine, build BuildFunc, cfg Config) (*Trainer,
 	if cfg.Bus.BandwidthGBps == 0 {
 		cfg.Bus = PCIe3
 	}
-	t := &Trainer{bus: cfg.Bus}
+	t := &Trainer{bus: cfg.Bus, stepRetries: cfg.StepRetries}
 	if cfg.UseGLP {
 		t.fw = core.New()
 	}
@@ -155,21 +162,45 @@ type StepResult struct {
 // Step runs one synchronous data-parallel iteration: each replica computes
 // its shard's gradients, gradients are averaged (ring all-reduce), every
 // replica applies the same update.
+//
+// With Config.StepRetries > 0, the iteration is checkpointed before it
+// runs; a transient device failure rolls the trainer back to the checkpoint
+// and re-runs the identical iteration (inputs were fed once and persist in
+// the replicas' blobs, and the RNG rewinds with the checkpoint, so the
+// retried step is bit-for-bit the step that failed). Terminal errors and
+// exhausted retries propagate.
 func (t *Trainer) Step(feed FeedFunc) (StepResult, error) {
+	// Feeding happens exactly once per Step, outside the retry loop: the
+	// feeder's own state (e.g. a shared RNG) must advance once per
+	// iteration regardless of how many attempts the iteration takes.
+	for i, r := range t.replicas {
+		if feed != nil {
+			if err := feed(i, r.net); err != nil {
+				return StepResult{}, err
+			}
+		}
+	}
+	if t.stepRetries <= 0 {
+		return t.stepOnce()
+	}
+	cp := t.Checkpoint()
+	res, err := t.stepOnce()
+	for attempt := 0; attempt < t.stepRetries && err != nil && core.IsTransient(err); attempt++ {
+		t.Restore(cp)
+		t.rollbacks++
+		res, err = t.stepOnce()
+	}
+	return res, err
+}
+
+// stepOnce runs one synchronous iteration attempt.
+func (t *Trainer) stepOnce() (StepResult, error) {
 	var res StepResult
 	n := len(t.replicas)
 
 	// Phase 1: local forward/backward on every replica, concurrently — one
 	// goroutine per replica, mirroring the real hardware where each GPU (and
-	// its driving host thread) advances independently. Feeding stays serial
-	// because FeedFuncs commonly pull shards from one shared data source.
-	for i, r := range t.replicas {
-		if feed != nil {
-			if err := feed(i, r.net); err != nil {
-				return res, err
-			}
-		}
-	}
+	// its driving host thread) advances independently.
 	losses := make([]float64, n)
 	times := make([]time.Duration, n)
 	errs := make([]error, n)
@@ -266,3 +297,8 @@ func (t *Trainer) Step(feed FeedFunc) (StepResult, error) {
 
 // Iter returns completed steps.
 func (t *Trainer) Iter() int { return t.iter }
+
+// Framework returns the GLP4NN framework driving the replicas (nil when
+// the trainer runs the serial launcher). Chaos tests read the per-device
+// ledgers through it to prove recovery paths fired.
+func (t *Trainer) Framework() *core.Framework { return t.fw }

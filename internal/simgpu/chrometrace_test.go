@@ -8,7 +8,7 @@ import (
 
 func TestChromeTraceExport(t *testing.T) {
 	d := NewDevice(testSpec)
-	s1, s2 := d.CreateStream(), d.CreateStream()
+	s1, s2 := mustStream(d), mustStream(d)
 	launchOK(t, d, &Kernel{
 		Name: "im2col_gpu", Tag: "conv1/n0",
 		Config: LaunchConfig{Grid: D1(4), Block: D1(128), RegsPerThread: 33},

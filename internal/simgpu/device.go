@@ -47,6 +47,12 @@ type Device struct {
 	streamsMade  int64
 	traceDropped int64
 	maxTrace     int
+
+	// inj, when non-nil, is consulted at every failable driver entry point
+	// and at record completion (see fault.go). recordsLost counts records
+	// the injector dropped before tracing and listeners.
+	inj         Injector
+	recordsLost int64
 }
 
 // Option configures a Device at construction.
@@ -63,11 +69,18 @@ func WithTraceLimit(n int) Option {
 	return func(d *Device) { d.maxTrace = n }
 }
 
-// NewDevice builds a device from a spec. It panics on an invalid spec, which
-// is always a programming error (catalog specs are valid by construction).
-func NewDevice(spec DeviceSpec, opts ...Option) *Device {
+// WithInjector attaches a fault injector (see FaultPlan): stream creation,
+// launches, transfers, synchronizations and profiler records consult it and
+// fail, stall, or corrupt on its schedule. nil disables injection.
+func WithInjector(inj Injector) Option {
+	return func(d *Device) { d.inj = inj }
+}
+
+// NewDeviceChecked builds a device from a spec, surfacing an invalid spec as
+// a constructor error instead of panicking.
+func NewDeviceChecked(spec DeviceSpec, opts ...Option) (*Device, error) {
 	if err := spec.Validate(); err != nil {
-		panic(err)
+		return nil, fmt.Errorf("simgpu: invalid device spec: %w", err)
 	}
 	d := &Device{
 		spec:      spec,
@@ -80,6 +93,17 @@ func NewDevice(spec DeviceSpec, opts ...Option) *Device {
 	d.nextStream = 1
 	for _, o := range opts {
 		o(d)
+	}
+	return d, nil
+}
+
+// NewDevice builds a device from a spec. It panics on an invalid spec, which
+// is a programming error for the catalog specs (valid by construction); use
+// NewDeviceChecked when the spec comes from configuration or user input.
+func NewDevice(spec DeviceSpec, opts ...Option) *Device {
+	d, err := NewDeviceChecked(spec, opts...)
+	if err != nil {
+		panic(err)
 	}
 	return d
 }
@@ -100,8 +124,15 @@ func (d *Device) ID() int { return d.id }
 func (d *Device) DefaultStream() *Stream { return d.def }
 
 // CreateStream makes a new concurrent stream, charging the host-side
-// creation overhead to the dispatch timeline.
-func (d *Device) CreateStream() *Stream {
+// creation overhead to the dispatch timeline. Under fault injection the
+// device may refuse (transiently), like cudaStreamCreate under driver
+// pressure.
+func (d *Device) CreateStream() (*Stream, error) {
+	if d.inj != nil {
+		if f := d.inj.Decide(OpCreateStream, ""); f.Err != nil {
+			return nil, f.Err
+		}
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	s := &Stream{id: d.nextStream, dev: d}
@@ -109,7 +140,7 @@ func (d *Device) CreateStream() *Stream {
 	d.activeStrms++
 	d.streamsMade++
 	d.host += float64(d.spec.StreamCreateOverhead.Nanoseconds())
-	return s
+	return s, nil
 }
 
 // DestroyStream releases a stream. Destroying the default stream or a
@@ -152,6 +183,18 @@ func (d *Device) Launch(k *Kernel, s *Stream) error {
 	if err := k.Validate(d.spec); err != nil {
 		return err
 	}
+	// Fault decision precedes the host closure: a failed launch never
+	// executes the kernel, so a retried launch runs the math exactly once —
+	// the property that keeps recovery convergence-invariant even for
+	// non-idempotent (accumulating) kernels.
+	var hang float64
+	if d.inj != nil {
+		f := d.inj.Decide(OpLaunch, k.Name)
+		if f.Err != nil {
+			return f.Err
+		}
+		hang = float64(f.Delay.Nanoseconds())
+	}
 	if k.Fn != nil {
 		k.Fn()
 	}
@@ -179,6 +222,7 @@ func (d *Device) Launch(k *Kernel, s *Stream) error {
 		bytesPerBlock: k.Cost.Bytes / float64(blocks),
 		threads:       k.Config.ThreadsPerBlock(),
 		smem:          k.Config.SharedMemBytes,
+		extra:         hang,
 	}
 
 	// Ordering edges: stream predecessor, then default-stream semantics.
@@ -218,6 +262,11 @@ func (d *Device) memcpy(name string, bytes int64, s *Stream) error {
 	}
 	if s.dev != d {
 		return fmt.Errorf("simgpu: %s on a stream of a different device", name)
+	}
+	if d.inj != nil {
+		if f := d.inj.Decide(OpMemcpy, name); f.Err != nil {
+			return f.Err
+		}
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -274,6 +323,14 @@ func (d *Device) MemcpyDeviceToHost(bytes int64, s *Stream) error {
 // device completion time plus the synchronization overhead, and returns the
 // device clock.
 func (d *Device) Synchronize() (time.Duration, error) {
+	if d.inj != nil {
+		// A failed synchronize loses no queued work: the drain simply has
+		// not happened yet, exactly like a transiently failing
+		// cudaDeviceSynchronize. A later call picks the work back up.
+		if f := d.inj.Decide(OpSync, ""); f.Err != nil {
+			return 0, f.Err
+		}
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err := d.eng.drain(); err != nil {
@@ -390,6 +447,18 @@ func (d *Device) onComplete(e *kernelExec) {
 		FLOPs:          float64(e.totalBlocks) * e.flopsPerBlock,
 		Bytes:          float64(e.totalBlocks) * e.bytesPerBlock,
 	}
+	if d.inj != nil {
+		f := d.inj.Decide(OpRecord, e.name)
+		if f.Drop {
+			// Lost before it reached any buffer: neither the trace nor the
+			// profiling listeners ever see it.
+			d.recordsLost++
+			return
+		}
+		if f.Truncate {
+			r.Queued, r.Start, r.End = 0, 0, 0
+		}
+	}
 	if d.tracing {
 		if d.maxTrace > 0 && len(d.records) >= d.maxTrace {
 			d.traceDropped++
@@ -408,6 +477,9 @@ type Stats struct {
 	Syncs        int64
 	StreamsMade  int64
 	TraceDropped int64
+	// RecordsLost counts completed kernel records the fault injector
+	// dropped before tracing and profiling listeners.
+	RecordsLost int64
 	// ThreadNSIntegral is ∫ resident threads dt over the simulation, in
 	// thread-nanoseconds; dividing by elapsed×maxResident gives achieved
 	// occupancy.
@@ -429,6 +501,7 @@ func (d *Device) Stats() (Stats, error) {
 		Syncs:            d.syncs,
 		StreamsMade:      d.streamsMade,
 		TraceDropped:     d.traceDropped,
+		RecordsLost:      d.recordsLost,
 		ThreadNSIntegral: d.eng.threadNSIntegral,
 		FLOPsRetired:     d.eng.flopsRetired,
 		BytesRetired:     d.eng.bytesRetired,
@@ -448,6 +521,18 @@ func NewMachine(specs ...DeviceSpec) *Machine {
 	m := &Machine{}
 	for i, s := range specs {
 		d := NewDevice(s)
+		d.SetID(i)
+		m.devices = append(m.devices, d)
+	}
+	return m
+}
+
+// NewMachineFromDevices builds a machine over pre-constructed devices (e.g.
+// devices carrying fault injectors or trace limits). Device ids are
+// reassigned to machine-local ordinals.
+func NewMachineFromDevices(devs ...*Device) *Machine {
+	m := &Machine{}
+	for i, d := range devs {
 		d.SetID(i)
 		m.devices = append(m.devices, d)
 	}

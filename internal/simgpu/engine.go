@@ -39,6 +39,10 @@ type kernelExec struct {
 	// kernel queue slot (copy engines are separate).
 	fixedDur float64
 
+	// extra is injected hang time in ns: every cohort of this kernel
+	// retires no earlier than its admission plus this stall.
+	extra float64
+
 	start float64
 	end   float64
 	done  bool
@@ -329,7 +333,7 @@ func (g *engine) admitBlocks(e *kernelExec) {
 		perSM:  per,
 		remC:   float64(placed) * e.flopsPerBlock,
 		remM:   float64(placed) * e.bytesPerBlock,
-		minEnd: g.now + g.floorNS,
+		minEnd: g.now + g.floorNS + e.extra,
 	})
 }
 

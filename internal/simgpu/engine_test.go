@@ -109,7 +109,7 @@ func TestMemoryKernelBelowSaturation(t *testing.T) {
 
 func TestSameStreamSerializes(t *testing.T) {
 	d := NewDevice(testSpec)
-	s := d.CreateStream()
+	s := mustStream(d)
 	launchOK(t, d, computeKernel("a", 4, 256, 512000), s)
 	launchOK(t, d, computeKernel("b", 4, 256, 512000), s)
 	recs := traceOK(t, d)
@@ -123,7 +123,7 @@ func TestSameStreamSerializes(t *testing.T) {
 
 func TestTwoStreamsOverlapOnIdleSMs(t *testing.T) {
 	d := NewDevice(testSpec)
-	s1, s2 := d.CreateStream(), d.CreateStream()
+	s1, s2 := mustStream(d), mustStream(d)
 	// Each kernel needs only 2 SMs and runs 10µs — long relative to the
 	// 1µs launch overhead (the paper's Eq. 7 payoff condition). Together
 	// they fill the device and should overlap nearly fully.
@@ -147,7 +147,7 @@ func TestTwoStreamsOverlapOnIdleSMs(t *testing.T) {
 
 func TestContentionIsWorkConserving(t *testing.T) {
 	d := NewDevice(testSpec)
-	s1, s2 := d.CreateStream(), d.CreateStream()
+	s1, s2 := mustStream(d), mustStream(d)
 	// Both kernels want all 4 SMs; each SM is time-shared, so the pair
 	// finishes in the same total time as running serially (2000 ns),
 	// modulo the launch stagger.
@@ -162,7 +162,7 @@ func TestContentionIsWorkConserving(t *testing.T) {
 
 func TestNoContentionAblationMode(t *testing.T) {
 	d := NewDevice(testSpec, WithoutContention())
-	s1, s2 := d.CreateStream(), d.CreateStream()
+	s1, s2 := mustStream(d), mustStream(d)
 	launchOK(t, d, computeKernel("a", 4, 256, 512000), s1)
 	launchOK(t, d, computeKernel("b", 4, 256, 512000), s2)
 	recs := traceOK(t, d)
@@ -178,7 +178,7 @@ func TestNoContentionAblationMode(t *testing.T) {
 
 func TestDefaultStreamBarrier(t *testing.T) {
 	d := NewDevice(testSpec)
-	s1, s2 := d.CreateStream(), d.CreateStream()
+	s1, s2 := mustStream(d), mustStream(d)
 	launchOK(t, d, computeKernel("a", 1, 256, 128000), s1)
 	launchOK(t, d, computeKernel("dflt", 1, 256, 128000), nil) // default stream
 	launchOK(t, d, computeKernel("b", 1, 256, 128000), s2)
@@ -201,7 +201,7 @@ func TestConcurrencyDegreeLimit(t *testing.T) {
 	spec := testSpec
 	spec.Arch = "Tesla" // MaxConcurrentKernels = 1
 	d := NewDevice(spec)
-	s1, s2 := d.CreateStream(), d.CreateStream()
+	s1, s2 := mustStream(d), mustStream(d)
 	launchOK(t, d, computeKernel("a", 1, 256, 128000), s1)
 	launchOK(t, d, computeKernel("b", 1, 256, 128000), s2)
 	recs := traceOK(t, d)
@@ -256,7 +256,7 @@ func TestLatencyFloor(t *testing.T) {
 
 func TestHostClockAccrual(t *testing.T) {
 	d := NewDevice(testSpec)
-	s := d.CreateStream() // 2µs
+	s := mustStream(d) // 2µs
 	for i := 0; i < 5; i++ {
 		launchOK(t, d, computeKernel("k", 1, 64, 64000), s) // 1µs each
 	}
@@ -288,7 +288,7 @@ func TestLaunchValidation(t *testing.T) {
 
 func TestDestroyedStreamRejectsWork(t *testing.T) {
 	d := NewDevice(testSpec)
-	s := d.CreateStream()
+	s := mustStream(d)
 	if err := d.DestroyStream(s); err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +329,7 @@ func TestResetClocks(t *testing.T) {
 
 func TestEventElapsed(t *testing.T) {
 	d := NewDevice(testSpec)
-	s := d.CreateStream()
+	s := mustStream(d)
 	start := d.NewEvent()
 	if err := start.Record(s); err != nil {
 		t.Fatal(err)
@@ -361,7 +361,7 @@ func TestUnrecordedEventErrors(t *testing.T) {
 
 func TestStatsThroughputBounded(t *testing.T) {
 	d := NewDevice(testSpec)
-	streams := []*Stream{d.CreateStream(), d.CreateStream(), d.CreateStream()}
+	streams := []*Stream{mustStream(d), mustStream(d), mustStream(d)}
 	for i := 0; i < 30; i++ {
 		launchOK(t, d, computeKernel("k", 1+i%4, 128, float64(50000+i*1000)), streams[i%3])
 	}
@@ -505,7 +505,7 @@ func TestDeviceSpecDerived(t *testing.T) {
 
 func TestTimelineRendering(t *testing.T) {
 	d := NewDevice(testSpec)
-	s1, s2 := d.CreateStream(), d.CreateStream()
+	s1, s2 := mustStream(d), mustStream(d)
 	launchOK(t, d, &Kernel{Name: "im2col_gpu", Config: LaunchConfig{Grid: D1(2), Block: D1(128)}, Cost: Cost{Bytes: 10000}}, s1)
 	launchOK(t, d, &Kernel{Name: "sgemm_128", Config: LaunchConfig{Grid: D1(2), Block: D1(128)}, Cost: Cost{FLOPs: 100000}}, s2)
 	recs := traceOK(t, d)
@@ -568,7 +568,7 @@ func TestMemcpyRespectsStreamOrderButNotQueueSlots(t *testing.T) {
 	spec := testSpec
 	spec.Arch = "Tesla" // 1 concurrent kernel
 	d := NewDevice(spec)
-	s1, s2 := d.CreateStream(), d.CreateStream()
+	s1, s2 := mustStream(d), mustStream(d)
 	// A long kernel on s1 holds the single queue slot; a memcpy on s2 must
 	// still proceed (copy engines are independent), while a second kernel
 	// on s1 must wait for the first.
@@ -596,7 +596,7 @@ func TestMemcpyErrors(t *testing.T) {
 	if err := d.MemcpyHostToDevice(-1, nil); err == nil {
 		t.Fatal("negative size accepted")
 	}
-	s := d.CreateStream()
+	s := mustStream(d)
 	if err := d.DestroyStream(s); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,280 @@
+package simgpu
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the deterministic fault-injection layer of the simulated GPU.
+// A Device built with WithInjector consults the injector at every failable
+// driver entry point — stream creation, kernel launch, DMA transfer, device
+// synchronization — and at every completed profiler record. The injector's
+// decisions are pure functions of (seed, operation site, occurrence index),
+// so an entire fault schedule replays bit-for-bit from one int64 seed: the
+// property the chaos tests use to prove convergence invariance under faults.
+
+// Op identifies one injectable operation site on the device.
+type Op int
+
+// Injectable operation sites.
+const (
+	// OpCreateStream is Device.CreateStream (cudaStreamCreate).
+	OpCreateStream Op = iota
+	// OpLaunch is Device.Launch (cudaLaunchKernel). Besides failing, a
+	// launch decision may carry a Delay, which simulates a hung kernel: the
+	// kernel executes but occupies its stream for at least that long.
+	OpLaunch
+	// OpMemcpy is Device.MemcpyHostToDevice / MemcpyDeviceToHost.
+	OpMemcpy
+	// OpSync is Device.Synchronize (cudaDeviceSynchronize).
+	OpSync
+	// OpRecord is the completion of one kernel record on its way to the
+	// trace and the profiling listeners; the decision may drop or truncate
+	// it (CUPTI buffer loss).
+	OpRecord
+
+	opCount
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpCreateStream:
+		return "CreateStream"
+	case OpLaunch:
+		return "Launch"
+	case OpMemcpy:
+		return "Memcpy"
+	case OpSync:
+		return "Synchronize"
+	case OpRecord:
+		return "Record"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Fault is an injector's decision for one operation. The zero value means
+// "no fault".
+type Fault struct {
+	// Err, when non-nil, fails the operation with this error. Injected
+	// errors should implement Transient() bool so runtimes can distinguish
+	// retryable device hiccups from programming errors.
+	Err error
+	// Delay (OpLaunch only) stretches the kernel's execution by at least
+	// this much virtual time — the hang simulation a watchdog must catch.
+	Delay time.Duration
+	// Drop (OpRecord only) loses the record entirely: it reaches neither
+	// the device trace nor any profiling listener.
+	Drop bool
+	// Truncate (OpRecord only) zeroes the record's timestamps, modelling a
+	// partially written activity buffer.
+	Truncate bool
+}
+
+// Injector decides the fate of device operations. Implementations must be
+// safe for concurrent use; Decide runs on the device's dispatching
+// goroutines (and, for OpRecord, under the device lock during drains, so it
+// must not call device methods).
+type Injector interface {
+	// Decide returns the fault (if any) for the next occurrence of op.
+	// name carries the kernel or transfer name when one exists.
+	Decide(op Op, name string) Fault
+}
+
+// FaultError is the error injected for a failed device operation. It is
+// transient by definition: the same operation retried may succeed, exactly
+// like a sporadic CUDA_ERROR_LAUNCH_FAILED or a stream-creation failure
+// under driver pressure.
+type FaultError struct {
+	Op   Op
+	Name string
+	N    int64 // 1-based occurrence index of the op at this site
+}
+
+// Error implements error.
+func (e *FaultError) Error() string {
+	if e.Name != "" {
+		return fmt.Sprintf("simgpu: injected %s fault (op %q, occurrence %d)", e.Op, e.Name, e.N)
+	}
+	return fmt.Sprintf("simgpu: injected %s fault (occurrence %d)", e.Op, e.N)
+}
+
+// Transient reports that injected faults model recoverable device errors;
+// runtimes may retry or degrade rather than abort.
+func (e *FaultError) Transient() bool { return true }
+
+// FaultPlan is a seeded, declarative fault schedule: per-site fault
+// probabilities evaluated deterministically per occurrence. Two injectors
+// built from equal plans make identical decisions at every (site,
+// occurrence) pair — the schedule is a pure function of the plan, not of
+// wall-clock, goroutine interleaving across sites, or map order.
+type FaultPlan struct {
+	// Seed drives every decision; distinct seeds give independent schedules.
+	Seed int64
+
+	// Per-site fault probabilities in [0, 1].
+	CreateStream float64
+	Launch       float64
+	Memcpy       float64
+	Sync         float64
+
+	// Hang is the probability that a (successfully launched) kernel is
+	// delayed by HangDelay of virtual time. HangDelay ≤ 0 defaults to
+	// DefaultHangDelay.
+	Hang      float64
+	HangDelay time.Duration
+
+	// DropRecord / TruncateRecord corrupt completed profiler records.
+	DropRecord     float64
+	TruncateRecord float64
+
+	// MaxFaults, when positive, caps the total number of injected faults
+	// (of any kind); after the budget is spent the device behaves
+	// perfectly. This models a transient outage window and guarantees
+	// bounded-retry recovery strategies eventually see a healthy device.
+	MaxFaults int64
+}
+
+// DefaultHangDelay is the virtual-time stall of an injected kernel hang —
+// far beyond any honest kernel in the catalog, so watchdogs can use a
+// generous threshold with no false positives.
+const DefaultHangDelay = 2 * time.Second
+
+// Injector builds the plan's deterministic injector.
+func (p FaultPlan) Injector() *PlanInjector {
+	if p.HangDelay <= 0 {
+		p.HangDelay = DefaultHangDelay
+	}
+	return &PlanInjector{plan: p}
+}
+
+// PlanInjector is the FaultPlan-driven Injector. It carries one atomic
+// occurrence counter per site plus counters of the faults actually injected,
+// so tests can assert that a schedule really fired.
+type PlanInjector struct {
+	plan  FaultPlan
+	seq   [opCount]atomic.Int64
+	spent atomic.Int64
+
+	createStream atomic.Int64
+	launches     atomic.Int64
+	memcpys      atomic.Int64
+	syncs        atomic.Int64
+	hangs        atomic.Int64
+	drops        atomic.Int64
+	truncations  atomic.Int64
+}
+
+// InjectorStats counts the faults a PlanInjector has injected so far.
+type InjectorStats struct {
+	CreateStream int64
+	Launches     int64
+	Memcpys      int64
+	Syncs        int64
+	Hangs        int64
+	Drops        int64
+	Truncations  int64
+}
+
+// Total sums all injected faults.
+func (s InjectorStats) Total() int64 {
+	return s.CreateStream + s.Launches + s.Memcpys + s.Syncs + s.Hangs + s.Drops + s.Truncations
+}
+
+func (s InjectorStats) String() string {
+	return fmt.Sprintf("faults: create=%d launch=%d memcpy=%d sync=%d hang=%d drop=%d trunc=%d (total %d)",
+		s.CreateStream, s.Launches, s.Memcpys, s.Syncs, s.Hangs, s.Drops, s.Truncations, s.Total())
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (in *PlanInjector) Stats() InjectorStats {
+	return InjectorStats{
+		CreateStream: in.createStream.Load(),
+		Launches:     in.launches.Load(),
+		Memcpys:      in.memcpys.Load(),
+		Syncs:        in.syncs.Load(),
+		Hangs:        in.hangs.Load(),
+		Drops:        in.drops.Load(),
+		Truncations:  in.truncations.Load(),
+	}
+}
+
+// Plan returns the schedule this injector executes.
+func (in *PlanInjector) Plan() FaultPlan { return in.plan }
+
+// budget consumes one unit of the MaxFaults budget; it reports false when
+// the budget is exhausted (the fault is then suppressed).
+func (in *PlanInjector) budget() bool {
+	if in.plan.MaxFaults <= 0 {
+		return true
+	}
+	if in.spent.Add(1) > in.plan.MaxFaults {
+		in.spent.Add(-1)
+		return false
+	}
+	return true
+}
+
+// Decide implements Injector.
+func (in *PlanInjector) Decide(op Op, name string) Fault {
+	n := in.seq[op].Add(1)
+	switch op {
+	case OpCreateStream:
+		if chance(in.plan.Seed, 0x1, n, in.plan.CreateStream) && in.budget() {
+			in.createStream.Add(1)
+			return Fault{Err: &FaultError{Op: op, Name: name, N: n}}
+		}
+	case OpLaunch:
+		if chance(in.plan.Seed, 0x2, n, in.plan.Launch) && in.budget() {
+			in.launches.Add(1)
+			return Fault{Err: &FaultError{Op: op, Name: name, N: n}}
+		}
+		if chance(in.plan.Seed, 0x3, n, in.plan.Hang) && in.budget() {
+			in.hangs.Add(1)
+			return Fault{Delay: in.plan.HangDelay}
+		}
+	case OpMemcpy:
+		if chance(in.plan.Seed, 0x4, n, in.plan.Memcpy) && in.budget() {
+			in.memcpys.Add(1)
+			return Fault{Err: &FaultError{Op: op, Name: name, N: n}}
+		}
+	case OpSync:
+		if chance(in.plan.Seed, 0x5, n, in.plan.Sync) && in.budget() {
+			in.syncs.Add(1)
+			return Fault{Err: &FaultError{Op: op, Name: name, N: n}}
+		}
+	case OpRecord:
+		if chance(in.plan.Seed, 0x6, n, in.plan.DropRecord) && in.budget() {
+			in.drops.Add(1)
+			return Fault{Drop: true}
+		}
+		if chance(in.plan.Seed, 0x7, n, in.plan.TruncateRecord) && in.budget() {
+			in.truncations.Add(1)
+			return Fault{Truncate: true}
+		}
+	}
+	return Fault{}
+}
+
+// chance is the deterministic coin: it hashes (seed, site salt, occurrence)
+// with a splitmix64 finalizer and compares the top 53 bits against p. The
+// decision for a given triple never changes, which is what makes a schedule
+// reproducible independent of goroutine interleaving across sites.
+func chance(seed int64, salt uint64, n int64, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	h := mix64(uint64(seed) ^ mix64(salt*0x9e3779b97f4a7c15) ^ mix64(uint64(n)))
+	return float64(h>>11)/float64(1<<53) < p
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

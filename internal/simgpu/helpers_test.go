@@ -1,0 +1,11 @@
+package simgpu
+
+// mustStream creates a stream on a device that carries no fault injector,
+// panicking on the impossible error so test call sites stay expressions.
+func mustStream(d *Device) *Stream {
+	s, err := d.CreateStream()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -16,7 +16,7 @@ func randomWorkload(t *testing.T, seed int64, spec DeviceSpec) []KernelRecord {
 	nStreams := 1 + rng.Intn(5)
 	streams := []*Stream{nil} // default stream
 	for i := 0; i < nStreams; i++ {
-		streams = append(streams, d.CreateStream())
+		streams = append(streams, mustStream(d))
 	}
 	n := 5 + rng.Intn(40)
 	for i := 0; i < n; i++ {
@@ -154,7 +154,7 @@ func TestQuickOccupancyNeverExceeded(t *testing.T) {
 		i++
 		rng := rand.New(rand.NewSource(seed))
 		d := NewDevice(spec)
-		streams := []*Stream{d.CreateStream(), d.CreateStream(), d.CreateStream()}
+		streams := []*Stream{mustStream(d), mustStream(d), mustStream(d)}
 		for j := 0; j < 25; j++ {
 			k := &Kernel{
 				Name: "k",
@@ -210,7 +210,7 @@ func TestLongUnsyncedRunStaysFast(t *testing.T) {
 func TestFractionalCostsDoNotStallEngine(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	d := NewDevice(TeslaP100, WithTraceLimit(1))
-	streams := []*Stream{nil, d.CreateStream(), d.CreateStream(), d.CreateStream()}
+	streams := []*Stream{nil, mustStream(d), mustStream(d), mustStream(d)}
 	start := time.Now()
 	for i := 0; i < 3000; i++ {
 		k := &Kernel{

@@ -282,8 +282,10 @@ type RowParallel interface {
 	// Workers returns the concurrency bound.
 	Workers() int
 	// Run executes fn(0..tasks-1), possibly concurrently. Implementations
-	// must run every task exactly once and return after all complete.
-	Run(tasks int, fn func(task int))
+	// must run every task exactly once, return after all complete, and
+	// report panicking tasks through the error instead of crashing worker
+	// goroutines.
+	Run(tasks int, fn func(task int)) error
 }
 
 // gemmMinBandRows is the smallest row band worth a parallel task: below
@@ -311,7 +313,7 @@ func GemmParallel(p RowParallel, transA, transB bool, m, n, k int, alpha float32
 		return
 	}
 	quo, rem := m/bands, m%bands
-	p.Run(bands, func(band int) {
+	err := p.Run(bands, func(band int) {
 		i0 := band*quo + min(band, rem)
 		i1 := i0 + quo
 		if band < rem {
@@ -323,4 +325,10 @@ func GemmParallel(p RowParallel, transA, transB bool, m, n, k int, alpha float32
 		}
 		gemmBlocked(transA, transB, i0, i1, m, n, k, alpha, a, b, c)
 	})
+	if err != nil {
+		// A band panic is a programming error (bad dims slipped past the
+		// checks); re-panic like the serial kernel would, now with every
+		// band accounted for instead of a dead worker goroutine.
+		panic(err)
+	}
 }

@@ -59,12 +59,12 @@ func TestGemmBitIdenticalToNaive(t *testing.T) {
 		{4, 8, 16},
 		{5, 9, 3},
 		{13, 17, 31},
-		{31, 7, 257},       // k crosses one KC boundary with a prime tail
-		{67, 13, 300},      // m crosses MC
-		{7, 519, 11},       // n crosses NC with an odd tail
-		{65, 513, 257},     // all three block boundaries at once, odd tails
-		{128, 129, 256},    // exact KC block, j tail of 1
-		{2, 1031, 5},       // prime n > 2*NC
+		{31, 7, 257},    // k crosses one KC boundary with a prime tail
+		{67, 13, 300},   // m crosses MC
+		{7, 519, 11},    // n crosses NC with an odd tail
+		{65, 513, 257},  // all three block boundaries at once, odd tails
+		{128, 129, 256}, // exact KC block, j tail of 1
+		{2, 1031, 5},    // prime n > 2*NC
 	}
 	alphas := []float32{1, -1, 0.5, 2, 0}
 	betas := []float32{0, 1, 2, -0.5}
@@ -135,10 +135,11 @@ func FuzzGemmBitIdentical(f *testing.F) {
 type serialBands struct{ workers int }
 
 func (s serialBands) Workers() int { return s.workers }
-func (s serialBands) Run(tasks int, fn func(int)) {
+func (s serialBands) Run(tasks int, fn func(int)) error {
 	for i := 0; i < tasks; i++ {
 		fn(i)
 	}
+	return nil
 }
 
 // TestGemmParallelBitIdenticalAtEveryWidth checks the row-band mode against
