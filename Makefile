@@ -12,7 +12,7 @@ MAINS := \
 	./examples/quickstart \
 	./examples/timeline
 
-.PHONY: tier1 vet build test race alloc bins bench bench-tensor chaos clean
+.PHONY: tier1 vet build test race alloc bins bench bench-tensor bench-dag chaos clean
 
 # tier1 is the CI gate: vet, build, the full test suite under the race
 # detector (the host-side parallel engine must stay race-clean), the
@@ -62,6 +62,12 @@ bench:
 # (GEMM shapes and im2col/col2im column layouts).
 bench-tensor:
 	$(GO) test -run '^$$' -bench 'Gemm|Im2col|Col2im' -benchmem ./internal/tensor
+
+# Operator DAG scheduler experiment: GoogLeNet (inception branches run
+# concurrently) and a chain MLP (serial-fallback control), serial vs DAG
+# wall-clock plus the bitwise parameter-identity check.
+bench-dag:
+	$(GO) run ./cmd/glp4nn-bench -exp dagpar
 
 clean:
 	rm -rf bin

@@ -89,4 +89,6 @@ func BenchmarkAblationEngine(b *testing.B) { benchExperiment(b, "ablation-engine
 
 func BenchmarkHostParallelEngine(b *testing.B) { benchExperiment(b, "hostpar", quick()) }
 
+func BenchmarkDAGScheduler(b *testing.B) { benchExperiment(b, "dagpar", quick()) }
+
 func BenchmarkAblationPoolPolicy(b *testing.B) { benchExperiment(b, "ablation-pool", quick()) }

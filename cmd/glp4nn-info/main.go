@@ -1,19 +1,26 @@
 // Command glp4nn-info prints the simulated hardware and dataset catalogs
-// (the paper's Tables 1, 3 and 4) and, with -occupancy, runs the CUDA
-// occupancy calculation for a kernel launch configuration on each device.
+// (the paper's Tables 1, 3 and 4), with -occupancy the CUDA occupancy
+// calculation for a kernel launch configuration on each device, and with
+// -dag the operator-level dependency DAG of each workload (depth, maximum
+// wavefront, critical path — the inter-layer parallelism the DAG scheduler
+// can exploit).
 //
 // Examples:
 //
 //	glp4nn-info
 //	glp4nn-info -occupancy -threads 256 -smem 16384
+//	glp4nn-info -dag
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/dnn"
+	"repro/internal/models"
 	"repro/internal/simgpu"
 )
 
@@ -23,8 +30,17 @@ func main() {
 		threads   = flag.Int("threads", 256, "threads per block for -occupancy")
 		smem      = flag.Int("smem", 0, "shared memory bytes per block for -occupancy")
 		blocks    = flag.Int("blocks", 64, "grid size for -occupancy")
+		dag       = flag.Bool("dag", false, "print each workload's operator DAG shape (inter-layer parallelism)")
 	)
 	flag.Parse()
+
+	if *dag {
+		if err := printDAGs(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *occupancy {
 		cfg := simgpu.LaunchConfig{
@@ -53,4 +69,29 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// printDAGs builds each registered workload at a tiny batch and prints its
+// blob-dependency DAG statistics — the axis of parallelism that is a
+// property of the network alone, independent of any device.
+func printDAGs() error {
+	for _, name := range models.Names {
+		w, err := models.Get(name)
+		if err != nil {
+			return err
+		}
+		ctx := dnn.NewContext(dnn.HostLauncher{}, 1)
+		ctx.Compute = false
+		net, err := w.Build(ctx, 2, 1)
+		if err != nil {
+			return fmt.Errorf("building %s: %w", name, err)
+		}
+		st, err := net.DAGStats()
+		if err != nil {
+			return fmt.Errorf("dag for %s: %w", name, err)
+		}
+		fmt.Printf("%s: %s\n", name, st)
+		fmt.Printf("  critical path: %s\n\n", strings.Join(st.CriticalPath, " → "))
+	}
+	return nil
 }

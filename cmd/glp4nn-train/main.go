@@ -5,6 +5,7 @@
 // Examples:
 //
 //	glp4nn-train -net CIFAR10 -iters 50 -device P100 -glp4nn
+//	glp4nn-train -net GoogLeNet -iters 10 -device P100 -glp4nn -dag
 //	glp4nn-train -net Siamese -iters 20 -device K40C
 //	glp4nn-train -net CaffeNet -batch 16 -iters 3 -device TitanXP -glp4nn -compute=false
 package main
@@ -12,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -28,6 +30,7 @@ func main() {
 		iters   = flag.Int("iters", 20, "training iterations")
 		device  = flag.String("device", "P100", "simulated GPU: K40C, P100 or TitanXP")
 		useGLP  = flag.Bool("glp4nn", false, "train through GLP4NN instead of the serial baseline")
+		useDAG  = flag.Bool("dag", false, "execute independent layers concurrently (operator DAG scheduler; bits unchanged)")
 		compute = flag.Bool("compute", true, "run real math (disable for timing-only runs)")
 		seed    = flag.Int64("seed", 1, "seed")
 		every   = flag.Int("log-every", 5, "print loss every N iterations")
@@ -56,20 +59,22 @@ func main() {
 		fp.Seed = *seed
 	}
 
-	if err := run(*netName, *batch, *iters, *device, *useGLP, *compute, *seed, *every, *trace, fp); err != nil {
+	if _, err := run(os.Stdout, *netName, *batch, *iters, *device, *useGLP, *useDAG, *compute, *seed, *every, *trace, fp); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(netName string, batch, iters int, device string, useGLP, compute bool, seed int64, every int, tracePath string, fp simgpu.FaultPlan) error {
+// run trains the workload and returns the final iteration's loss (0 for
+// timing-only runs), so tests can assert the -dag schedule changes no bits.
+func run(out io.Writer, netName string, batch, iters int, device string, useGLP, useDAG, compute bool, seed int64, every int, tracePath string, fp simgpu.FaultPlan) (float64, error) {
 	spec, ok := simgpu.DeviceByName(device)
 	if !ok {
-		return fmt.Errorf("unknown device %q (have %v)", device, simgpu.CatalogNames())
+		return 0, fmt.Errorf("unknown device %q (have %v)", device, simgpu.CatalogNames())
 	}
 	w, err := models.Get(netName)
 	if err != nil {
-		return err
+		return 0, err
 	}
 
 	if batch <= 0 {
@@ -81,12 +86,12 @@ func run(netName string, batch, iters int, device string, useGLP, compute bool, 
 	if fp.CreateStream > 0 || fp.Launch > 0 || fp.Memcpy > 0 || fp.Sync > 0 || fp.Hang > 0 {
 		injector = fp.Injector()
 		opts = append(opts, simgpu.WithInjector(injector))
-		fmt.Printf("fault injection armed (seed %d, budget %d); pair with -glp4nn for self-healing\n",
+		fmt.Fprintf(out, "fault injection armed (seed %d, budget %d); pair with -glp4nn for self-healing\n",
 			fp.Seed, fp.MaxFaults)
 	}
 	dev, err := simgpu.NewDeviceChecked(spec, opts...)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	var launcher dnn.Launcher = dnn.SerialLauncher{Dev: dev}
 	var fw *core.Framework
@@ -98,38 +103,41 @@ func run(netName string, batch, iters int, device string, useGLP, compute bool, 
 
 	ctx := dnn.NewContext(launcher, seed)
 	ctx.Compute = compute
-	fmt.Printf("building %s (batch %d) for %s, glp4nn=%v compute=%v\n", netName, batch, spec.Name, useGLP, compute)
+	fmt.Fprintf(out, "building %s (batch %d) for %s, glp4nn=%v dag=%v compute=%v\n", netName, batch, spec.Name, useGLP, useDAG, compute)
 	net, err := w.Build(ctx, batch, seed)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	fmt.Print(net.Summary())
+	net.EnableDAG(useDAG)
+	fmt.Fprint(out, net.Summary())
 
 	feed := w.NewFeeder(batch, seed+1)
 	solver := dnn.NewSolver(net, ctx, dnn.CIFAR10QuickSolver())
 
 	wallStart := time.Now()
 	var virtualTotal time.Duration
+	var finalLoss float64
 	for i := 0; i < iters; i++ {
 		if compute {
 			if err := feed(net); err != nil {
-				return err
+				return 0, err
 			}
 		}
 		if err := dev.ResetClocks(); err != nil {
-			return err
+			return 0, err
 		}
 		// Model the input batch's host→device copy, like Caffe's data layer.
 		if err := net.UploadInputs(ctx); err != nil {
-			return err
+			return 0, err
 		}
 		loss, err := solver.Step()
 		if err != nil {
-			return err
+			return 0, err
 		}
+		finalLoss = loss
 		devT, err := syncRetry(dev, injector != nil)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		iterT := devT
 		if h := dev.HostTime(); h > iterT {
@@ -138,45 +146,49 @@ func run(netName string, batch, iters int, device string, useGLP, compute bool, 
 		virtualTotal += iterT
 		if every > 0 && ((i+1)%every == 0 || i == 0) {
 			if compute {
-				fmt.Printf("iter %4d  loss %.4f  sim-time %v\n", i+1, loss, iterT.Round(time.Microsecond))
+				fmt.Fprintf(out, "iter %4d  loss %.4f  sim-time %v\n", i+1, loss, iterT.Round(time.Microsecond))
 			} else {
-				fmt.Printf("iter %4d  sim-time %v\n", i+1, iterT.Round(time.Microsecond))
+				fmt.Fprintf(out, "iter %4d  sim-time %v\n", i+1, iterT.Round(time.Microsecond))
 			}
 		}
 	}
-	fmt.Printf("done: %d iterations, mean simulated iteration %v, wall clock %v\n",
+	fmt.Fprintf(out, "done: %d iterations, mean simulated iteration %v, wall clock %v\n",
 		iters, (virtualTotal / time.Duration(iters)).Round(time.Microsecond), time.Since(wallStart).Round(time.Millisecond))
 
 	if tracePath != "" {
 		f, err := os.Create(tracePath)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		if err := dev.ExportChromeTrace(f); err != nil {
 			f.Close()
-			return err
+			return 0, err
 		}
 		if err := f.Close(); err != nil {
-			return err
+			return 0, err
 		}
-		fmt.Printf("chrome trace of the final iteration written to %s\n", tracePath)
+		fmt.Fprintf(out, "chrome trace of the final iteration written to %s\n", tracePath)
 	}
 
 	if injector != nil {
-		fmt.Printf("injected faults: %s\n", injector.Stats())
+		fmt.Fprintf(out, "injected faults: %s\n", injector.Stats())
 	}
 	if fw != nil {
 		rt := fw.Runtime(dev)
-		fmt.Printf("glp4nn overhead: %s\n", rt.Ledger().Snapshot())
-		if snap := rt.Ledger().Snapshot(); snap.Recoveries() > 0 {
-			fmt.Printf("glp4nn recovery: %s\n", snap.Health())
+		snap := rt.Ledger().Snapshot()
+		fmt.Fprintf(out, "glp4nn overhead: %s\n", snap)
+		if snap.Recoveries() > 0 {
+			fmt.Fprintf(out, "glp4nn recovery: %s\n", snap.Health())
 		}
-		fmt.Println("concurrency plans:")
+		if useDAG {
+			fmt.Fprintf(out, "operator DAG dispatches: %d of %d\n", snap.DAGDispatches, snap.Dispatches)
+		}
+		fmt.Fprintln(out, "concurrency plans:")
 		for _, p := range rt.Plans() {
-			fmt.Printf("  %-22s %d streams\n", p.Key, p.Streams)
+			fmt.Fprintf(out, "  %-22s %d streams\n", p.Key, p.Streams)
 		}
 	}
-	return nil
+	return finalLoss, nil
 }
 
 // syncRetry synchronizes the device; with fault injection armed, transient

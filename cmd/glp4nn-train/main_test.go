@@ -1,0 +1,45 @@
+package main
+
+import (
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/simgpu"
+)
+
+// TestDAGFlagLossIdentical is the CLI-level convergence-invariance
+// regression: training with -dag must print the exact final loss of the
+// serial schedule, on GoogLeNet (real inter-layer parallelism) under both
+// the serial baseline and the GLP4NN runtime.
+func TestDAGFlagLossIdentical(t *testing.T) {
+	for _, glp := range []bool{false, true} {
+		serial, err := run(io.Discard, "GoogLeNet", 2, 3, "P100", glp, false, true, 1, 0, "", simgpu.FaultPlan{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dag, err := run(io.Discard, "GoogLeNet", 2, 3, "P100", glp, true, true, 1, 0, "", simgpu.FaultPlan{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial <= 0 {
+			t.Fatalf("glp4nn=%v: suspicious final loss %v", glp, serial)
+		}
+		if math.Float64bits(serial) != math.Float64bits(dag) {
+			t.Fatalf("glp4nn=%v: -dag changed the final loss: serial %v dag %v", glp, serial, dag)
+		}
+	}
+}
+
+// TestDAGFlagReportsDispatches: with -glp4nn -dag the run reports the
+// concurrent-session dispatch count.
+func TestDAGFlagReportsDispatches(t *testing.T) {
+	var sb strings.Builder
+	if _, err := run(&sb, "GoogLeNet", 2, 3, "P100", true, true, true, 1, 0, "", simgpu.FaultPlan{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "operator DAG dispatches:") {
+		t.Fatalf("missing DAG dispatch report in output:\n%s", sb.String())
+	}
+}

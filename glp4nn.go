@@ -99,6 +99,11 @@ type (
 	// Feeder fills a net's inputs with the next mini-batch.
 	Feeder = models.Feeder
 
+	// DAGStats summarizes a network's operator-level dependency DAG:
+	// forward/backward depth, maximum wavefront (independent layers
+	// executable at once) and the forward critical path.
+	DAGStats = dnn.DAGStats
+
 	// HostPool is the bounded worker pool of the host-side parallel
 	// execution engine: kernel host math of independent dependency chains
 	// runs on separate goroutines while the simulated timeline is unchanged.
@@ -169,6 +174,17 @@ func DefaultHostPool() *HostPool { return hostpool.Default() }
 // width — the engine's convergence-invariance guarantee.
 func NewParallelContext(l Launcher, seed int64, pool *HostPool) *Context {
 	return dnn.NewParallelContext(l, seed, pool)
+}
+
+// WithDAG switches a network onto the operator DAG scheduler and returns
+// it: independent layers execute concurrently (Net.ForwardDAG /
+// Net.BackwardDAG), gated so profiling iterations still run serially and
+// with a fixed gradient fold order — trained parameters stay bitwise
+// identical to the serial schedule. Net.DAGStats reports how much
+// inter-layer parallelism the network offers.
+func WithDAG(net *Net) *Net {
+	net.EnableDAG(true)
+	return net
 }
 
 // NewSolver builds a momentum-SGD solver.

@@ -121,3 +121,56 @@ func TestFacadeFixedPoolFasterThanSerial(t *testing.T) {
 		t.Fatal("timeline")
 	}
 }
+
+// TestFacadeWithDAG drives the operator DAG scheduler through the public
+// API: GoogLeNet trained with WithDAG on the GLP4NN runtime must report
+// real inter-layer parallelism and produce the same losses as a serial run.
+func TestFacadeWithDAG(t *testing.T) {
+	train := func(dag bool) []float64 {
+		dev := NewDevice(TeslaP100)
+		fw := New()
+		defer fw.Close()
+		ctx := NewContext(fw.Runtime(dev), 42)
+		net, err := BuildModel("GoogLeNet", ctx, 2, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dag {
+			net = WithDAG(net)
+		}
+		var st DAGStats
+		if st, err = net.DAGStats(); err != nil {
+			t.Fatal(err)
+		}
+		if st.MaxWavefront < 2 {
+			t.Fatalf("GoogLeNet DAG reports no parallelism: %+v", st)
+		}
+		feed, err := NewFeeder("GoogLeNet", 2, 43)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solver := NewSolver(net, ctx, CIFAR10QuickSolver())
+		var losses []float64
+		for i := 0; i < 3; i++ {
+			if err := feed(net); err != nil {
+				t.Fatal(err)
+			}
+			loss, err := solver.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := dev.Synchronize(); err != nil {
+				t.Fatal(err)
+			}
+			losses = append(losses, loss)
+		}
+		return losses
+	}
+	serial := train(false)
+	dag := train(true)
+	for i := range serial {
+		if serial[i] != dag[i] {
+			t.Fatalf("step %d loss differs: serial %v dag %v", i, serial[i], dag[i])
+		}
+	}
+}

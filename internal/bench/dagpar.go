@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/dnn"
+	"repro/internal/hostpool"
+	"repro/internal/models"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "dagpar",
+		Title: "Operator DAG scheduler: inter-layer parallel wall-clock",
+		Paper: "Extension: GLP4NN parallelizes within a layer (batch chains over streams); " +
+			"the operator DAG adds the orthogonal axis — independent layers execute " +
+			"concurrently — under the same convergence-invariance bar (bitwise-identical " +
+			"trained parameters).",
+		Run: runDAGParallel,
+	})
+}
+
+// ForkLayerSession lets the DAG scheduler run concurrent layer sessions on
+// the bench launcher (stateless, so the fork is itself).
+func (l widthLauncher) ForkLayerSession() any { return l }
+
+// mlpBuilder is a deliberately chain-shaped control: every layer depends
+// on the previous one, so the DAG scheduler must detect MaxWavefront 1 and
+// fall back to the exact serial path (zero overhead, zero gain).
+func mlpBuilder(ctx *dnn.Context, batch int, seed int64) (*dnn.Net, error) {
+	i1 := dnn.IP(256)
+	i1.Seed = seed
+	i2 := dnn.IP(10)
+	i2.Seed = seed + 1
+	return dnn.NewNet("MLP").
+		Input("data", batch, 1, 28, 28).
+		Input("label", batch).
+		Add(dnn.NewIP("ip1", i1), []string{"data"}, []string{"h"}).
+		Add(dnn.NewReLU("relu1"), []string{"h"}, []string{"hr"}).
+		Add(dnn.NewIP("ip2", i2), []string{"hr"}, []string{"scores"}).
+		Add(dnn.NewSoftmaxLoss("loss"), []string{"scores", "label"}, []string{"loss"}).
+		Build(ctx)
+}
+
+// runDAGParallel trains GoogLeNet (nine inception modules, up to six
+// independent layers at once) and a chain MLP (no inter-layer parallelism
+// at all) serially and under the operator DAG scheduler, reporting host
+// wall-clock per step, the DAG's shape, and the bitwise parameter
+// comparison. Speedup requires a multi-core host — the concurrent layer
+// bodies are real goroutines — and appears only where the net has
+// concurrent layers to offer; bit-identity must hold everywhere.
+func runDAGParallel(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	batch, width, steps := 8, 4, 2
+	if cfg.Quick {
+		batch, width, steps = 4, 2, 1
+	}
+
+	type netCase struct {
+		name  string
+		build func(ctx *dnn.Context) (*dnn.Net, error)
+	}
+	cases := []netCase{
+		{"GoogLeNet", func(ctx *dnn.Context) (*dnn.Net, error) {
+			wl, err := models.Get("GoogLeNet")
+			if err != nil {
+				return nil, err
+			}
+			return wl.Build(ctx, batch, cfg.Seed)
+		}},
+		{"MLP (chain)", func(ctx *dnn.Context) (*dnn.Net, error) {
+			return mlpBuilder(ctx, batch, cfg.Seed)
+		}},
+	}
+
+	fmt.Fprintf(w, "batch %d, chain width %d, %d step(s), %d worker(s) (GOMAXPROCS %d)\n\n",
+		batch, width, steps, hostpool.Default().Workers(), runtime.GOMAXPROCS(0))
+
+	for _, c := range cases {
+		train := func(dag bool, pool *hostpool.Pool) ([][]float32, time.Duration, *dnn.Net, error) {
+			ctx := dnn.NewContext(widthLauncher{width}, cfg.Seed)
+			ctx.Pool = pool
+			net, err := c.build(ctx)
+			if err != nil {
+				return nil, 0, nil, err
+			}
+			net.EnableDAG(dag)
+			feed := feederFor(c.name, batch, cfg.Seed+1)
+			s := dnn.NewSolver(net, ctx, dnn.SolverConfig{BaseLR: 0.001, Momentum: 0.9, WeightDecay: 0.001})
+			// One untimed warm-up step: scratch arenas and pool lanes
+			// initialize lazily, and that cost must not masquerade as a
+			// schedule difference.
+			if err := feed(net); err != nil {
+				return nil, 0, nil, err
+			}
+			if _, err := s.Step(); err != nil {
+				return nil, 0, nil, err
+			}
+			start := time.Now()
+			for i := 0; i < steps; i++ {
+				if err := feed(net); err != nil {
+					return nil, 0, nil, err
+				}
+				if _, err := s.Step(); err != nil {
+					return nil, 0, nil, err
+				}
+			}
+			wall := time.Since(start)
+			var params [][]float32
+			for _, p := range net.Params() {
+				params = append(params, append([]float32(nil), p.Data.Data()...))
+			}
+			return params, wall, net, nil
+		}
+
+		serialParams, serialWall, net, err := train(false, nil)
+		if err != nil {
+			return err
+		}
+		dagParams, dagWall, _, err := train(true, nil)
+		if err != nil {
+			return err
+		}
+		pooledParams, pooledWall, _, err := train(true, hostpool.Default())
+		if err != nil {
+			return err
+		}
+
+		if st, err := net.DAGStats(); err == nil {
+			fmt.Fprintf(w, "%s — %s\n", c.name, st)
+		}
+		t := newTable("execution", "wall/step (ms)", "speedup")
+		t.addf("serial\t%s\t1.00x", ms(serialWall/time.Duration(steps)))
+		t.addf("operator DAG\t%s\t%.2fx", ms(dagWall/time.Duration(steps)),
+			float64(serialWall)/float64(dagWall))
+		t.addf("operator DAG + worker pool\t%s\t%.2fx", ms(pooledWall/time.Duration(steps)),
+			float64(serialWall)/float64(pooledWall))
+		t.write(w)
+
+		identical := paramsBitwiseEqual(serialParams, dagParams) &&
+			paramsBitwiseEqual(serialParams, pooledParams)
+		fmt.Fprintf(w, "trained parameters bitwise identical: %v\n\n", identical)
+		if !identical {
+			return fmt.Errorf("bench: dagpar broke convergence invariance on %s (parameters differ)", c.name)
+		}
+	}
+	return nil
+}
+
+// feederFor returns the registered workload's feeder, or a synthetic
+// MNIST-shaped feeder for the inline MLP.
+func feederFor(name string, batch int, seed int64) models.Feeder {
+	if wl, err := models.Get(name); err == nil {
+		return wl.NewFeeder(batch, seed)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float32, batch*28*28)
+	labels := make([]float32, batch)
+	return func(net *dnn.Net) error {
+		for i := range vals {
+			vals[i] = float32(rng.NormFloat64())
+		}
+		for i := range labels {
+			labels[i] = float32(rng.Intn(10))
+		}
+		if err := net.SetInputData("data", vals); err != nil {
+			return err
+		}
+		return net.SetInputData("label", labels)
+	}
+}
+
+func paramsBitwiseEqual(a, b [][]float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if math.Float32bits(a[i][j]) != math.Float32bits(b[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dnn"
+	"repro/internal/models"
+	"repro/internal/simgpu"
+)
+
+// trainGoogLeNet trains a few GoogLeNet steps through a fresh GLP4NN
+// runtime and returns the final params and the runtime's ledger snapshot.
+func trainGoogLeNet(t *testing.T, dag bool, steps int) ([][]float32, Snapshot) {
+	t.Helper()
+	w, err := models.Get("GoogLeNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := simgpu.NewDevice(simgpu.TeslaP100)
+	fw := New()
+	defer fw.Close()
+	rt := fw.Runtime(dev)
+	ctx := dnn.NewContext(rt, 5)
+	ctx.Compute = true
+	net, err := w.Build(ctx, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.EnableDAG(dag)
+	feed := w.NewFeeder(2, 6)
+	s := dnn.NewSolver(net, ctx, dnn.SolverConfig{BaseLR: 0.001, Momentum: 0.9, WeightDecay: 0.001})
+	for i := 0; i < steps; i++ {
+		if err := feed(net); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out [][]float32
+	for _, p := range net.Params() {
+		out = append(out, append([]float32(nil), p.Data.Data()...))
+	}
+	return out, rt.Ledger().Snapshot()
+}
+
+// TestDAGRuntimeInvariance runs GoogLeNet's inception branches through the
+// operator DAG scheduler on the full GLP4NN runtime: the first iterations
+// profile and analyze in exact serial order (DAGReady gates the DAG until
+// every plan is cached), later iterations dispatch independent layers
+// through concurrent LayerSessions — and the trained parameters stay
+// bitwise identical to the serial schedule.
+func TestDAGRuntimeInvariance(t *testing.T) {
+	const steps = 3 // step 1 profiles, step 2 analyzes, step 3 runs the DAG
+	serial, ssnap := trainGoogLeNet(t, false, steps)
+	dag, dsnap := trainGoogLeNet(t, true, steps)
+	if len(serial) != len(dag) {
+		t.Fatalf("param count mismatch: %d vs %d", len(serial), len(dag))
+	}
+	for i := range serial {
+		for j := range serial[i] {
+			if math.Float32bits(serial[i][j]) != math.Float32bits(dag[i][j]) {
+				t.Fatalf("param %d[%d] differs: serial %v dag %v", i, j, serial[i][j], dag[i][j])
+			}
+		}
+	}
+	if ssnap.DAGDispatches != 0 {
+		t.Fatalf("serial run charged %d DAG dispatches", ssnap.DAGDispatches)
+	}
+	if dsnap.DAGDispatches == 0 {
+		t.Fatal("DAG run never dispatched through a concurrent LayerSession")
+	}
+	if dsnap.DAGDispatches > dsnap.Dispatches {
+		t.Fatalf("DAGDispatches %d exceeds Dispatches %d (must be a subset)",
+			dsnap.DAGDispatches, dsnap.Dispatches)
+	}
+}
+
+// TestDAGReadyGate covers the gate directly: unprofiled keys are not
+// ready; once a profiling window closes over them, DAGReady collects,
+// analyzes on the spot and reports ready.
+func TestDAGReadyGate(t *testing.T) {
+	dev := simgpu.NewDevice(simgpu.TeslaP100)
+	fw := New()
+	defer fw.Close()
+	rt := fw.Runtime(dev)
+
+	if rt.DAGReady([]string{"conv/fwd"}) {
+		t.Fatal("unseen key reported ready")
+	}
+	// Sighting 1: opens the profiling window and records the kernels.
+	rt.BeginLayer("conv/fwd")
+	if err := rt.Launch(testKernel("sgemm", "s0"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Synchronize(); err != nil {
+		t.Fatal(err)
+	}
+	// The gate closes the window itself — no second serial sighting needed.
+	if !rt.DAGReady([]string{"conv/fwd"}) {
+		t.Fatal("profiled key not ready")
+	}
+	if _, ok := rt.Analyzer().Cached("conv/fwd"); !ok {
+		t.Fatal("DAGReady did not cache the analyzed plan")
+	}
+	// A mix with an unseen key stays gated.
+	if rt.DAGReady([]string{"conv/fwd", "ip/fwd"}) {
+		t.Fatal("mixed ready/unseen keys reported ready")
+	}
+}
+
+// TestLayerSessionNeverProfiles: a forked session resolves cached plans
+// only; an unknown key degrades to width 1 without opening a profiling
+// window or disturbing the runtime's serial state.
+func TestLayerSessionNeverProfiles(t *testing.T) {
+	dev := simgpu.NewDevice(simgpu.TeslaP100)
+	fw := New()
+	defer fw.Close()
+	rt := fw.Runtime(dev)
+
+	s, ok := rt.ForkLayerSession().(dnn.Launcher)
+	if !ok {
+		t.Fatalf("forked session %T does not implement dnn.Launcher", rt.ForkLayerSession())
+	}
+	s.BeginLayer("mystery/fwd")
+	if w := s.Width(); w != 1 {
+		t.Fatalf("unplanned session width = %d, want 1", w)
+	}
+	if err := s.Launch(testKernel("k", "x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// The session must not have opened a profiling window for the key.
+	if rt.DAGReady([]string{"mystery/fwd"}) {
+		t.Fatal("session launch made an unprofiled key ready")
+	}
+	// Unplanned launches ride the default stream: no round-robin decision,
+	// nothing charged to the dispatch counters (same as the serial path).
+	snap := rt.Ledger().Snapshot()
+	if snap.DAGDispatches != 0 {
+		t.Fatalf("DAGDispatches = %d, want 0 for a default-stream launch", snap.DAGDispatches)
+	}
+}
+
+// TestLayerConcurrencyCap: the cap divides the device's concurrent-kernel
+// budget by the widest cached plan and never drops below 1.
+func TestLayerConcurrencyCap(t *testing.T) {
+	dev := simgpu.NewDevice(simgpu.TeslaP100)
+	fw := New()
+	defer fw.Close()
+	rt := fw.Runtime(dev)
+
+	budget := dev.Spec().MaxConcurrentKernels()
+	if got := rt.LayerConcurrencyCap(); got != budget {
+		t.Fatalf("cap with no plans = %d, want the full budget %d", got, budget)
+	}
+	// Profile and analyze one layer; the cap shrinks by its width.
+	rt.BeginLayer("conv/fwd")
+	for c := 0; c < 4; c++ {
+		if err := rt.Launch(testKernel("sgemm", "s"), c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := dev.Synchronize(); err != nil {
+		t.Fatal(err)
+	}
+	if !rt.DAGReady([]string{"conv/fwd"}) {
+		t.Fatal("not ready after profiling")
+	}
+	plan, ok := rt.Analyzer().Cached("conv/fwd")
+	if !ok {
+		t.Fatal("no cached plan")
+	}
+	want := budget
+	if !plan.Serial && plan.Streams > 1 {
+		want = budget / plan.Streams
+	}
+	if want < 1 {
+		want = 1
+	}
+	if got := rt.LayerConcurrencyCap(); got != want {
+		t.Fatalf("cap = %d, want %d (plan width %d)", got, want, plan.Streams)
+	}
+}

@@ -41,6 +41,7 @@ type Ledger struct {
 	profiledKernels int64
 	analyzedLayers  int64
 	dispatches      int64
+	dagDispatches   int64
 	profileFailures int64
 	analyzeFailures int64
 
@@ -73,6 +74,10 @@ type Snapshot struct {
 	ProfiledKernels int64
 	AnalyzedLayers  int64
 	Dispatches      int64
+	// DAGDispatches counts the subset of Dispatches issued by concurrent
+	// LayerSessions of the operator DAG scheduler (inter-layer
+	// parallelism), as opposed to the runtime's serial per-layer path.
+	DAGDispatches int64
 
 	// ProfileFailures counts profiling sessions that could not start or
 	// collect; AnalyzeFailures counts profiles the analyzer rejected. Each
@@ -206,6 +211,16 @@ func (l *Ledger) addDispatch() {
 	l.ts += tsPerDispatch
 }
 
+// addDAGDispatch counts a pool-stream dispatch issued from a concurrent
+// DAG layer session; it is also a dispatch (DAGDispatches ⊆ Dispatches).
+func (l *Ledger) addDAGDispatch() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.dispatches++
+	l.dagDispatches++
+	l.ts += tsPerDispatch
+}
+
 // Snapshot returns a copy of the counters.
 func (l *Ledger) Snapshot() Snapshot {
 	l.mu.Lock()
@@ -216,6 +231,7 @@ func (l *Ledger) Snapshot() Snapshot {
 		ProfiledKernels: l.profiledKernels,
 		AnalyzedLayers:  l.analyzedLayers,
 		Dispatches:      l.dispatches,
+		DAGDispatches:   l.dagDispatches,
 		ProfileFailures: l.profileFailures,
 		AnalyzeFailures: l.analyzeFailures,
 

@@ -255,7 +255,15 @@ func (r *Runtime) Launch(k *simgpu.Kernel, chain int) error {
 	plan := r.currentPlan
 	key := r.current
 	r.mu.Unlock()
+	return r.launchWith(key, plan, k, chain, false)
+}
 
+// launchWith is the launch body shared by the runtime's own dnn.Launcher
+// implementation and its forked LayerSessions: the key/plan pair comes
+// from the caller instead of r.current/r.currentPlan, so concurrent DAG
+// sessions never race on the runtime's per-layer state. dag distinguishes
+// the ledger counter charged for a pool-stream dispatch.
+func (r *Runtime) launchWith(key string, plan *Plan, k *simgpu.Kernel, chain int, dag bool) error {
 	if key != "" {
 		tag := key
 		if k.Tag != "" {
@@ -268,7 +276,11 @@ func (r *Runtime) Launch(k *simgpu.Kernel, chain int) error {
 	var stream *simgpu.Stream
 	if chain >= 0 && plan != nil && plan.Streams > 1 && !plan.Serial {
 		stream = r.pool.Stream(chain % plan.Streams)
-		r.ledger.addDispatch()
+		if dag {
+			r.ledger.addDAGDispatch()
+		} else {
+			r.ledger.addDispatch()
+		}
 	}
 	err := r.launchRetry(k, stream)
 	if err == nil || !IsTransient(err) {
@@ -391,6 +403,100 @@ func (r *Runtime) drainWatchdog() {
 
 // Plans returns the analyzer's cached plans.
 func (r *Runtime) Plans() []*Plan { return r.analyzer.Plans() }
+
+// ForkLayerSession implements the dnn-side layer-session contract (the
+// return is typed any so internal/core stays independent of internal/dnn,
+// like ChainLauncher in fusion.go): it returns a launcher view of this
+// runtime serving exactly one concurrent layer invocation of an operator
+// DAG schedule.
+func (r *Runtime) ForkLayerSession() any { return &LayerSession{r: r} }
+
+// LayerSession is a per-invocation view of a Runtime for concurrent
+// operator-DAG dispatch. It keeps the current key and plan privately, so
+// sessions never race on the runtime's single current/currentPlan slot,
+// and it resolves plans from the analyzer cache only — a session never
+// opens a profiling window, which is why DAG execution is gated on
+// DAGReady: unprofiled layers must first run a serial iteration exactly
+// as a non-DAG run would.
+type LayerSession struct {
+	r    *Runtime
+	key  string
+	plan *Plan
+}
+
+// BeginLayer implements dnn.Launcher.
+func (s *LayerSession) BeginLayer(key string) {
+	s.key = key
+	s.plan = nil
+	if plan, ok := s.r.analyzer.Cached(key); ok {
+		s.plan = plan
+	}
+}
+
+// Launch implements dnn.Launcher; chain dispatch is charged to the
+// ledger's DAG counter.
+func (s *LayerSession) Launch(k *simgpu.Kernel, chain int) error {
+	return s.r.launchWith(s.key, s.plan, k, chain, true)
+}
+
+// Sync implements dnn.Launcher: the device-wide barrier (concurrent
+// sessions joining it is safe — the underlying synchronize is idempotent).
+func (s *LayerSession) Sync() error { return s.r.Sync() }
+
+// Width implements dnn.Launcher: the planned stream count for the
+// session's layer, 1 for unplanned layers. Width is part of the numeric
+// contract, and the cache the session reads holds exactly the plans a
+// serial run would use.
+func (s *LayerSession) Width() int {
+	if s.plan == nil || s.plan.Streams < 1 {
+		return 1
+	}
+	return s.plan.Streams
+}
+
+// DAGReady implements the dnn-side DAG gate: it reports whether every
+// given layer key has an analyzed concurrency plan, closing an open
+// profiling window first (the same collection BeginLayer performs on a
+// key's second sighting, just for all keys at once). Until it returns
+// true the net must execute in exact serial order — so the profiling
+// iteration, and therefore every plan and width, matches a serial run and
+// trained bits are unchanged.
+func (r *Runtime) DAGReady(keys []string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.finalizeLocked()
+	ready := true
+	for _, key := range keys {
+		if _, ok := r.analyzer.Cached(key); ok {
+			continue
+		}
+		if profile, ok := r.profiles[key]; ok {
+			r.analyzeLocked(profile)
+			continue
+		}
+		ready = false
+	}
+	return ready
+}
+
+// LayerConcurrencyCap implements the dnn-side capper: how many layer
+// sessions are worth running at once. Analyzer-informed: the device
+// co-executes at most MaxConcurrentKernels kernels and each session's
+// chains occupy up to its plan's stream share, so the cap is the kernel
+// budget divided by the widest non-degraded cached plan (at least 1).
+func (r *Runtime) LayerConcurrencyCap() int {
+	widest := 1
+	for _, p := range r.analyzer.Plans() {
+		if !p.Serial && p.Streams > widest {
+			widest = p.Streams
+		}
+	}
+	c := r.dev.Spec().MaxConcurrentKernels() / widest
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
 
 // UploadBytes models the host→device input copy on the default stream
 // (GLP4NN leaves data movement to the framework it integrates into).

@@ -1,0 +1,773 @@
+package dnn
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hostpool"
+	"repro/internal/tensor"
+)
+
+// This file is the operator-level DAG scheduler: the inter-layer
+// parallelism axis complementing GLP4NN's intra-layer batch splitting
+// (Opara-style operator parallelism). The no-in-place-tops invariant of
+// Builder.Add means every blob has exactly one producer, so the layer
+// dependency DAG is implicit in the net definition; ForwardDAG/BackwardDAG
+// recover it and dispatch every ready layer concurrently, while keeping
+// trained parameters bitwise identical to serial execution.
+//
+// The numeric contract (why DAG execution is convergence-invariant):
+//
+//   - Forward writes are naturally disjoint: each top has one producer and
+//     layer-internal state belongs to one layer. Only the host RNG is
+//     shared, so RNG-drawing layers are chained in insertion order.
+//   - Backward ACCUMULATES (+=) into bottom diffs, and ClearDiffs zeroes
+//     every diff first. A blob with one propagating consumer has one
+//     writer; a blob with several gets one of two treatments:
+//
+//     Scratch fold — if every consumer's backward is "add-once" (at most
+//     one += per bottom element, e.g. activations, eltwise, concat), each
+//     consumer accumulates into a private zeroed scratch diff leased from
+//     the tensor arena, and the scratches fold into the real diff in the
+//     exact serial consumer order (descending entry index). Bitwise
+//     equality holds because a single addition into a zeroed scratch
+//     reproduces the addend exactly: partial sums seeded at +0 can never
+//     become -0, and x+(+0) ≡ x+(-0) for every reachable x, so
+//     diff += (0+v) is bit-identical to diff += v.
+//
+//     Serialization edges — consumers that add more than once per element
+//     (conv's overlapping col2im, pooling windows, IP's per-k axpy) would
+//     reassociate the sum under scratch folding ((x⊕b₁)⊕b₂ ≠ x⊕(b₁⊕b₂)),
+//     so such consumer sets are chained in descending entry index order,
+//     which is exactly the serial backward order.
+//
+//   - Shared parameters (Siamese twins) always fold through multi-add GEMM
+//     paths, so their owning layers are serialization-chained, never
+//     scratch-folded.
+//   - Loss summation keeps insertion order, and ctx.Begin keys are
+//     unchanged, so profiling and replay see the same keys as serial runs.
+
+// dagSpec describes one layer for DAG construction. It is name-based (no
+// Layer or Blob references) so the builder can be property-tested on
+// synthetic nets.
+type dagSpec struct {
+	Name      string
+	Bottoms   []string
+	Tops      []string
+	Propagate []bool // per bottom; empty derives !inputs[bottom]
+	AddOnce   bool   // backward performs at most one += per bottom element
+	UsesRNG   bool   // forward draws from the shared host RNG
+}
+
+// dagNode is one layer's dependency record. All slices are sorted and
+// deduplicated; forward edges point from lower to higher entry index,
+// backward edges from higher to lower (builders add layers topologically).
+type dagNode struct {
+	fwdDeps, fwdSuccs []int
+	bwdDeps, bwdSuccs []int
+}
+
+// foldGroup is one shared bottom whose propagating consumers are all
+// add-once: each consumer gets a private zeroed scratch diff, folded into
+// the real diff in descending entry-index order (the serial order).
+type foldGroup struct {
+	blob      string
+	consumers []int // descending entry index
+}
+
+// DAGStats summarizes the inter-layer parallelism available in a net.
+type DAGStats struct {
+	// Layers is the number of layers (DAG nodes).
+	Layers int
+	// FwdDepth / BwdDepth are the critical path lengths in layers: the
+	// minimum number of sequential steps any scheduler needs.
+	FwdDepth, BwdDepth int
+	// MaxWavefront / MaxBwdWavefront are the widest set of layers that can
+	// execute concurrently (per dependency level).
+	MaxWavefront, MaxBwdWavefront int
+	// CriticalPath names the layers along one longest forward chain.
+	CriticalPath []string
+}
+
+func (s DAGStats) String() string {
+	return fmt.Sprintf("depth %d/%d layers, max wavefront %d (backward: depth %d, wavefront %d)",
+		s.FwdDepth, s.Layers, s.MaxWavefront, s.BwdDepth, s.MaxBwdWavefront)
+}
+
+// layerDAG is the built dependency graph of one net.
+type layerDAG struct {
+	specs []dagSpec
+	nodes []dagNode
+	folds []foldGroup
+	// nodeFolds maps a node index to the fold groups it feeds, so the
+	// scheduler can run each fold as soon as its last consumer finishes.
+	nodeFolds map[int][]int
+	stats     DAGStats
+	// fwdChain/bwdChain report a total order: the DAG offers no
+	// parallelism for that direction and the serial path runs instead.
+	fwdChain, bwdChain bool
+	fwdKeys, bwdKeys   []string
+}
+
+// edgeSet accumulates deduplicated edges per node.
+type edgeSet struct {
+	deps  []map[int]bool
+	succs []map[int]bool
+}
+
+func newEdgeSet(n int) *edgeSet {
+	return &edgeSet{deps: make([]map[int]bool, n), succs: make([]map[int]bool, n)}
+}
+
+func (e *edgeSet) add(from, to int) {
+	if from == to {
+		return
+	}
+	if e.succs[from] == nil {
+		e.succs[from] = map[int]bool{}
+	}
+	if e.deps[to] == nil {
+		e.deps[to] = map[int]bool{}
+	}
+	e.succs[from][to] = true
+	e.deps[to][from] = true
+}
+
+func sortedKeys(m map[int]bool) []int {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// buildLayerDAG validates the specs and constructs the dependency graph.
+// Specs must be in topological (definition) order, like prototxt files and
+// Builder.Add: a bottom must be an input or the top of an earlier spec.
+// Duplicate tops, undefined bottoms and forward references (which any cycle
+// must contain) are rejected with a descriptive error. paramGroups lists
+// sets of spec indexes that share parameter blobs; each set is
+// serialization-chained in the backward graph.
+func buildLayerDAG(specs []dagSpec, inputs map[string]bool, paramGroups [][]int) (*layerDAG, error) {
+	n := len(specs)
+	producer := map[string]int{}
+	for i, sp := range specs {
+		for _, t := range sp.Tops {
+			if inputs[t] {
+				return nil, fmt.Errorf("dag: layer %q top %q is an input blob", sp.Name, t)
+			}
+			if p, dup := producer[t]; dup {
+				return nil, fmt.Errorf("dag: blob %q produced twice (layers %q and %q)",
+					t, specs[p].Name, sp.Name)
+			}
+			producer[t] = i
+		}
+	}
+
+	fwd := newEdgeSet(n)
+	bwd := newEdgeSet(n)
+	// propCons collects, per non-input blob, the distinct consumers that
+	// propagate a gradient into it; propMulti flags a consumer listing the
+	// same blob more than once (two += per element — not add-once for that
+	// blob even if the layer is).
+	propCons := map[string][]int{}
+	propMulti := map[string]bool{}
+
+	for i := range specs {
+		sp := &specs[i]
+		if len(sp.Propagate) != 0 && len(sp.Propagate) != len(sp.Bottoms) {
+			return nil, fmt.Errorf("dag: layer %q has %d bottoms but %d propagate flags",
+				sp.Name, len(sp.Bottoms), len(sp.Propagate))
+		}
+		seen := map[string]bool{}
+		for bi, b := range sp.Bottoms {
+			if inputs[b] {
+				continue
+			}
+			p, ok := producer[b]
+			if !ok {
+				return nil, fmt.Errorf("dag: layer %q bottom %q is not an input or any layer's top", sp.Name, b)
+			}
+			if p >= i {
+				return nil, fmt.Errorf("dag: layer %q bottom %q is produced by later layer %q (cycle or out-of-order definition)",
+					sp.Name, b, specs[p].Name)
+			}
+			fwd.add(p, i)
+			prop := true
+			if len(sp.Propagate) != 0 {
+				prop = sp.Propagate[bi]
+			}
+			if !prop {
+				continue
+			}
+			// The consumer's backward writes b's diff, which the
+			// producer's backward reads.
+			bwd.add(i, p)
+			if seen[b] {
+				propMulti[b] = true
+				continue
+			}
+			seen[b] = true
+			propCons[b] = append(propCons[b], i)
+		}
+	}
+
+	// Shared-bottom policy: scratch fold when every propagating consumer is
+	// add-once, serialization edges (descending entry index, the serial
+	// backward order) otherwise.
+	var folds []foldGroup
+	blobs := make([]string, 0, len(propCons))
+	for b, cons := range propCons {
+		if len(cons) > 1 || (len(cons) > 0 && propMulti[b]) {
+			blobs = append(blobs, b)
+		}
+	}
+	sort.Strings(blobs)
+	for _, b := range blobs {
+		cons := append([]int(nil), propCons[b]...)
+		sort.Sort(sort.Reverse(sort.IntSlice(cons)))
+		fold := !propMulti[b]
+		for _, c := range cons {
+			if !specs[c].AddOnce {
+				fold = false
+			}
+		}
+		if fold {
+			folds = append(folds, foldGroup{blob: b, consumers: cons})
+			continue
+		}
+		for j := 0; j+1 < len(cons); j++ {
+			bwd.add(cons[j], cons[j+1])
+		}
+	}
+
+	// Shared parameters: the owners' backward passes all accumulate into
+	// the same parameter diffs through multi-add GEMM paths, so they are
+	// chained in descending entry index order.
+	for _, group := range paramGroups {
+		g := append([]int(nil), group...)
+		sort.Sort(sort.Reverse(sort.IntSlice(g)))
+		for j := 0; j+1 < len(g); j++ {
+			if g[j] < 0 || g[j] >= n || g[j+1] < 0 {
+				return nil, fmt.Errorf("dag: parameter group index out of range: %v", group)
+			}
+			bwd.add(g[j], g[j+1])
+		}
+	}
+
+	// The host RNG is shared mutable state: forward invocations that draw
+	// from it are chained in insertion order so the draw sequence matches
+	// serial execution exactly.
+	prevRNG := -1
+	for i := range specs {
+		if !specs[i].UsesRNG {
+			continue
+		}
+		if prevRNG >= 0 {
+			fwd.add(prevRNG, i)
+		}
+		prevRNG = i
+	}
+
+	d := &layerDAG{specs: specs, folds: folds, nodeFolds: map[int][]int{}}
+	d.nodes = make([]dagNode, n)
+	for i := range d.nodes {
+		d.nodes[i] = dagNode{
+			fwdDeps: sortedKeys(fwd.deps[i]), fwdSuccs: sortedKeys(fwd.succs[i]),
+			bwdDeps: sortedKeys(bwd.deps[i]), bwdSuccs: sortedKeys(bwd.succs[i]),
+		}
+	}
+	for fi, g := range folds {
+		for _, c := range g.consumers {
+			d.nodeFolds[c] = append(d.nodeFolds[c], fi)
+		}
+	}
+	d.fwdKeys = make([]string, n)
+	d.bwdKeys = make([]string, n)
+	for i := range specs {
+		d.fwdKeys[i] = specs[i].Name + "/fwd"
+		d.bwdKeys[i] = specs[i].Name + "/bwd"
+	}
+	d.computeStats()
+	return d, nil
+}
+
+// computeStats derives depth, wavefront and critical path from the edges.
+// A direction whose max wavefront is 1 is a total order (each dependency
+// level holds exactly one node, and consecutive levels must be connected),
+// and is flagged as a chain so the scheduler can fall back to the exact
+// serial loop.
+func (d *layerDAG) computeStats() {
+	n := len(d.nodes)
+	d.stats = DAGStats{Layers: n}
+	if n == 0 {
+		d.fwdChain, d.bwdChain = true, true
+		return
+	}
+
+	// Forward: dependencies have lower indexes, so ascending order is a
+	// topological order.
+	lvl := make([]int, n)
+	pred := make([]int, n)
+	for i := 0; i < n; i++ {
+		lvl[i], pred[i] = 1, -1
+		for _, dep := range d.nodes[i].fwdDeps {
+			if lvl[dep]+1 > lvl[i] {
+				lvl[i] = lvl[dep] + 1
+				pred[i] = dep
+			}
+		}
+	}
+	width := map[int]int{}
+	deepest := 0
+	for i := 0; i < n; i++ {
+		width[lvl[i]]++
+		if lvl[i] > lvl[deepest] {
+			deepest = i
+		}
+	}
+	for _, w := range width {
+		if w > d.stats.MaxWavefront {
+			d.stats.MaxWavefront = w
+		}
+	}
+	d.stats.FwdDepth = lvl[deepest]
+	for i := deepest; i >= 0; i = pred[i] {
+		d.stats.CriticalPath = append(d.stats.CriticalPath, d.specs[i].Name)
+	}
+	for l, r := 0, len(d.stats.CriticalPath)-1; l < r; l, r = l+1, r-1 {
+		d.stats.CriticalPath[l], d.stats.CriticalPath[r] = d.stats.CriticalPath[r], d.stats.CriticalPath[l]
+	}
+
+	// Backward: dependencies have higher indexes, so descending order is a
+	// topological order.
+	blvl := make([]int, n)
+	bwidth := map[int]int{}
+	for i := n - 1; i >= 0; i-- {
+		blvl[i] = 1
+		for _, dep := range d.nodes[i].bwdDeps {
+			if blvl[dep]+1 > blvl[i] {
+				blvl[i] = blvl[dep] + 1
+			}
+		}
+		bwidth[blvl[i]]++
+		if blvl[i] > d.stats.BwdDepth {
+			d.stats.BwdDepth = blvl[i]
+		}
+	}
+	for _, w := range bwidth {
+		if w > d.stats.MaxBwdWavefront {
+			d.stats.MaxBwdWavefront = w
+		}
+	}
+
+	d.fwdChain = d.stats.MaxWavefront <= 1
+	d.bwdChain = d.stats.MaxBwdWavefront <= 1
+}
+
+// LayerSessionForker is implemented by launchers that can serve several
+// layer invocations concurrently. ForkLayerSession returns a
+// per-invocation launcher whose BeginLayer/Launch/Width state is private,
+// so concurrent DAG nodes do not race on the shared launcher. The result
+// is typed any so implementing packages need not import this one
+// (mirroring core's ChainLauncher); it must implement Launcher, and forks
+// must be safe to use concurrently with each other and with the parent.
+type LayerSessionForker interface {
+	ForkLayerSession() any
+}
+
+// DAGGate is implemented by launchers whose concurrency plans come from a
+// serial profiling iteration (GLP4NN's runtime). DAGReady reports whether
+// every given layer key has an analyzed plan; until then the net runs the
+// exact serial order, so the profiling iteration — and therefore every
+// plan, width, and trained bit — matches a serial run.
+type DAGGate interface {
+	DAGReady(keys []string) bool
+}
+
+// ConcurrencyCapper is implemented by launchers that bound how many layer
+// sessions are worth running at once (GLP4NN's runtime derives it from the
+// device's concurrent-kernel budget and the widest analyzed plan). The cap
+// changes scheduling throughput only, never results: any topological
+// execution order yields identical bits by construction.
+type ConcurrencyCapper interface {
+	LayerConcurrencyCap() int
+}
+
+// ForkLayerSession implements LayerSessionForker: HostLauncher is
+// stateless, so every session is the launcher itself.
+func (HostLauncher) ForkLayerSession() any { return HostLauncher{} }
+
+// ForkLayerSession implements LayerSessionForker: SerialLauncher holds no
+// per-layer state and the device serializes internally, so every session
+// is the launcher itself.
+func (l SerialLauncher) ForkLayerSession() any { return l }
+
+// addOnceLayer marks layers whose Backward performs at most one += per
+// bottom-diff element (see the numeric contract at the top of this file).
+// Layers without the marker — conv (overlapping col2im), pooling
+// (overlapping windows), IP (per-k axpy), LRN, RNN — default to
+// serialization edges when they share a bottom.
+type addOnceLayer interface {
+	addOnceBackward()
+}
+
+// hostRNGLayer marks layers whose Forward draws from ctx.RNG.
+type hostRNGLayer interface {
+	usesHostRNG()
+}
+
+// The add-once census. Each marked Backward was audited to write every
+// bottom-diff element at most once:
+// activations/softmax/flatten/dropout scale or mask the top diff
+// elementwise; concat/slice copy disjoint ranges; eltwise writes each
+// bottom once (sum/prod) or only the arg-max bottom (max); the loss layers
+// write each logit/feature element once; accuracy's backward is a no-op.
+func (*ReLULayer) addOnceBackward()            {}
+func (*SigmoidLayer) addOnceBackward()         {}
+func (*TanHLayer) addOnceBackward()            {}
+func (*ELULayer) addOnceBackward()             {}
+func (*SoftmaxLayer) addOnceBackward()         {}
+func (*FlattenLayer) addOnceBackward()         {}
+func (*DropoutLayer) addOnceBackward()         {}
+func (*ConcatLayer) addOnceBackward()          {}
+func (*SliceLayer) addOnceBackward()           {}
+func (*EltwiseLayer) addOnceBackward()         {}
+func (*SoftmaxLossLayer) addOnceBackward()     {}
+func (*EuclideanLossLayer) addOnceBackward()   {}
+func (*ContrastiveLossLayer) addOnceBackward() {}
+func (*AccuracyLayer) addOnceBackward()        {}
+
+func (*DropoutLayer) usesHostRNG() {}
+
+// EnableDAG switches the net between serial execution and the operator
+// DAG scheduler. With DAG on, Forward and Backward dispatch independent
+// layers concurrently whenever the launcher supports concurrent sessions
+// (LayerSessionForker) and the DAG offers parallelism; otherwise they run
+// the exact serial order. Trained parameters are bitwise identical either
+// way.
+func (n *Net) EnableDAG(on bool) { n.dagOn = on }
+
+// DAGEnabled reports whether the operator DAG scheduler is active.
+func (n *Net) DAGEnabled() bool { return n.dagOn }
+
+// DAGStats builds (or reuses) the net's dependency DAG and returns its
+// parallelism statistics.
+func (n *Net) DAGStats() (DAGStats, error) {
+	d, err := n.ensureDAG()
+	if err != nil {
+		return DAGStats{}, err
+	}
+	return d.stats, nil
+}
+
+// invalidateDAG drops the cached DAG; called when the dependency structure
+// changes after construction (parameter sharing).
+func (n *Net) invalidateDAG() {
+	n.dag = nil
+	n.dagErr = nil
+}
+
+// ensureDAG lazily builds and caches the net's dependency DAG.
+func (n *Net) ensureDAG() (*layerDAG, error) {
+	if n.dag == nil && n.dagErr == nil {
+		n.dag, n.dagErr = n.buildDAG()
+	}
+	return n.dag, n.dagErr
+}
+
+// buildDAG derives the dagSpecs and shared-parameter groups from the
+// net's entries and constructs the DAG.
+func (n *Net) buildDAG() (*layerDAG, error) {
+	specs := make([]dagSpec, len(n.entries))
+	for i := range n.entries {
+		e := &n.entries[i]
+		_, addOnce := e.layer.(addOnceLayer)
+		_, rng := e.layer.(hostRNGLayer)
+		specs[i] = dagSpec{
+			Name:      e.layer.Name(),
+			Bottoms:   e.bottoms,
+			Tops:      e.tops,
+			Propagate: e.propagate,
+			AddOnce:   addOnce,
+			UsesRNG:   rng,
+		}
+	}
+	// Parameter blobs shared by several layers (Siamese twins via
+	// ShareParams) serialize their owners' backward passes. Owners append
+	// in entry order, so each group is already ascending.
+	owners := map[*Blob][]int{}
+	for i := range n.entries {
+		for _, p := range n.entries[i].layer.Params() {
+			owners[p] = append(owners[p], i)
+		}
+	}
+	var groups [][]int
+	dedup := map[string]bool{}
+	for _, g := range owners {
+		if len(g) < 2 {
+			continue
+		}
+		key := fmt.Sprint(g)
+		if dedup[key] {
+			continue
+		}
+		dedup[key] = true
+		groups = append(groups, g)
+	}
+	return buildLayerDAG(specs, n.inputs, groups)
+}
+
+// dagRunnable reports whether the DAG path applies for this context and
+// direction; when false the caller runs the exact serial loop.
+func (n *Net) dagRunnable(ctx *Context, d *layerDAG, backward bool) bool {
+	if backward && d.bwdChain || !backward && d.fwdChain {
+		return false
+	}
+	if _, ok := ctx.L.(LayerSessionForker); !ok {
+		return false
+	}
+	if gate, ok := ctx.L.(DAGGate); ok {
+		keys := d.fwdKeys
+		if backward {
+			keys = d.bwdKeys
+		}
+		if !gate.DAGReady(keys) {
+			return false
+		}
+	}
+	return true
+}
+
+// ForwardDAG runs the forward pass through the DAG scheduler (serial
+// fallback when the DAG is a chain or the launcher cannot fork sessions)
+// and returns the weighted loss summed in insertion order, exactly like
+// Forward.
+func (n *Net) ForwardDAG(ctx *Context) (float64, error) {
+	if !n.built {
+		return 0, fmt.Errorf("net %s: not built", n.name)
+	}
+	d, err := n.ensureDAG()
+	if err != nil {
+		return 0, fmt.Errorf("net %s: dag: %w", n.name, err)
+	}
+	if !n.dagRunnable(ctx, d, false) {
+		return n.forwardSerial(ctx)
+	}
+	if err := n.runDAG(ctx, d, false); err != nil {
+		return 0, err
+	}
+	loss := 0.0
+	for i := range n.entries {
+		e := &n.entries[i]
+		if ll, ok := e.layer.(LossLayer); ok {
+			loss += float64(ll.LossWeight()) * float64(e.topB[0].Data.Data()[0])
+		}
+	}
+	return loss, nil
+}
+
+// BackwardDAG runs the backward pass through the DAG scheduler (serial
+// fallback like ForwardDAG), accumulating gradients bitwise identically to
+// Backward.
+func (n *Net) BackwardDAG(ctx *Context) error {
+	if !n.built {
+		return fmt.Errorf("net %s: not built", n.name)
+	}
+	d, err := n.ensureDAG()
+	if err != nil {
+		return fmt.Errorf("net %s: dag: %w", n.name, err)
+	}
+	if !n.dagRunnable(ctx, d, true) {
+		return n.backwardSerial(ctx)
+	}
+	return n.runDAG(ctx, d, true)
+}
+
+// foldScratch is the per-run state of one foldGroup: a private shadow blob
+// (shared data, scratch diff) per consumer, folded into the real diff in
+// the group's descending-entry order when the last consumer finishes.
+type foldScratch struct {
+	dst       *Blob
+	shadows   []*Blob // parallel to foldGroup.consumers (descending order)
+	remaining int
+}
+
+// runDAG executes one direction of the net with a dependency-counter
+// scheduler: every layer whose dependencies (and, in backward, whose
+// consumers' scratch folds) have completed is dispatched onto a detached
+// hostpool task; its kernel chains ride the context's pool lanes and its
+// streams come from a forked launcher session. Ready layers dispatch in
+// ascending entry-index order, bounded by the launcher's concurrency cap.
+func (n *Net) runDAG(ctx *Context, d *layerDAG, backward bool) error {
+	forker := ctx.L.(LayerSessionForker) // checked by dagRunnable
+
+	nNodes := len(d.nodes)
+	deps := make([]int, nNodes)
+	for i := range d.nodes {
+		if backward {
+			deps[i] = len(d.nodes[i].bwdDeps)
+		} else {
+			deps[i] = len(d.nodes[i].fwdDeps)
+		}
+	}
+
+	// Lease and substitute shared-bottom scratch diffs.
+	var folds []*foldScratch
+	var bufs []*tensor.Buf
+	bottoms := make([][]*Blob, nNodes)
+	if backward && ctx.Compute && len(d.folds) > 0 {
+		defer func() { tensor.PutBufs(bufs) }()
+		for _, g := range d.folds {
+			blob := n.blobs[g.blob]
+			fs := &foldScratch{dst: blob, remaining: len(g.consumers)}
+			for _, c := range g.consumers {
+				buf := tensor.GetZeroBuf(blob.Count())
+				bufs = append(bufs, buf)
+				shadow := &Blob{
+					Name: blob.Name, Data: blob.Data,
+					Diff:   tensor.FromSlice(buf.Data, blob.Shape()...),
+					LrMult: blob.LrMult, DecayMult: blob.DecayMult,
+				}
+				fs.shadows = append(fs.shadows, shadow)
+				if bottoms[c] == nil {
+					bottoms[c] = append([]*Blob(nil), n.entries[c].bottomB...)
+				}
+				for bi, name := range n.entries[c].bottoms {
+					if name == g.blob {
+						bottoms[c][bi] = shadow
+					}
+				}
+			}
+			folds = append(folds, fs)
+		}
+	}
+
+	capN := d.stats.MaxWavefront
+	if backward {
+		capN = d.stats.MaxBwdWavefront
+	}
+	if c, ok := ctx.L.(ConcurrencyCapper); ok {
+		if m := c.LayerConcurrencyCap(); m > 0 && m < capN {
+			capN = m
+		}
+	}
+	if capN < 1 {
+		capN = 1
+	}
+
+	var ready []int // ascending entry index
+	push := func(id int) {
+		at := sort.SearchInts(ready, id)
+		ready = append(ready, 0)
+		copy(ready[at+1:], ready[at:])
+		ready[at] = id
+	}
+	for i := 0; i < nNodes; i++ {
+		if deps[i] == 0 {
+			push(i)
+		}
+	}
+
+	group := hostpool.NewGroup(nNodes)
+	running, finished := 0, 0
+	var firstErr error
+	for finished < nNodes {
+		if firstErr == nil {
+			for len(ready) > 0 && running < capN {
+				id := ready[0]
+				ready = ready[1:]
+				running++
+				nb := bottoms[id]
+				group.Go(id, func() error { return n.runDAGNode(ctx, forker, id, backward, nb) })
+			}
+		}
+		if running == 0 {
+			if firstErr == nil {
+				// Unreachable for a validated DAG; fail loudly over hanging.
+				firstErr = fmt.Errorf("net %s: dag scheduler stalled with %d/%d layers done",
+					n.name, finished, nNodes)
+			}
+			break
+		}
+		res := group.Next()
+		running--
+		finished++
+		if res.Err != nil {
+			if firstErr == nil {
+				firstErr = res.Err
+			}
+			continue
+		}
+		if firstErr != nil {
+			continue // drain in-flight nodes, dispatch nothing new
+		}
+		// Scratch folds run on the scheduler goroutine the moment their
+		// last consumer completes — and before that completion releases
+		// the producer below, so the producer always reads a folded diff.
+		// folds is empty on forward and timing-only runs (no scratch leased).
+		if len(folds) > 0 {
+			for _, fi := range d.nodeFolds[res.ID] {
+				fs := folds[fi]
+				if fs.remaining--; fs.remaining == 0 {
+					dst := fs.dst.Diff.Data()
+					for _, sh := range fs.shadows {
+						src := sh.Diff.Data()
+						for i, v := range src {
+							dst[i] += v
+						}
+					}
+				}
+			}
+		}
+		succs := d.nodes[res.ID].fwdSuccs
+		if backward {
+			succs = d.nodes[res.ID].bwdSuccs
+		}
+		for _, s := range succs {
+			if deps[s]--; deps[s] == 0 {
+				push(s)
+			}
+		}
+	}
+	return firstErr
+}
+
+// runDAGNode executes one layer invocation on a private context: a forked
+// launcher session and a private chain set, sharing the phase, RNG,
+// compute flag and host pool with the parent.
+func (n *Net) runDAGNode(ctx *Context, forker LayerSessionForker, id int, backward bool, bottomB []*Blob) error {
+	e := &n.entries[id]
+	sub, ok := forker.ForkLayerSession().(Launcher)
+	if !ok {
+		return fmt.Errorf("net %s: launcher %T forked a session that is not a Launcher", n.name, ctx.L)
+	}
+	nctx := &Context{L: sub, Phase: ctx.Phase, RNG: ctx.RNG, Compute: ctx.Compute, Pool: ctx.Pool}
+	var err error
+	if backward {
+		if bottomB == nil {
+			bottomB = e.bottomB
+		}
+		nctx.Begin(e.layer.Name() + "/bwd")
+		if err = e.layer.Backward(nctx, e.topB, e.propagate, bottomB); err != nil {
+			err = fmt.Errorf("net %s: backward %s: %w", n.name, e.layer.Name(), err)
+		}
+	} else {
+		nctx.Begin(e.layer.Name() + "/fwd")
+		if err = e.layer.Forward(nctx, e.bottomB, e.topB); err != nil {
+			err = fmt.Errorf("net %s: forward %s: %w", n.name, e.layer.Name(), err)
+		}
+	}
+	// Layers end with ctx.Barrier(), which already drained the private
+	// chain set; this covers layers (or error paths) that bailed out with
+	// closures still in flight, so no kernel can outlive the node and race
+	// a dependent layer or a released scratch buffer.
+	if derr := nctx.drainChains(); derr != nil && err == nil {
+		err = fmt.Errorf("net %s: %s chains: %w", n.name, e.layer.Name(), derr)
+	}
+	return err
+}

@@ -24,6 +24,13 @@ type Net struct {
 	inputs  map[string]bool
 	entries []entry
 	built   bool
+
+	// Operator DAG scheduler state (see dag.go): dagOn routes
+	// Forward/Backward through ForwardDAG/BackwardDAG; dag/dagErr cache
+	// the lazily built dependency graph.
+	dagOn  bool
+	dag    *layerDAG
+	dagErr error
 }
 
 // Name returns the net's name.
@@ -115,8 +122,20 @@ func (n *Net) ClearDiffs() {
 
 // Forward runs all layers and returns the weighted sum of loss-layer
 // outputs. With ctx.Compute disabled the returned loss is meaningless (the
-// kernel stream is still exact).
+// kernel stream is still exact). With EnableDAG(true) independent layers
+// execute concurrently through the operator DAG scheduler; trained
+// numerics are bitwise identical either way.
 func (n *Net) Forward(ctx *Context) (float64, error) {
+	if n.dagOn {
+		return n.ForwardDAG(ctx)
+	}
+	return n.forwardSerial(ctx)
+}
+
+// forwardSerial is the exact insertion-order forward pass — the numeric
+// reference the DAG path must reproduce bit for bit, and the path every
+// profiling iteration takes.
+func (n *Net) forwardSerial(ctx *Context) (float64, error) {
 	if !n.built {
 		return 0, fmt.Errorf("net %s: not built", n.name)
 	}
@@ -134,8 +153,19 @@ func (n *Net) Forward(ctx *Context) (float64, error) {
 	return loss, nil
 }
 
-// Backward runs all layers in reverse, accumulating gradients.
+// Backward runs all layers in reverse, accumulating gradients. With
+// EnableDAG(true) it routes through the operator DAG scheduler.
 func (n *Net) Backward(ctx *Context) error {
+	if n.dagOn {
+		return n.BackwardDAG(ctx)
+	}
+	return n.backwardSerial(ctx)
+}
+
+// backwardSerial is the exact reverse-insertion-order backward pass — the
+// fold order the DAG path's serialization edges and scratch folds
+// reproduce.
+func (n *Net) backwardSerial(ctx *Context) error {
 	if !n.built {
 		return fmt.Errorf("net %s: not built", n.name)
 	}
@@ -182,7 +212,13 @@ func (n *Net) ShareParams(src, dst string) error {
 	if !ok {
 		return fmt.Errorf("net %s: layer %q cannot share parameters", n.name, dst)
 	}
-	return sharer.ShareParamsWith(s)
+	if err := sharer.ShareParamsWith(s); err != nil {
+		return err
+	}
+	// Sharing adds backward serialization edges between the owners; a
+	// cached DAG would miss them.
+	n.invalidateDAG()
+	return nil
 }
 
 // ParamSharer is implemented by layers that support Caffe-style parameter
@@ -324,5 +360,9 @@ func (n *Net) Summary() string {
 			e.layer.Name(), e.layer.Type(), strings.Join(e.bottoms, ","), strings.Join(tops, ","))
 	}
 	fmt.Fprintf(&sb, "  total learnable parameters: %d\n", params)
+	if st, err := n.DAGStats(); err == nil && st.Layers > 0 {
+		fmt.Fprintf(&sb, "  inter-layer DAG: %s\n", st)
+		fmt.Fprintf(&sb, "  critical path: %s\n", strings.Join(st.CriticalPath, " → "))
+	}
 	return sb.String()
 }

@@ -250,3 +250,54 @@ func (cs *ChainSet) Wait() error {
 	cs.errMu.Unlock()
 	return errors.Join(errs...)
 }
+
+// Group runs detached orchestration tasks: goroutines that each drive one
+// unit of coordinated pool work — a DAG layer invocation submitting kernel
+// chains — and block until that work has drained. Such tasks must not hold
+// pool slots themselves: a slot-holding task waiting on its own chain
+// closures would deadlock a fully loaded pool, so Group goroutines run
+// outside the slot budget and only the chain closures they submit occupy
+// slots. Panics are converted to errors like chain tasks. Completions are
+// consumed one at a time with Next, so a scheduler can release dependent
+// work the moment a task finishes while the rest are still running.
+type Group struct {
+	done chan GroupResult
+}
+
+// GroupResult is one finished Group task.
+type GroupResult struct {
+	ID  int
+	Err error
+}
+
+// NewGroup builds a task group. capacity must be at least the number of
+// tasks that may finish before the owner consumes their results with Next
+// (the total task count is always safe); Go never blocks within it.
+func NewGroup(capacity int) *Group {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Group{done: make(chan GroupResult, capacity)}
+}
+
+// Go starts fn on a dedicated goroutine outside the pool's slot budget. The
+// task's completion (with its error, or its panic converted to an error) is
+// delivered through Next.
+func (g *Group) Go(id int, fn func() error) {
+	go func() {
+		var err error
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("hostpool: group task %d panic: %v", id, r)
+				}
+			}()
+			err = fn()
+		}()
+		g.done <- GroupResult{ID: id, Err: err}
+	}()
+}
+
+// Next blocks until one started task finishes and returns its result. The
+// owner must call Next exactly once per Go.
+func (g *Group) Next() GroupResult { return <-g.done }

@@ -267,3 +267,67 @@ func TestRunSingleTaskPanic(t *testing.T) {
 		t.Fatalf("single-task panic not captured: %v", err)
 	}
 }
+
+// TestGroupCompletion: every Go gets exactly one Next result, errors
+// included, in completion (not submission) order.
+func TestGroupCompletion(t *testing.T) {
+	g := NewGroup(8)
+	for i := 0; i < 8; i++ {
+		i := i
+		g.Go(i, func() error {
+			if i%3 == 0 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+	}
+	seen := map[int]bool{}
+	errs := 0
+	for i := 0; i < 8; i++ {
+		res := g.Next()
+		if seen[res.ID] {
+			t.Fatalf("task %d reported twice", res.ID)
+		}
+		seen[res.ID] = true
+		if res.Err != nil {
+			errs++
+		}
+	}
+	if len(seen) != 8 || errs != 3 {
+		t.Fatalf("saw %d tasks, %d errors", len(seen), errs)
+	}
+}
+
+// TestGroupPanicBecomesError: a panicking group task surfaces as an error
+// result instead of crashing the process.
+func TestGroupPanicBecomesError(t *testing.T) {
+	g := NewGroup(1)
+	g.Go(7, func() error { panic("boom") })
+	res := g.Next()
+	if res.ID != 7 || res.Err == nil || !strings.Contains(res.Err.Error(), "boom") {
+		t.Fatalf("panic not converted: %+v", res)
+	}
+}
+
+// TestGroupDetachedFromPool: group tasks must make progress while every
+// pool slot is blocked waiting on chains the group tasks submit — the
+// deadlock scenario the detached design exists to avoid.
+func TestGroupDetachedFromPool(t *testing.T) {
+	p := New(2)
+	g := NewGroup(4)
+	for i := 0; i < 4; i++ {
+		i := i
+		g.Go(i, func() error {
+			cs := p.NewChainSet(2)
+			for c := 0; c < 2; c++ {
+				cs.Submit(c, func() {})
+			}
+			return cs.Wait()
+		})
+	}
+	for i := 0; i < 4; i++ {
+		if res := g.Next(); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+}

@@ -26,10 +26,20 @@ func (hostWidthLauncher) Sync() error { return nil }
 
 func (l hostWidthLauncher) Width() int { return l.w }
 
+// ForkLayerSession lets the operator DAG scheduler run concurrent layer
+// sessions over this launcher (it is stateless, so the fork is itself).
+func (l hostWidthLauncher) ForkLayerSession() any { return l }
+
 // trainWorkload trains a workload for `steps` solver iterations at the given
 // launcher width, optionally offloading chain closures to a worker pool, and
 // returns the final parameters.
 func trainWorkload(t *testing.T, name string, batch, width, steps int, pool *hostpool.Pool) [][]float32 {
+	return trainWorkloadDAG(t, name, batch, width, steps, pool, false)
+}
+
+// trainWorkloadDAG is trainWorkload with the operator DAG scheduler
+// switchable on.
+func trainWorkloadDAG(t *testing.T, name string, batch, width, steps int, pool *hostpool.Pool, dag bool) [][]float32 {
 	t.Helper()
 	w, err := Get(name)
 	if err != nil {
@@ -41,6 +51,7 @@ func trainWorkload(t *testing.T, name string, batch, width, steps int, pool *hos
 	if err != nil {
 		t.Fatal(err)
 	}
+	net.EnableDAG(dag)
 	feed := w.NewFeeder(batch, 6)
 	s := dnn.NewSolver(net, ctx, dnn.SolverConfig{BaseLR: 0.001, Momentum: 0.9, WeightDecay: 0.001})
 	for i := 0; i < steps; i++ {
@@ -82,20 +93,56 @@ func TestConvergenceInvariance(t *testing.T) {
 		t.Run(c.name, func(t *testing.T) {
 			serial := trainWorkload(t, c.name, c.batch, c.width, c.steps, nil)
 			pooled := trainWorkload(t, c.name, c.batch, c.width, c.steps, hostpool.New(4))
-			if len(serial) != len(pooled) {
-				t.Fatalf("param count mismatch: %d vs %d", len(serial), len(pooled))
+			assertParamsBitwiseEqual(t, c.name, "pooled", serial, pooled)
+		})
+	}
+}
+
+func assertParamsBitwiseEqual(t *testing.T, workload, variant string, serial, other [][]float32) {
+	t.Helper()
+	if len(serial) != len(other) {
+		t.Fatalf("param count mismatch: %d vs %d", len(serial), len(other))
+	}
+	for i := range serial {
+		if len(serial[i]) != len(other[i]) {
+			t.Fatalf("param %d length mismatch", i)
+		}
+		for j := range serial[i] {
+			if math.Float32bits(serial[i][j]) != math.Float32bits(other[i][j]) {
+				t.Fatalf("%s: param %d[%d] differs: serial %v %s %v",
+					workload, i, j, serial[i][j], variant, other[i][j])
 			}
-			for i := range serial {
-				if len(serial[i]) != len(pooled[i]) {
-					t.Fatalf("param %d length mismatch", i)
-				}
-				for j := range serial[i] {
-					if math.Float32bits(serial[i][j]) != math.Float32bits(pooled[i][j]) {
-						t.Fatalf("%s: param %d[%d] differs: serial %v pooled %v",
-							c.name, i, j, serial[i][j], pooled[i][j])
-					}
-				}
-			}
+		}
+	}
+}
+
+// TestDAGConvergenceInvariance extends the invariance gate to the operator
+// DAG scheduler: executing independent layers concurrently (with and
+// without the host pool underneath) must leave the trained parameters of
+// all four evaluated workloads bitwise identical to the serial schedule.
+// CIFAR10 and CaffeNet are pure chains (the serial-fallback path);
+// Siamese's twin branches run concurrently forward and serialize backward
+// through their shared parameters; GoogLeNet's inception branches run
+// concurrently in both directions.
+func TestDAGConvergenceInvariance(t *testing.T) {
+	cases := []struct {
+		name         string
+		batch, width int
+		steps        int
+	}{
+		{"CIFAR10", 4, 3, 2},
+		{"Siamese", 4, 3, 2},
+		{"CaffeNet", 2, 2, 1},
+		{"GoogLeNet", 4, 4, 2},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			serial := trainWorkload(t, c.name, c.batch, c.width, c.steps, nil)
+			dag := trainWorkloadDAG(t, c.name, c.batch, c.width, c.steps, nil, true)
+			assertParamsBitwiseEqual(t, c.name, "dag", serial, dag)
+			pooled := trainWorkloadDAG(t, c.name, c.batch, c.width, c.steps, hostpool.New(4), true)
+			assertParamsBitwiseEqual(t, c.name, "dag+pool", serial, pooled)
 		})
 	}
 }

@@ -92,6 +92,11 @@ type Config struct {
 	// error is rolled back to the checkpoint and re-run, up to this many
 	// times. Zero keeps the legacy fail-fast behavior.
 	StepRetries int
+	// DAG, when true, enables each replica's operator DAG scheduler:
+	// independent layers of one replica execute concurrently
+	// (dnn.Net.EnableDAG), on top of the replica-level and chain-level
+	// parallelism above. Trained parameters stay bitwise identical.
+	DAG bool
 }
 
 // NewTrainer builds one replica per machine device. The build function must
@@ -120,6 +125,9 @@ func NewTrainer(machine *simgpu.Machine, build BuildFunc, cfg Config) (*Trainer,
 		net, err := build(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("parallel: building replica on %s: %w", dev.Name(), err)
+		}
+		if cfg.DAG {
+			net.EnableDAG(true)
 		}
 		t.replicas = append(t.replicas, &replica{
 			dev:    dev,

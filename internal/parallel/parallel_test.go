@@ -176,3 +176,67 @@ func TestTrainerErrors(t *testing.T) {
 		t.Fatal("bad builder accepted")
 	}
 }
+
+// TestTrainerDAGInvariance: switching on the per-replica operator DAG
+// scheduler (Config.DAG) must not change a single trained bit, while the
+// ledger proves concurrent layer sessions actually dispatched. GoogLeNet
+// gives the DAG real inter-layer parallelism (inception branches).
+func TestTrainerDAGInvariance(t *testing.T) {
+	build := func(ctx *dnn.Context) (*dnn.Net, error) {
+		w, err := models.Get("GoogLeNet")
+		if err != nil {
+			return nil, err
+		}
+		return w.Build(ctx, 2, 7)
+	}
+	feed := func(replica int, net *dnn.Net) error {
+		w, _ := models.Get("GoogLeNet")
+		return w.NewFeeder(2, 19+int64(replica))(net)
+	}
+	train := func(dag bool) ([][]float32, int64) {
+		machine := simgpu.NewMachine(simgpu.TeslaP100, simgpu.TeslaP100)
+		tr, err := NewTrainer(machine, build, Config{
+			Solver:  dnn.SolverConfig{BaseLR: 0.001, Momentum: 0.9, WeightDecay: 0.001},
+			UseGLP:  true,
+			Compute: true,
+			Seed:    7,
+			DAG:     dag,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		for i := 0; i < 3; i++ { // step 1 profiles, 2 analyzes, 3 runs the DAG
+			if _, err := tr.Step(feed); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var out [][]float32
+		for _, p := range tr.Net(0).Params() {
+			out = append(out, append([]float32(nil), p.Data.Data()...))
+		}
+		var dagDispatches int64
+		for _, dev := range machine.Devices() {
+			dagDispatches += tr.Framework().Runtime(dev).Ledger().Snapshot().DAGDispatches
+		}
+		return out, dagDispatches
+	}
+	serial, sd := train(false)
+	dag, dd := train(true)
+	if sd != 0 {
+		t.Fatalf("serial trainer charged %d DAG dispatches", sd)
+	}
+	if dd == 0 {
+		t.Fatal("DAG trainer never dispatched through concurrent layer sessions")
+	}
+	if len(serial) != len(dag) {
+		t.Fatalf("param count mismatch: %d vs %d", len(serial), len(dag))
+	}
+	for i := range serial {
+		for j := range serial[i] {
+			if math.Float32bits(serial[i][j]) != math.Float32bits(dag[i][j]) {
+				t.Fatalf("param %d[%d] differs: serial %v dag %v", i, j, serial[i][j], dag[i][j])
+			}
+		}
+	}
+}
