@@ -12,7 +12,7 @@ MAINS := \
 	./examples/quickstart \
 	./examples/timeline
 
-.PHONY: tier1 vet build test race alloc bins bench bench-tensor bench-dag chaos clean
+.PHONY: tier1 vet build test race alloc bins bench bench-tensor bench-dag bench-input chaos clean
 
 # tier1 is the CI gate: vet, build, the full test suite under the race
 # detector (the host-side parallel engine must stay race-clean), the
@@ -35,10 +35,11 @@ race:
 	$(GO) test -race -timeout 45m ./...
 
 # The steady-state allocation contract (Gemm, Im2col/Col2im, the scratch
-# arena) must run without -race: race instrumentation skews the allocation
-# accounting, so the tests skip themselves under the race build.
+# arena, and a prefetched input batch end to end) must run without -race:
+# race instrumentation skews the allocation accounting, so the tests skip
+# themselves under the race build.
 alloc:
-	$(GO) test -run 'SteadyStateAllocs' ./internal/tensor
+	$(GO) test -run 'SteadyStateAllocs' ./internal/tensor ./internal/data
 
 bins:
 	@mkdir -p bin
@@ -68,6 +69,12 @@ bench-tensor:
 # wall-clock plus the bitwise parameter-identity check.
 bench-dag:
 	$(GO) run ./cmd/glp4nn-bench -exp dagpar
+
+# Asynchronous input pipeline experiment: per-workload feed stall with the
+# inline feeder vs the double-buffered prefetcher (copy-stream staging),
+# plus the bitwise parameter-identity check.
+bench-input:
+	$(GO) run ./cmd/glp4nn-bench -exp inputpipe -quick
 
 clean:
 	rm -rf bin

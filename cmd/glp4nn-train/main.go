@@ -31,6 +31,7 @@ func main() {
 		device  = flag.String("device", "P100", "simulated GPU: K40C, P100 or TitanXP")
 		useGLP  = flag.Bool("glp4nn", false, "train through GLP4NN instead of the serial baseline")
 		useDAG  = flag.Bool("dag", false, "execute independent layers concurrently (operator DAG scheduler; bits unchanged)")
+		prefFlg = flag.Bool("prefetch", false, "synthesize input batches asynchronously: double-buffered prefetch with copy-stream H2D staging (bits unchanged)")
 		compute = flag.Bool("compute", true, "run real math (disable for timing-only runs)")
 		seed    = flag.Int64("seed", 1, "seed")
 		every   = flag.Int("log-every", 5, "print loss every N iterations")
@@ -59,15 +60,16 @@ func main() {
 		fp.Seed = *seed
 	}
 
-	if _, err := run(os.Stdout, *netName, *batch, *iters, *device, *useGLP, *useDAG, *compute, *seed, *every, *trace, fp); err != nil {
+	if _, err := run(os.Stdout, *netName, *batch, *iters, *device, *useGLP, *useDAG, *prefFlg, *compute, *seed, *every, *trace, fp); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
 // run trains the workload and returns the final iteration's loss (0 for
-// timing-only runs), so tests can assert the -dag schedule changes no bits.
-func run(out io.Writer, netName string, batch, iters int, device string, useGLP, useDAG, compute bool, seed int64, every int, tracePath string, fp simgpu.FaultPlan) (float64, error) {
+// timing-only runs), so tests can assert the -dag and -prefetch schedules
+// change no bits.
+func run(out io.Writer, netName string, batch, iters int, device string, useGLP, useDAG, prefetch, compute bool, seed int64, every int, tracePath string, fp simgpu.FaultPlan) (float64, error) {
 	spec, ok := simgpu.DeviceByName(device)
 	if !ok {
 		return 0, fmt.Errorf("unknown device %q (have %v)", device, simgpu.CatalogNames())
@@ -103,7 +105,7 @@ func run(out io.Writer, netName string, batch, iters int, device string, useGLP,
 
 	ctx := dnn.NewContext(launcher, seed)
 	ctx.Compute = compute
-	fmt.Fprintf(out, "building %s (batch %d) for %s, glp4nn=%v dag=%v compute=%v\n", netName, batch, spec.Name, useGLP, useDAG, compute)
+	fmt.Fprintf(out, "building %s (batch %d) for %s, glp4nn=%v dag=%v prefetch=%v compute=%v\n", netName, batch, spec.Name, useGLP, useDAG, prefetch, compute)
 	net, err := w.Build(ctx, batch, seed)
 	if err != nil {
 		return 0, err
@@ -111,7 +113,22 @@ func run(out io.Writer, netName string, batch, iters int, device string, useGLP,
 	net.EnableDAG(useDAG)
 	fmt.Fprint(out, net.Summary())
 
+	// Same (batch, seed) → same batch stream, pipelined or not: that is
+	// the prefetcher's numeric contract, asserted by the CLI tests.
 	feed := w.NewFeeder(batch, seed+1)
+	var pipe *models.InputPipe
+	if prefetch {
+		cfg := models.PipeConfig{}
+		if fw != nil {
+			cfg.Observer = fw.Runtime(dev).Ledger()
+		}
+		pipe, err = models.NewInputPipe(netName, batch, seed+1, cfg)
+		if err != nil {
+			return 0, err
+		}
+		defer pipe.Close()
+		feed = pipe.Feed
+	}
 	solver := dnn.NewSolver(net, ctx, dnn.CIFAR10QuickSolver())
 
 	wallStart := time.Now()
@@ -126,8 +143,14 @@ func run(out io.Writer, netName string, batch, iters int, device string, useGLP,
 		if err := dev.ResetClocks(); err != nil {
 			return 0, err
 		}
-		// Model the input batch's host→device copy, like Caffe's data layer.
-		if err := net.UploadInputs(ctx); err != nil {
+		// Model the input batch's host→device copy, like Caffe's data
+		// layer — on the runtime's dedicated copy stream with -prefetch,
+		// so the transfer overlaps compute instead of preceding it.
+		if prefetch {
+			if err := net.StageInputs(ctx); err != nil {
+				return 0, err
+			}
+		} else if err := net.UploadInputs(ctx); err != nil {
 			return 0, err
 		}
 		loss, err := solver.Step()
@@ -170,6 +193,9 @@ func run(out io.Writer, netName string, batch, iters int, device string, useGLP,
 		fmt.Fprintf(out, "chrome trace of the final iteration written to %s\n", tracePath)
 	}
 
+	if pipe != nil {
+		fmt.Fprintf(out, "input pipeline: %s\n", pipe.Stats())
+	}
 	if injector != nil {
 		fmt.Fprintf(out, "injected faults: %s\n", injector.Stats())
 	}
@@ -177,6 +203,9 @@ func run(out io.Writer, netName string, batch, iters int, device string, useGLP,
 		rt := fw.Runtime(dev)
 		snap := rt.Ledger().Snapshot()
 		fmt.Fprintf(out, "glp4nn overhead: %s\n", snap)
+		if pipe != nil {
+			fmt.Fprintf(out, "glp4nn input pipeline: %s\n", snap.InputPipe())
+		}
 		if snap.Recoveries() > 0 {
 			fmt.Fprintf(out, "glp4nn recovery: %s\n", snap.Health())
 		}

@@ -15,11 +15,11 @@ import (
 // the serial baseline and the GLP4NN runtime.
 func TestDAGFlagLossIdentical(t *testing.T) {
 	for _, glp := range []bool{false, true} {
-		serial, err := run(io.Discard, "GoogLeNet", 2, 3, "P100", glp, false, true, 1, 0, "", simgpu.FaultPlan{})
+		serial, err := run(io.Discard, "GoogLeNet", 2, 3, "P100", glp, false, false, true, 1, 0, "", simgpu.FaultPlan{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		dag, err := run(io.Discard, "GoogLeNet", 2, 3, "P100", glp, true, true, 1, 0, "", simgpu.FaultPlan{})
+		dag, err := run(io.Discard, "GoogLeNet", 2, 3, "P100", glp, true, false, true, 1, 0, "", simgpu.FaultPlan{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -36,10 +36,71 @@ func TestDAGFlagLossIdentical(t *testing.T) {
 // concurrent-session dispatch count.
 func TestDAGFlagReportsDispatches(t *testing.T) {
 	var sb strings.Builder
-	if _, err := run(&sb, "GoogLeNet", 2, 3, "P100", true, true, true, 1, 0, "", simgpu.FaultPlan{}); err != nil {
+	if _, err := run(&sb, "GoogLeNet", 2, 3, "P100", true, true, false, true, 1, 0, "", simgpu.FaultPlan{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "operator DAG dispatches:") {
 		t.Fatalf("missing DAG dispatch report in output:\n%s", sb.String())
+	}
+}
+
+// TestPrefetchFlagLossIdentical is the CLI-level prefetch numeric contract:
+// -prefetch replaces the synchronous feeder with the asynchronous pipeline
+// and the copy-stream input staging path, and the final loss must not move
+// by a single bit — on every workload, under both the serial baseline and
+// the GLP4NN runtime.
+func TestPrefetchFlagLossIdentical(t *testing.T) {
+	for _, net := range []string{"CIFAR10", "Siamese", "CaffeNet", "GoogLeNet"} {
+		for _, glp := range []bool{false, true} {
+			serial, err := run(io.Discard, net, 2, 2, "P100", glp, false, false, true, 1, 0, "", simgpu.FaultPlan{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pre, err := run(io.Discard, net, 2, 2, "P100", glp, false, true, true, 1, 0, "", simgpu.FaultPlan{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(serial) != math.Float64bits(pre) {
+				t.Fatalf("%s glp4nn=%v: -prefetch changed the final loss: serial %v prefetch %v", net, glp, serial, pre)
+			}
+		}
+	}
+}
+
+// TestPrefetchFlagReportsPipeline: with -prefetch the run prints the
+// pipeline counters, and with -glp4nn additionally the ledger's view
+// (which includes copy-stream overlap time).
+func TestPrefetchFlagReportsPipeline(t *testing.T) {
+	var sb strings.Builder
+	if _, err := run(&sb, "CIFAR10", 4, 3, "P100", true, false, true, true, 1, 0, "", simgpu.FaultPlan{}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "input pipeline:") {
+		t.Fatalf("missing pipeline report in output:\n%s", out)
+	}
+	if !strings.Contains(out, "glp4nn input pipeline:") {
+		t.Fatalf("missing ledger pipeline report in output:\n%s", out)
+	}
+	if !strings.Contains(out, "copy-overlap=") {
+		t.Fatalf("missing copy-overlap counter in output:\n%s", out)
+	}
+}
+
+// TestPrefetchFlagUnderFaults: prefetch plus an aggressive memcpy/launch
+// fault schedule still converges to the fault-free loss — the copy stream's
+// retry/quarantine path and the runtime's self-healing keep bits intact.
+func TestPrefetchFlagUnderFaults(t *testing.T) {
+	clean, err := run(io.Discard, "CIFAR10", 4, 3, "P100", true, false, true, true, 1, 0, "", simgpu.FaultPlan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := simgpu.FaultPlan{Seed: 7, Memcpy: 0.3, Launch: 0.05, MaxFaults: 32}
+	faulty, err := run(io.Discard, "CIFAR10", 4, 3, "P100", true, false, true, true, 1, 0, "", fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(clean) != math.Float64bits(faulty) {
+		t.Fatalf("faults changed the prefetched loss: clean %v faulty %v", clean, faulty)
 	}
 }

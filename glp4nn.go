@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/data"
 	"repro/internal/dnn"
 	"repro/internal/hostpool"
 	"repro/internal/models"
@@ -98,6 +99,18 @@ type (
 
 	// Feeder fills a net's inputs with the next mini-batch.
 	Feeder = models.Feeder
+
+	// InputPipe is an asynchronous input pipeline for a workload: batch
+	// t+1 is synthesized on hostpool workers while batch t computes, and
+	// the delivered stream is bit-identical to the synchronous Feeder's.
+	InputPipe = models.InputPipe
+	// PipeConfig tunes an InputPipe (pool, observer, buffer depth).
+	PipeConfig = models.PipeConfig
+	// PipelineStats counts an input pipeline's hits and stalls.
+	PipelineStats = data.PipelineStats
+	// PrefetchObserver receives pipeline hit/stall events; a Runtime's
+	// *core.Ledger implements it.
+	PrefetchObserver = data.Observer
 
 	// DAGStats summarizes a network's operator-level dependency DAG:
 	// forward/backward depth, maximum wavefront (independent layers
@@ -213,6 +226,17 @@ func NewFeeder(name string, batch int, seed int64) (Feeder, error) {
 		return nil, err
 	}
 	return w.NewFeeder(batch, seed), nil
+}
+
+// WithPrefetch builds the asynchronous input pipeline for one of the four
+// workloads: the double-buffered, hostpool-parallel replacement for
+// NewFeeder, delivering bit-for-bit the same batch stream (convergence
+// invariance). Feed with pipe.Feed, stage the device copy with
+// Net.StageInputs (the GLP4NN runtime then overlaps it on a dedicated copy
+// stream), register the pipe in a parallel trainer's Config.Prefetch so
+// checkpoint rollback discards prefetched batches, and Close it when done.
+func WithPrefetch(name string, batch int, seed int64, cfg PipeConfig) (*InputPipe, error) {
+	return models.NewInputPipe(name, batch, seed, cfg)
 }
 
 // Timeline renders kernel records as an ASCII per-stream Gantt chart (the

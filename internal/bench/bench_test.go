@@ -38,7 +38,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig2", "fig3", "fig4", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"table6", "ablation-engine", "ablation-pool",
 		"ablation-fusion", "ablation-analyzer", "ext-dataparallel", "ext-winograd",
-		"chaostrain",
+		"chaostrain", "inputpipe",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -286,4 +286,34 @@ func TestHelpers(t *testing.T) {
 	if (Config{}).batchFor(w) != 256 {
 		t.Fatal("full batch for CaffeNet")
 	}
+}
+
+// TestInputPipeSmoke: on CaffeNet (the heaviest synthesis), the prefetched
+// feed wait must be strictly below the serial baseline's — the pipeline
+// really overlaps synthesis with compute — and the trained parameters must
+// be bitwise identical (the convergence-invariance bar).
+func TestInputPipeSmoke(t *testing.T) {
+	rows, err := RunInputPipeRows(Config{Quick: true, Iterations: 3, Seed: 1, Networks: []string{"CaffeNet"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if !r.Identical {
+		t.Fatalf("%s: prefetched training diverged from serial", r.Net)
+	}
+	if r.PipeFeed >= r.SerialFeed {
+		t.Fatalf("%s: prefetched feed wait %v not below serial %v (hits=%d stalls=%d stall-time=%v)",
+			r.Net, r.PipeFeed, r.SerialFeed, r.Hits, r.Stalls, r.StallTime)
+	}
+	if r.Hits+r.Stalls == 0 {
+		t.Fatalf("%s: pipeline recorded no deliveries", r.Net)
+	}
+	if r.CopyOverlap <= 0 {
+		t.Fatalf("%s: no copy-stream overlap credited", r.Net)
+	}
+	t.Logf("%s: serial feed %v → prefetched %v (hits=%d stalls=%d overlap=%v)",
+		r.Net, r.SerialFeed, r.PipeFeed, r.Hits, r.Stalls, r.CopyOverlap)
 }

@@ -52,6 +52,11 @@ type Ledger struct {
 	streamQuarantines int64
 	degradations      int64
 	watchdogTrips     int64
+
+	prefetchHits   int64
+	prefetchStalls int64
+	stallNs        int64
+	copyOverlapNs  int64
 }
 
 // Per-record host memory for the tracker's own structures: two 8-byte
@@ -99,6 +104,17 @@ type Snapshot struct {
 	StreamQuarantines int64
 	Degradations      int64
 	WatchdogTrips     int64
+
+	// Input-pipeline counters. PrefetchHits counts batches the async
+	// prefetcher had ready before the trainer asked; PrefetchStalls counts
+	// the times the trainer had to wait (PrefetchStallNs is that waiting,
+	// summed); CopyOverlapNs is the modeled device time of input H2D
+	// copies issued on the runtime's dedicated copy stream — transfer time
+	// taken off the critical path relative to a default-stream upload.
+	PrefetchHits    int64
+	PrefetchStalls  int64
+	PrefetchStallNs int64
+	CopyOverlapNs   int64
 }
 
 // Recoveries sums every recovery action the runtime took — nonzero proves
@@ -113,6 +129,14 @@ func (s Snapshot) Health() string {
 	return fmt.Sprintf("retries: launch=%d sync=%d memcpy=%d | quarantines=%d degradations=%d watchdog=%d launch-failures=%d",
 		s.LaunchRetries, s.SyncRetries, s.MemcpyRetries,
 		s.StreamQuarantines, s.Degradations, s.WatchdogTrips, s.LaunchFailures)
+}
+
+// InputPipe renders the input-pipeline counters.
+func (s Snapshot) InputPipe() string {
+	return fmt.Sprintf("hits=%d stalls=%d stall-time=%v copy-overlap=%v",
+		s.PrefetchHits, s.PrefetchStalls,
+		time.Duration(s.PrefetchStallNs).Round(time.Microsecond),
+		time.Duration(s.CopyOverlapNs).Round(time.Microsecond))
 }
 
 // TTotal is the paper's Eq. 12: T_p + T_a + T_s.
@@ -199,6 +223,31 @@ func (l *Ledger) addWatchdogTrip() {
 	l.watchdogTrips++
 }
 
+// PrefetchHit implements data.Observer: wiring a runtime's ledger into a
+// data.Prefetcher lands input-pipeline behavior next to the paper's cost
+// counters. Exported because the data package calls it from outside core.
+func (l *Ledger) PrefetchHit() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.prefetchHits++
+}
+
+// PrefetchStall implements data.Observer (see PrefetchHit).
+func (l *Ledger) PrefetchStall(wait time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.prefetchStalls++
+	l.stallNs += int64(wait)
+}
+
+// addCopyOverlap credits modeled copy time issued on the dedicated copy
+// stream instead of the default stream.
+func (l *Ledger) addCopyOverlap(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.copyOverlapNs += int64(d)
+}
+
 // tsPerDispatch is the nominal cost of one round-robin stream-selection
 // decision; the paper's static scheduler makes T_s "safely ignorable", and
 // this keeps it measured rather than assumed.
@@ -242,5 +291,10 @@ func (l *Ledger) Snapshot() Snapshot {
 		StreamQuarantines: l.streamQuarantines,
 		Degradations:      l.degradations,
 		WatchdogTrips:     l.watchdogTrips,
+
+		PrefetchHits:    l.prefetchHits,
+		PrefetchStalls:  l.prefetchStalls,
+		PrefetchStallNs: l.stallNs,
+		CopyOverlapNs:   l.copyOverlapNs,
 	}
 }

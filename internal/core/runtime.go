@@ -42,6 +42,15 @@ type Runtime struct {
 	wdMu    sync.Mutex
 	wdLimit time.Duration
 	wdHung  map[string]bool
+
+	// Copy-stream state for StageInput: a dedicated stream that carries
+	// input H2D copies so they overlap pool-stream compute. Created lazily;
+	// copyDead pins the default-stream fallback after terminal creation
+	// failure. Guarded by copyMu, never by r.mu — staging is called from
+	// the training loop, not the launch path.
+	copyMu     sync.Mutex
+	copyStream *simgpu.Stream
+	copyDead   bool
 }
 
 func newRuntime(dev *simgpu.Device, tracker *Tracker, analyzer *Analyzer, pool *StreamPool, ledger *Ledger) *Runtime {
@@ -502,9 +511,77 @@ func (r *Runtime) LayerConcurrencyCap() int {
 // (GLP4NN leaves data movement to the framework it integrates into).
 // Transient DMA failures are retried with backoff.
 func (r *Runtime) UploadBytes(n int64) error {
+	return r.memcpyRetry(n, nil)
+}
+
+// StageInput implements dnn.InputStager: the staged input batch's
+// host→device copy is issued on the runtime's dedicated copy stream, so
+// the transfer proceeds concurrently with pool-stream compute instead of
+// serializing on the default stream ahead of it. The modeled copy time is
+// credited to the ledger's CopyOverlapNs. Fault policy mirrors the launch
+// path: transient memcpy failures retry with backoff; a copy stream that
+// keeps refusing the transfer is torn down (recreated on the next call)
+// and this copy degrades to the default stream; a device that cannot
+// create a copy stream at all is pinned to the default-stream fallback —
+// degraded but correct, exactly UploadBytes.
+func (r *Runtime) StageInput(n int64) error {
+	s := r.ensureCopyStream()
+	err := r.memcpyRetry(n, s)
+	if err == nil {
+		if s != nil {
+			r.ledger.addCopyOverlap(r.dev.Spec().MemcpyDuration(n))
+		}
+		return nil
+	}
+	if s == nil || !IsTransient(err) {
+		return err
+	}
+	// The copy stream is suspect: replace it and fall back to the default
+	// stream for this batch.
+	r.copyMu.Lock()
+	if r.copyStream == s {
+		_ = r.dev.DestroyStream(s)
+		r.copyStream = nil
+	}
+	r.copyMu.Unlock()
+	r.ledger.addStreamQuarantine()
+	r.ledger.addDegradation()
+	return r.memcpyRetry(n, nil)
+}
+
+// ensureCopyStream returns the dedicated copy stream, creating it lazily
+// under the stream-creation retry policy. A terminal creation failure pins
+// the default-stream fallback (nil) for the runtime's remaining lifetime.
+func (r *Runtime) ensureCopyStream() *simgpu.Stream {
+	r.copyMu.Lock()
+	defer r.copyMu.Unlock()
+	if r.copyStream != nil || r.copyDead {
+		return r.copyStream
+	}
+	for a := 1; a <= createAttempts; a++ {
+		s, err := r.dev.CreateStream()
+		if err == nil {
+			r.copyStream = s
+			return s
+		}
+		if !IsTransient(err) {
+			break
+		}
+		if a < createAttempts {
+			r.dev.AdvanceHost(backoff(a))
+		}
+	}
+	r.copyDead = true
+	r.ledger.addDegradation()
+	return nil
+}
+
+// memcpyRetry performs one H2D copy on s (nil = default stream) under the
+// bounded-retry-with-backoff policy for transient DMA failures.
+func (r *Runtime) memcpyRetry(n int64, s *simgpu.Stream) error {
 	var err error
 	for a := 1; a <= launchAttempts; a++ {
-		if err = r.dev.MemcpyHostToDevice(n, nil); err == nil || !IsTransient(err) {
+		if err = r.dev.MemcpyHostToDevice(n, s); err == nil || !IsTransient(err) {
 			return err
 		}
 		if a < launchAttempts {

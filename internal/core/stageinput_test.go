@@ -1,0 +1,187 @@
+package core
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/simgpu"
+)
+
+// The ledger doubles as the input pipeline's observer.
+var _ data.Observer = (*Ledger)(nil)
+
+// TestStageInputUsesCopyStream: the staged copy lands on a lazily created
+// dedicated stream (reused across calls) and its modeled device time is
+// credited to CopyOverlapNs.
+func TestStageInputUsesCopyStream(t *testing.T) {
+	dev := simgpu.NewDevice(simgpu.TeslaP100)
+	fw := New()
+	defer fw.Close()
+	rt := fw.Runtime(dev)
+
+	const n = 1 << 20
+	if err := rt.StageInput(n); err != nil {
+		t.Fatal(err)
+	}
+	if dev.ActiveStreams() != 1 {
+		t.Fatalf("active streams = %d, want 1 (the copy stream)", dev.ActiveStreams())
+	}
+	want := dev.Spec().MemcpyDuration(n)
+	snap := rt.Ledger().Snapshot()
+	if time.Duration(snap.CopyOverlapNs) != want {
+		t.Fatalf("CopyOverlapNs = %v, want %v", time.Duration(snap.CopyOverlapNs), want)
+	}
+	if err := rt.StageInput(n); err != nil {
+		t.Fatal(err)
+	}
+	if dev.ActiveStreams() != 1 {
+		t.Fatalf("second stage created another stream: %d active", dev.ActiveStreams())
+	}
+	if snap = rt.Ledger().Snapshot(); time.Duration(snap.CopyOverlapNs) != 2*want {
+		t.Fatalf("CopyOverlapNs = %v after two stages, want %v", time.Duration(snap.CopyOverlapNs), 2*want)
+	}
+}
+
+// TestStageInputRetriesTransient: transient DMA faults on the staged copy
+// are absorbed by the same bounded-retry policy as UploadBytes.
+func TestStageInputRetriesTransient(t *testing.T) {
+	dev := simgpu.NewDevice(simgpu.TeslaP100,
+		simgpu.WithInjector(simgpu.FaultPlan{Seed: 3, Memcpy: 1, MaxFaults: 2}.Injector()))
+	fw := New()
+	defer fw.Close()
+	rt := fw.Runtime(dev)
+
+	if err := rt.StageInput(1 << 16); err != nil {
+		t.Fatalf("staged copy did not recover: %v", err)
+	}
+	snap := rt.Ledger().Snapshot()
+	if snap.MemcpyRetries != 2 {
+		t.Fatalf("MemcpyRetries = %d, want 2 (%s)", snap.MemcpyRetries, snap.Health())
+	}
+	if snap.CopyOverlapNs == 0 {
+		t.Fatal("recovered staged copy not credited to CopyOverlapNs")
+	}
+}
+
+// TestStageInputQuarantinesCopyStream: a copy stream that exhausts the
+// retry budget is torn down; the batch degrades to the default stream (no
+// error surfaces) and the next call recreates the stream.
+func TestStageInputQuarantinesCopyStream(t *testing.T) {
+	var failNext atomic.Int64
+	failNext.Store(-1 << 40)
+	dev := simgpu.NewDevice(simgpu.TeslaP100, simgpu.WithInjector(
+		fnInjector(func(op simgpu.Op, name string) simgpu.Fault {
+			if op == simgpu.OpMemcpy && failNext.Add(-1) >= 0 {
+				return simgpu.Fault{Err: &simgpu.FaultError{Op: op, Name: name, N: 1}}
+			}
+			return simgpu.Fault{}
+		})))
+	fw := New()
+	defer fw.Close()
+	rt := fw.Runtime(dev)
+
+	// Exactly one retry budget: the copy-stream attempts burn it, the
+	// default-stream fallback then succeeds.
+	failNext.Store(launchAttempts)
+	if err := rt.StageInput(1 << 16); err != nil {
+		t.Fatalf("staged copy did not degrade to the default stream: %v", err)
+	}
+	snap := rt.Ledger().Snapshot()
+	if snap.StreamQuarantines != 1 || snap.Degradations != 1 {
+		t.Fatalf("quarantines = %d degradations = %d, want 1/1 (%s)",
+			snap.StreamQuarantines, snap.Degradations, snap.Health())
+	}
+	if snap.CopyOverlapNs != 0 {
+		t.Fatalf("degraded default-stream copy credited as overlap: %v", time.Duration(snap.CopyOverlapNs))
+	}
+	if dev.ActiveStreams() != 0 {
+		t.Fatalf("quarantined copy stream leaked: %d active", dev.ActiveStreams())
+	}
+
+	// Healed: the next stage recreates the stream and overlaps again.
+	if err := rt.StageInput(1 << 16); err != nil {
+		t.Fatal(err)
+	}
+	if dev.ActiveStreams() != 1 {
+		t.Fatalf("copy stream not recreated: %d active", dev.ActiveStreams())
+	}
+	if snap = rt.Ledger().Snapshot(); snap.CopyOverlapNs == 0 {
+		t.Fatal("recreated copy stream not credited")
+	}
+}
+
+// TestStageInputSurvivesStreamRefusal: a device that refuses stream
+// creation pins the default-stream fallback — StageInput degrades to
+// exactly UploadBytes, once, without re-probing creation every batch.
+func TestStageInputSurvivesStreamRefusal(t *testing.T) {
+	dev := simgpu.NewDevice(simgpu.TeslaP100,
+		simgpu.WithInjector(simgpu.FaultPlan{Seed: 4, CreateStream: 1}.Injector()))
+	fw := New()
+	defer fw.Close()
+	rt := fw.Runtime(dev)
+
+	if err := rt.StageInput(1 << 16); err != nil {
+		t.Fatalf("stage under stream refusal: %v", err)
+	}
+	snap := rt.Ledger().Snapshot()
+	if snap.Degradations != 1 {
+		t.Fatalf("Degradations = %d, want 1 (%s)", snap.Degradations, snap.Health())
+	}
+	if snap.CopyOverlapNs != 0 {
+		t.Fatal("default-stream fallback credited as overlap")
+	}
+	if dev.ActiveStreams() != 0 {
+		t.Fatalf("active streams = %d, want 0", dev.ActiveStreams())
+	}
+	// Pinned: no fresh degradation per batch.
+	if err := rt.StageInput(1 << 16); err != nil {
+		t.Fatal(err)
+	}
+	if snap = rt.Ledger().Snapshot(); snap.Degradations != 1 {
+		t.Fatalf("copy-stream creation re-probed: Degradations = %d", snap.Degradations)
+	}
+}
+
+// TestLedgerPrefetchCounters: the ledger's data.Observer half lands
+// pipeline events in the snapshot and its InputPipe rendering.
+func TestLedgerPrefetchCounters(t *testing.T) {
+	fw := New()
+	defer fw.Close()
+	rt := fw.Runtime(simgpu.NewDevice(simgpu.TeslaP100))
+	l := rt.Ledger()
+	l.PrefetchHit()
+	l.PrefetchHit()
+	l.PrefetchStall(3 * time.Millisecond)
+	snap := l.Snapshot()
+	if snap.PrefetchHits != 2 || snap.PrefetchStalls != 1 {
+		t.Fatalf("hits = %d stalls = %d, want 2/1", snap.PrefetchHits, snap.PrefetchStalls)
+	}
+	if time.Duration(snap.PrefetchStallNs) != 3*time.Millisecond {
+		t.Fatalf("stall time = %v", time.Duration(snap.PrefetchStallNs))
+	}
+	s := snap.InputPipe()
+	for _, want := range []string{"hits=2", "stalls=1", "copy-overlap="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("InputPipe() = %q missing %q", s, want)
+		}
+	}
+}
+
+// TestMemcpyDurationModel: the standalone copy-time model matches the
+// spec's latency-plus-bandwidth form and clamps negative sizes.
+func TestMemcpyDurationModel(t *testing.T) {
+	spec := simgpu.TeslaP100
+	if d := spec.MemcpyDuration(0); d != spec.MemcpyLatency {
+		t.Fatalf("zero-byte copy = %v, want latency %v", d, spec.MemcpyLatency)
+	}
+	if d := spec.MemcpyDuration(-5); d != spec.MemcpyLatency {
+		t.Fatalf("negative size = %v, want latency %v", d, spec.MemcpyLatency)
+	}
+	small, big := spec.MemcpyDuration(1<<20), spec.MemcpyDuration(1<<24)
+	if big <= small {
+		t.Fatalf("16 MiB copy (%v) not slower than 1 MiB (%v)", big, small)
+	}
+}

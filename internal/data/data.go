@@ -12,6 +12,8 @@ package data
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 )
 
 // Split selects the training or test partition.
@@ -56,13 +58,17 @@ func SpecByName(name string) (Spec, bool) {
 // bilinear upsamplings of it.
 const latentSize = 12
 
-// Dataset generates samples on demand. Safe for concurrent reads after the
-// first Sample call per class; typical use is single-goroutine.
+// Dataset generates samples on demand. Sample, Label and SampleCount are
+// safe for concurrent use from any number of goroutines: the lazy per-class
+// latent materialization publishes through an atomic pointer, so parallel
+// fill workers (see Prefetcher) may hit the same class simultaneously.
 type Dataset struct {
 	Spec
 	seed     int64
 	noiseStd float32
-	latents  [][]float32 // per class: Channels×latentSize×latentSize
+
+	latMu   sync.Mutex                  // serializes latent construction
+	latents []atomic.Pointer[[]float32] // per class: Channels×latentSize×latentSize
 }
 
 // Synthetic builds a deterministic synthetic dataset for a spec.
@@ -71,7 +77,7 @@ func Synthetic(spec Spec, seed int64) *Dataset {
 		Spec:     spec,
 		seed:     seed,
 		noiseStd: 0.35,
-		latents:  make([][]float32, spec.Classes),
+		latents:  make([]atomic.Pointer[[]float32], spec.Classes),
 	}
 }
 
@@ -101,32 +107,50 @@ func (d *Dataset) checkIndex(split Split, index int) {
 }
 
 func (d *Dataset) latent(class int) []float32 {
-	if l := d.latents[class]; l != nil {
-		return l
+	if l := d.latents[class].Load(); l != nil {
+		return *l
+	}
+	d.latMu.Lock()
+	defer d.latMu.Unlock()
+	if l := d.latents[class].Load(); l != nil {
+		return *l
 	}
 	rng := rand.New(rand.NewSource(d.seed ^ (int64(class)+1)*0x2545F4914F6CDD1D))
 	l := make([]float32, d.Channels*latentSize*latentSize)
 	for i := range l {
 		l[i] = float32(rng.NormFloat64())
 	}
-	d.latents[class] = l
+	d.latents[class].Store(&l)
 	return l
+}
+
+// noiseSeed returns the per-sample Gaussian noise seed. Distinct stream per
+// (split, index) and independent of access order — this is what makes
+// samples pure functions of their coordinates, and hence parallel and
+// replayed fills bit-identical to serial ones.
+func (d *Dataset) noiseSeed(split Split, index int) int64 {
+	return d.seed ^ 0x5bf03635<<int64(split) ^ int64(index)*0x100000001B3
 }
 
 // Sample writes the image for (split, index) into out (len SampleSize with
 // h=Height, w=Width — or any h,w for cropped/scaled variants) and returns
 // its label. The image is the class latent bilinearly resampled to h×w plus
-// index-seeded Gaussian noise.
+// index-seeded Gaussian noise. Safe for concurrent use; for a hot loop use
+// a Sampler, which produces identical bits without allocating.
 func (d *Dataset) Sample(split Split, index int, out []float32, h, w int) int {
+	rng := rand.New(rand.NewSource(d.noiseSeed(split, index)))
+	return d.sampleSeeded(split, index, out, h, w, rng)
+}
+
+// sampleSeeded is the Sample body with the noise RNG supplied by the
+// caller; rng must already be seeded with noiseSeed(split, index).
+func (d *Dataset) sampleSeeded(split Split, index int, out []float32, h, w int, rng *rand.Rand) int {
 	d.checkIndex(split, index)
 	if len(out) < d.Channels*h*w {
 		panic(fmt.Sprintf("data: %s: out buffer %d < %d", d.Name, len(out), d.Channels*h*w))
 	}
 	class := d.Label(split, index)
 	lat := d.latent(class)
-	// Distinct noise stream per (split, index).
-	noiseSeed := d.seed ^ 0x5bf03635<<int64(split) ^ int64(index)*0x100000001B3
-	rng := rand.New(rand.NewSource(noiseSeed))
 	idx := 0
 	for c := 0; c < d.Channels; c++ {
 		plane := lat[c*latentSize*latentSize:]
@@ -158,6 +182,27 @@ func (d *Dataset) Sample(split Split, index int, out []float32, h, w int) int {
 	return class
 }
 
+// Sampler draws dataset samples through a reusable noise RNG: bit-identical
+// output to Dataset.Sample, but allocation-free in steady state (re-seeding
+// a rand.Rand resets its generator state in place, producing the exact
+// stream a fresh rand.New(rand.NewSource(seed)) would). A Sampler is not
+// safe for concurrent use — give each fill worker its own.
+type Sampler struct {
+	ds  *Dataset
+	rng *rand.Rand
+}
+
+// NewSampler builds a reusable sampler over the dataset.
+func (d *Dataset) NewSampler() *Sampler {
+	return &Sampler{ds: d, rng: rand.New(rand.NewSource(0))}
+}
+
+// Sample is Dataset.Sample through the reusable RNG.
+func (s *Sampler) Sample(split Split, index int, out []float32, h, w int) int {
+	s.rng.Seed(s.ds.noiseSeed(split, index))
+	return s.ds.sampleSeeded(split, index, out, h, w, s.rng)
+}
+
 func max(a, b int) int {
 	if a > b {
 		return a
@@ -168,6 +213,10 @@ func max(a, b int) int {
 // Iterator yields shuffled mini-batches, reshuffling each epoch (the
 // "shuffle process while fetching training batch samples" the paper names
 // as the only source of divergence between Caffe and GLP4NN-Caffe).
+//
+// An Iterator is single-goroutine state: index selection owns the RNG
+// stream. The Prefetcher respects this by calling drawInto from exactly one
+// producer goroutine and parallelizing only the pure per-sample fills.
 type Iterator struct {
 	ds    *Dataset
 	split Split
@@ -177,6 +226,7 @@ type Iterator struct {
 	perm  []int
 	pos   int
 	epoch int
+	swap  func(i, j int) // preallocated Shuffle body: reshuffles allocate nothing
 }
 
 // NewIterator builds a batch iterator at native resolution.
@@ -191,6 +241,7 @@ func NewCroppedIterator(ds *Dataset, split Split, batch, h, w int, seed int64) *
 		panic("data: batch size must be positive")
 	}
 	it := &Iterator{ds: ds, split: split, batch: batch, h: h, w: w, rng: rand.New(rand.NewSource(seed))}
+	it.swap = func(i, j int) { it.perm[i], it.perm[j] = it.perm[j], it.perm[i] }
 	it.reshuffle()
 	return it
 }
@@ -208,7 +259,7 @@ func (it *Iterator) reshuffle() {
 			it.perm[i] = i
 		}
 	}
-	it.rng.Shuffle(len(it.perm), func(i, j int) { it.perm[i], it.perm[j] = it.perm[j], it.perm[i] })
+	it.rng.Shuffle(len(it.perm), it.swap)
 	it.pos = 0
 }
 
@@ -220,26 +271,49 @@ func (it *Iterator) BatchShape() (n, c, h, w int) {
 	return it.batch, it.ds.Channels, it.h, it.w
 }
 
+// nextIndex advances the serial index-selection state by one sample: the
+// permutation walk, epoch accounting and reshuffle RNG draws are identical
+// whether batches are synthesized inline (Next) or planned for asynchronous
+// fill (drawInto).
+func (it *Iterator) nextIndex() int {
+	if it.pos >= len(it.perm) {
+		it.epoch++
+		it.reshuffle()
+	}
+	idx := it.perm[it.pos]
+	it.pos++
+	return idx
+}
+
 // Next fills data (batch×C×h×w) and labels (batch) with the next mini-batch.
 func (it *Iterator) Next(data, labels []float32) {
 	size := it.ds.Channels * it.h * it.w
-	if len(data) < it.batch*size || len(labels) < it.batch {
-		panic("data: Next buffers too small")
+	if len(data) < it.batch*size {
+		panic(fmt.Sprintf("data: %s: Next data buffer %d < %d", it.ds.Name, len(data), it.batch*size))
+	}
+	if len(labels) < it.batch {
+		panic(fmt.Sprintf("data: %s: Next labels buffer %d < %d", it.ds.Name, len(labels), it.batch))
 	}
 	for i := 0; i < it.batch; i++ {
-		if it.pos >= len(it.perm) {
-			it.epoch++
-			it.reshuffle()
-		}
-		idx := it.perm[it.pos]
-		it.pos++
+		idx := it.nextIndex()
 		label := it.ds.Sample(it.split, idx, data[i*size:(i+1)*size], it.h, it.w)
 		labels[i] = float32(label)
 	}
 }
 
+// drawInto advances the iterator by exactly one batch — the same draws Next
+// performs — recording the chosen sample indices instead of synthesizing
+// them. len(idx) must be the batch size.
+func (it *Iterator) drawInto(idx []int) {
+	for i := 0; i < it.batch; i++ {
+		idx[i] = it.nextIndex()
+	}
+}
+
 // PairIterator yields Siamese training pairs: two images plus a similarity
-// flag (1 = same class), balanced 50/50.
+// flag (1 = same class), balanced 50/50. Like Iterator, it is
+// single-goroutine state; the Prefetcher draws pairs serially and fills
+// them in parallel.
 type PairIterator struct {
 	ds    *Dataset
 	split Split
@@ -247,38 +321,72 @@ type PairIterator struct {
 	rng   *rand.Rand
 }
 
-// NewPairIterator builds a Siamese pair sampler.
+// NewPairIterator builds a Siamese pair sampler. The dataset needs at least
+// two classes (a different-class pair must exist) and a non-empty split.
 func NewPairIterator(ds *Dataset, split Split, batch int, seed int64) *PairIterator {
 	if batch <= 0 {
 		panic("data: batch size must be positive")
 	}
+	if ds.Classes < 2 {
+		panic(fmt.Sprintf("data: %s: PairIterator needs ≥ 2 classes, have %d", ds.Name, ds.Classes))
+	}
+	if ds.SampleCount(split) < ds.Classes {
+		panic(fmt.Sprintf("data: %s: PairIterator needs ≥ %d samples in split %d, have %d",
+			ds.Name, ds.Classes, split, ds.SampleCount(split)))
+	}
 	return &PairIterator{ds: ds, split: split, batch: batch, rng: rand.New(rand.NewSource(seed))}
 }
 
-// Next fills a (left, right, sim) batch at native resolution.
-func (p *PairIterator) Next(left, right, sim []float32) {
-	size := p.ds.SampleSize()
+// pairDraw is one planned Siamese pair: sample indices and the similarity
+// flag, before any pixel is synthesized.
+type pairDraw struct {
+	A, B int
+	Sim  float32
+}
+
+// nextPair draws one pair; the single point consuming the pair RNG stream,
+// shared by the inline and prefetched paths.
+func (p *PairIterator) nextPair() pairDraw {
 	n := p.ds.SampleCount(p.split)
 	classes := p.ds.Classes
-	if len(left) < p.batch*size || len(right) < p.batch*size || len(sim) < p.batch {
-		panic("data: pair buffers too small")
+	a := p.rng.Intn(n)
+	if p.rng.Intn(2) == 0 {
+		// Same class: round-robin labels make stepping by Classes stay
+		// in-class.
+		hop := 1 + p.rng.Intn(max(n/classes-1, 1))
+		return pairDraw{A: a, B: (a + hop*classes) % n, Sim: 1}
+	}
+	// Different class: shift by a non-multiple of Classes.
+	shift := 1 + p.rng.Intn(classes-1)
+	return pairDraw{A: a, B: (a + shift) % n, Sim: 0}
+}
+
+// Next fills a (left, right, sim) batch at native resolution. Buffer
+// lengths are validated up front — left and right need batch×SampleSize
+// elements, sim needs batch — and a clear panic names the short buffer.
+func (p *PairIterator) Next(left, right, sim []float32) {
+	size := p.ds.SampleSize()
+	if len(left) < p.batch*size {
+		panic(fmt.Sprintf("data: %s: pair left buffer %d < %d", p.ds.Name, len(left), p.batch*size))
+	}
+	if len(right) < p.batch*size {
+		panic(fmt.Sprintf("data: %s: pair right buffer %d < %d", p.ds.Name, len(right), p.batch*size))
+	}
+	if len(sim) < p.batch {
+		panic(fmt.Sprintf("data: %s: pair sim buffer %d < %d", p.ds.Name, len(sim), p.batch))
 	}
 	for i := 0; i < p.batch; i++ {
-		a := p.rng.Intn(n)
-		var b int
-		if p.rng.Intn(2) == 0 {
-			// Same class: round-robin labels make stepping by Classes stay
-			// in-class.
-			hop := 1 + p.rng.Intn(max(n/classes-1, 1))
-			b = (a + hop*classes) % n
-			sim[i] = 1
-		} else {
-			// Different class: shift by a non-multiple of Classes.
-			shift := 1 + p.rng.Intn(classes-1)
-			b = (a + shift) % n
-			sim[i] = 0
-		}
-		p.ds.Sample(p.split, a, left[i*size:(i+1)*size], p.ds.Height, p.ds.Width)
-		p.ds.Sample(p.split, b, right[i*size:(i+1)*size], p.ds.Height, p.ds.Width)
+		d := p.nextPair()
+		sim[i] = d.Sim
+		p.ds.Sample(p.split, d.A, left[i*size:(i+1)*size], p.ds.Height, p.ds.Width)
+		p.ds.Sample(p.split, d.B, right[i*size:(i+1)*size], p.ds.Height, p.ds.Width)
+	}
+}
+
+// drawInto advances the pair iterator by exactly one batch of pair draws,
+// recording them instead of synthesizing. len(pairs) must be the batch size.
+func (p *PairIterator) drawInto(pairs []pairDraw) {
+	for i := 0; i < p.batch; i++ {
+		pairs[i] = p.nextPair()
 	}
 }

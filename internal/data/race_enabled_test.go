@@ -1,0 +1,7 @@
+//go:build race
+
+package data
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// accounting is not meaningful under its instrumentation.
+const raceEnabled = true

@@ -49,6 +49,15 @@ type Uploader interface {
 	UploadBytes(n int64) error
 }
 
+// InputStager is optionally implemented by launchers that own a dedicated
+// copy stream (the GLP4NN runtime): StageInput issues an input batch's
+// host→device copy concurrently with in-flight compute instead of on the
+// default-stream critical path. Net.StageInputs uses it when present,
+// falling back to Uploader.
+type InputStager interface {
+	StageInput(n int64) error
+}
+
 // HostLauncher runs kernel closures directly with no device: the pure-math
 // path used by unit tests and non-simulated training.
 type HostLauncher struct{}

@@ -2,6 +2,7 @@ package dnn
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -99,7 +100,7 @@ func (n *Net) UploadInputs(ctx *Context) error {
 	if !ok {
 		return nil
 	}
-	for name := range n.inputs {
+	for _, name := range n.inputNames() {
 		if b := n.blobs[name]; b != nil {
 			if err := up.UploadBytes(int64(b.Count()) * 4); err != nil {
 				return err
@@ -107,6 +108,37 @@ func (n *Net) UploadInputs(ctx *Context) error {
 		}
 	}
 	return nil
+}
+
+// StageInputs models the host→device transfer of every input blob through
+// the launcher's dedicated copy stream when it has one (InputStager), so
+// input copies overlap compute; launchers without a copy stream fall back
+// to the default-stream UploadInputs path. The copies land identical bytes
+// either way — only the simulated timeline differs.
+func (n *Net) StageInputs(ctx *Context) error {
+	st, ok := ctx.L.(InputStager)
+	if !ok {
+		return n.UploadInputs(ctx)
+	}
+	for _, name := range n.inputNames() {
+		if b := n.blobs[name]; b != nil {
+			if err := st.StageInput(int64(b.Count()) * 4); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// inputNames returns the input blob names sorted, so modeled transfer
+// order (and therefore simulated timelines) is reproducible run to run.
+func (n *Net) inputNames() []string {
+	names := make([]string, 0, len(n.inputs))
+	for name := range n.inputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // ClearDiffs zeroes all blob and parameter gradients; call at the start of

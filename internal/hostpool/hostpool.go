@@ -48,6 +48,16 @@ func (p *Pool) Workers() int { return cap(p.sem) }
 func (p *Pool) acquire() { p.sem <- struct{}{} }
 func (p *Pool) release() { <-p.sem }
 
+// Acquire blocks until a pool slot is free and takes it. It lets external
+// long-lived workers — the data prefetcher's fill goroutines — count
+// against the same host-concurrency budget as chain tasks. Every Acquire
+// must be paired with exactly one Release; holders must not block on other
+// pool work while holding a slot (that is Group's job).
+func (p *Pool) Acquire() { p.acquire() }
+
+// Release returns a slot taken with Acquire.
+func (p *Pool) Release() { p.release() }
+
 // tryAcquire takes a pool slot only if one is free right now.
 func (p *Pool) tryAcquire() bool {
 	select {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestLaneFIFOOrder: tasks on one lane run in submission order even with
@@ -329,5 +330,60 @@ func TestGroupDetachedFromPool(t *testing.T) {
 		if res := g.Next(); res.Err != nil {
 			t.Fatal(res.Err)
 		}
+	}
+}
+
+// TestAcquireReleaseSharesBudget: externally held slots (the prefetcher's
+// fill workers) count against the same bound as chain tasks — with all
+// slots held, a submitted task cannot start until a Release.
+func TestAcquireReleaseSharesBudget(t *testing.T) {
+	const workers = 2
+	p := New(workers)
+	var cur, max atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				p.Acquire()
+				n := cur.Add(1)
+				for {
+					m := max.Load()
+					if n <= m || max.CompareAndSwap(m, n) {
+						break
+					}
+				}
+				runtime.Gosched()
+				cur.Add(-1)
+				p.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if m := max.Load(); m > workers {
+		t.Fatalf("observed %d concurrent holders, pool bound is %d", m, workers)
+	}
+
+	// A fully Acquired pool defers chain tasks until slots return.
+	p.Acquire()
+	p.Acquire()
+	started := make(chan struct{})
+	cs := p.NewChainSet(1)
+	cs.Submit(0, func() { close(started) })
+	select {
+	case <-started:
+		t.Fatal("task ran while every slot was externally held")
+	case <-time.After(10 * time.Millisecond):
+	}
+	p.Release()
+	p.Release()
+	if err := cs.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+	default:
+		t.Fatal("task never ran after Release")
 	}
 }

@@ -76,6 +76,16 @@ func (t *Trainer) Restore(cp *Checkpoint) {
 			r.ctx.RestoreRNG(cp.rng[i])
 		}
 	}
+	// Registered input pipelines discard batches synthesized ahead and
+	// re-queue their draw plans. The feeder is not rewound — Step feeds
+	// once, outside the retry loop — but a pipeline that ran ahead of the
+	// checkpoint must not let those provisional batches leak into later
+	// iterations out of order.
+	for _, p := range t.prefetch {
+		if p != nil {
+			p.Rollback()
+		}
+	}
 	t.iter = cp.iter
 }
 

@@ -73,6 +73,7 @@ type Trainer struct {
 	gradBytes   int64
 	stepRetries int
 	rollbacks   int
+	prefetch    []InputPipeline
 }
 
 // Config tunes a Trainer.
@@ -97,6 +98,18 @@ type Config struct {
 	// (dnn.Net.EnableDAG), on top of the replica-level and chain-level
 	// parallelism above. Trained parameters stay bitwise identical.
 	DAG bool
+	// Prefetch registers the asynchronous input pipelines feeding this
+	// trainer (e.g. one models.InputPipe per replica). The trainer does not
+	// drive them — the FeedFunc does — but Restore notifies each so
+	// batches synthesized ahead of a rolled-back step are discarded and
+	// re-synthesized from the restored serial order, keeping retries
+	// bit-identical (see the feed-once contract on Step).
+	Prefetch []InputPipeline
+}
+
+// InputPipeline is the rollback hook of an asynchronous input feed.
+type InputPipeline interface {
+	Rollback()
 }
 
 // NewTrainer builds one replica per machine device. The build function must
@@ -110,7 +123,7 @@ func NewTrainer(machine *simgpu.Machine, build BuildFunc, cfg Config) (*Trainer,
 	if cfg.Bus.BandwidthGBps == 0 {
 		cfg.Bus = PCIe3
 	}
-	t := &Trainer{bus: cfg.Bus, stepRetries: cfg.StepRetries}
+	t := &Trainer{bus: cfg.Bus, stepRetries: cfg.StepRetries, prefetch: cfg.Prefetch}
 	if cfg.UseGLP {
 		t.fw = core.New()
 	}

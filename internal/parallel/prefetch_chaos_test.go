@@ -1,0 +1,198 @@
+package parallel
+
+import (
+	"testing"
+
+	"repro/internal/dnn"
+	"repro/internal/hostpool"
+	"repro/internal/models"
+	"repro/internal/simgpu"
+)
+
+// pipedFeeder adapts per-replica input pipelines into a FeedFunc, with the
+// same per-replica seed scheme as workloadFeeder so runs are comparable.
+func pipedFeeder(t *testing.T, name string, batch int, seed int64, replicas int) ([]*models.InputPipe, FeedFunc) {
+	t.Helper()
+	pipes := make([]*models.InputPipe, replicas)
+	for r := range pipes {
+		p, err := models.NewInputPipe(name, batch, seed+int64(r)*17, models.PipeConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipes[r] = p
+	}
+	return pipes, func(replica int, net *dnn.Net) error {
+		return pipes[replica].Feed(net)
+	}
+}
+
+// TestPrefetchRollbackInvariance pins the trainer↔pipeline rollback
+// contract: a Sync=1, 6-fault budget forces exactly 6 checkpoint rollbacks
+// mid-prefetch (the pipeline has run ahead when Restore fires), and the
+// recovered piped run must match the clean inline-feeder run bit for bit.
+func TestPrefetchRollbackInvariance(t *testing.T) {
+	w, err := models.Get("CIFAR10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(usePipe, inject bool) (chaosResult, int) {
+		var opts []simgpu.Option
+		if inject {
+			opts = append(opts, simgpu.WithInjector(
+				simgpu.FaultPlan{Seed: 9, Sync: 1, MaxFaults: 6}.Injector()))
+		}
+		dev, err := simgpu.NewDeviceChecked(simgpu.TeslaP100, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{
+			Solver:      chaosSolver(),
+			Compute:     true,
+			Seed:        3,
+			StepRetries: 8,
+		}
+		var feed FeedFunc
+		if usePipe {
+			pipes, piped := pipedFeeder(t, "CIFAR10", 4, 1000, 1)
+			for _, p := range pipes {
+				defer p.Close()
+				cfg.Prefetch = append(cfg.Prefetch, p)
+			}
+			feed = piped
+		} else {
+			feed = workloadFeeder(w, 4, 1000)
+		}
+		tr, err := NewTrainer(simgpu.NewMachineFromDevices(dev), func(ctx *dnn.Context) (*dnn.Net, error) {
+			return w.Build(ctx, 4, 5)
+		}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		for i := 0; i < 4; i++ {
+			if _, err := tr.Step(feed); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+		var ps [][]float32
+		for _, p := range tr.Net(0).Params() {
+			ps = append(ps, append([]float32(nil), p.Data.Data()...))
+		}
+		return chaosResult{params: [][][]float32{ps}}, tr.Rollbacks()
+	}
+
+	clean, r0 := run(false, false)
+	if r0 != 0 {
+		t.Fatalf("clean run rolled back %d times", r0)
+	}
+	cleanPiped, r1 := run(true, false)
+	if r1 != 0 {
+		t.Fatalf("clean piped run rolled back %d times", r1)
+	}
+	assertBitwiseEqual(t, "piped-clean", cleanPiped.params[0], clean.params[0])
+	faulted, r6 := run(true, true)
+	if r6 != 6 {
+		t.Fatalf("rollbacks = %d, want exactly 6 (one per budgeted sync fault)", r6)
+	}
+	assertBitwiseEqual(t, "piped-rollback", faulted.params[0], clean.params[0])
+}
+
+// TestChaosPrefetchConvergenceInvariant extends the chaos soak to the
+// asynchronous input pipeline: a two-device GLP4NN trainer fed by
+// per-replica pipes, under a seeded storm of launch/sync/memcpy/stream
+// faults with rollback armed, must land bitwise on the clean inline-feeder
+// parameters — while faults really fired.
+func TestChaosPrefetchConvergenceInvariant(t *testing.T) {
+	w, err := models.Get("CIFAR10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nDev, batch, steps = 2, 4, 3
+	run := func(plans []simgpu.FaultPlan) chaosResult {
+		devs := make([]*simgpu.Device, nDev)
+		var injectors []*simgpu.PlanInjector
+		for i := range devs {
+			var opts []simgpu.Option
+			if plans != nil {
+				in := plans[i].Injector()
+				injectors = append(injectors, in)
+				opts = append(opts, simgpu.WithInjector(in))
+			}
+			dev, err := simgpu.NewDeviceChecked(simgpu.TeslaP100, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			devs[i] = dev
+		}
+		pipes, feed := pipedFeeder(t, "CIFAR10", batch, 1000, nDev)
+		cfg := Config{
+			Solver:      chaosSolver(),
+			UseGLP:      true,
+			Compute:     true,
+			Seed:        5,
+			HostPool:    hostpool.New(4),
+			StepRetries: 16,
+		}
+		for _, p := range pipes {
+			defer p.Close()
+			cfg.Prefetch = append(cfg.Prefetch, p)
+		}
+		tr, err := NewTrainer(simgpu.NewMachineFromDevices(devs...), func(ctx *dnn.Context) (*dnn.Net, error) {
+			return w.Build(ctx, batch, 5)
+		}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		for i := 0; i < steps; i++ {
+			if _, err := tr.Step(feed); err != nil {
+				t.Fatalf("step %d did not self-heal: %v", i, err)
+			}
+		}
+		res := chaosResult{rollbacks: tr.Rollbacks()}
+		for r := 0; r < tr.Replicas(); r++ {
+			var ps [][]float32
+			for _, p := range tr.Net(r).Params() {
+				ps = append(ps, append([]float32(nil), p.Data.Data()...))
+			}
+			res.params = append(res.params, ps)
+		}
+		for _, dev := range devs {
+			res.recoveries += tr.Framework().Runtime(dev).Ledger().Snapshot().Recoveries()
+		}
+		for _, in := range injectors {
+			res.injected += in.Stats().Total()
+		}
+		return res
+	}
+
+	// Clean baseline with the plain inline feeder (same seeds).
+	cleanBaseline := runChaos(t, w, batch, steps, nil, 0)
+	clean := run(nil)
+	for r := range clean.params {
+		assertBitwiseEqual(t, "piped-glp-clean", clean.params[r], cleanBaseline.params[0])
+	}
+	plans := make([]simgpu.FaultPlan, nDev)
+	for d := range plans {
+		plans[d] = simgpu.FaultPlan{
+			Seed:         404*31 + int64(d),
+			Launch:       0.03,
+			Sync:         0.15,
+			CreateStream: 0.10,
+			Memcpy:       0.05,
+			MaxFaults:    40,
+		}
+	}
+	faulted := run(plans)
+	if faulted.injected == 0 {
+		t.Fatal("injectors delivered no faults")
+	}
+	if faulted.recoveries+int64(faulted.rollbacks) == 0 {
+		t.Fatalf("no recovery action fired despite %d faults", faulted.injected)
+	}
+	t.Logf("%d faults injected, %d ledger recoveries, %d rollbacks",
+		faulted.injected, faulted.recoveries, faulted.rollbacks)
+	for r := range faulted.params {
+		assertBitwiseEqual(t, "piped-glp-chaos", faulted.params[r], cleanBaseline.params[0])
+	}
+}

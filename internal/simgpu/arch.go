@@ -118,6 +118,17 @@ func (s DeviceSpec) PCIeBandwidth() float64 {
 	return s.PCIeBandwidthGBps * 1e9
 }
 
+// MemcpyDuration returns the modeled device time of one host↔device copy
+// of the given size: the fixed async-copy setup latency plus the transfer
+// at PCIe bandwidth (the same first-order model Device.MemcpyHostToDevice
+// charges to the timeline).
+func (s DeviceSpec) MemcpyDuration(bytes int64) time.Duration {
+	if bytes < 0 {
+		bytes = 0
+	}
+	return s.MemcpyLatency + time.Duration(float64(bytes)/s.PCIeBandwidth()*1e9)
+}
+
 // MaxConcurrentKernels returns the architecture's hardware-queue limit (C in
 // the paper's Eq. 6).
 func (s DeviceSpec) MaxConcurrentKernels() int {
