@@ -4,6 +4,7 @@ GO ?= go
 MAINS := \
 	./cmd/glp4nn-bench \
 	./cmd/glp4nn-info \
+	./cmd/glp4nn-serve \
 	./cmd/glp4nn-train \
 	./examples/caffenet-sweep \
 	./examples/convergence \
@@ -12,7 +13,7 @@ MAINS := \
 	./examples/quickstart \
 	./examples/timeline
 
-.PHONY: tier1 vet build test race alloc bins bench bench-tensor bench-dag bench-input chaos clean
+.PHONY: tier1 vet build test race alloc bins bench bench-tensor bench-dag bench-input bench-serve serve chaos clean
 
 # tier1 is the CI gate: vet, build, the full test suite under the race
 # detector (the host-side parallel engine must stay race-clean), the
@@ -75,6 +76,21 @@ bench-dag:
 # plus the bitwise parameter-identity check.
 bench-input:
 	$(GO) run ./cmd/glp4nn-bench -exp inputpipe -quick
+
+# Inference serving experiment: batch=1 serial vs dynamic request batching
+# on the same frozen engine, per-request answers bitwise-compared across
+# arms (the table from glp4nn-bench), then the two arms re-run standalone
+# through glp4nn-serve -json for machine-readable p50/p99 lines.
+bench-serve:
+	$(GO) run ./cmd/glp4nn-bench -exp servebench -quick
+	$(GO) run ./cmd/glp4nn-serve -net CIFAR10 -glp4nn -max-batch 1 -max-delay -1ns -requests 64 -json
+	$(GO) run ./cmd/glp4nn-serve -net CIFAR10 -glp4nn -requests 64 -json
+
+# Serving demo: freeze CIFAR10, answer a seeded heavy-tailed request load
+# through the dynamic batcher on the GLP4NN runtime, and report p50/p99 as
+# JSON (drop -json for the human-readable report).
+serve:
+	$(GO) run ./cmd/glp4nn-serve -net CIFAR10 -glp4nn -dag -requests 128 -clients 8 -json
 
 clean:
 	rm -rf bin

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dnn"
+	"repro/internal/models"
+)
+
+func baseOpts() options {
+	return options{
+		netName:  "CIFAR10",
+		batch:    4,
+		maxDelay: 2 * time.Millisecond,
+		requests: 16,
+		clients:  4,
+		device:   "P100",
+		seed:     1,
+		mean:     200 * time.Microsecond,
+	}
+}
+
+func TestServeCLISmoke(t *testing.T) {
+	var buf bytes.Buffer
+	o := baseOpts()
+	o.useGLP = true
+	o.useDAG = true
+	if err := run(&buf, o); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	got := buf.String()
+	for _, want := range []string{"served 16 requests", "serving:", "glp4nn serving:", "p50"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestServeCLIJSON(t *testing.T) {
+	var buf bytes.Buffer
+	o := baseOpts()
+	o.jsonOut = true
+	if err := run(&buf, o); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	var r report
+	if err := json.Unmarshal(buf.Bytes(), &r); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, buf.String())
+	}
+	if r.Requests != 16 || r.Net != "CIFAR10" || r.Batch != 4 {
+		t.Fatalf("unexpected report: %+v", r)
+	}
+	if r.RPS <= 0 || r.ReqP99Ms < r.ReqP50Ms {
+		t.Fatalf("implausible latency report: %+v", r)
+	}
+	if r.Failures != 0 {
+		t.Fatalf("failures in fault-free serve: %+v", r)
+	}
+}
+
+func TestServeCLIBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	o := baseOpts()
+	o.device = "H100"
+	if err := run(&buf, o); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+	o = baseOpts()
+	o.netName = "LeNet"
+	if err := run(&buf, o); err == nil {
+		t.Fatal("unknown net accepted")
+	}
+}
+
+// TestServeCLIWeights closes the train→serve loop: a weights snapshot in the
+// glp4nn-train -save-weights format is servable via -weights.
+func TestServeCLIWeights(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.glpw")
+
+	// Build a differently-seeded net and save its weights — the CLI must
+	// load them before freezing (seed only shapes the snapshot's content;
+	// round-tripping it through the file is what's under test).
+	w, err := models.Get("CIFAR10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := dnn.NewContext(dnn.HostLauncher{}, 42)
+	net, err := w.Build(ctx, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SaveWeightsFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	o := baseOpts()
+	o.weights = path
+	if err := run(&buf, o); err != nil {
+		t.Fatalf("run with -weights: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "weights loaded from") {
+		t.Fatalf("weights load not reported:\n%s", buf.String())
+	}
+}

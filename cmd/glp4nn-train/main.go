@@ -36,6 +36,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "seed")
 		every   = flag.Int("log-every", 5, "print loss every N iterations")
 		trace   = flag.String("trace", "", "write a Chrome trace (chrome://tracing) of the final iteration to this file")
+		saveW   = flag.String("save-weights", "", "write the trained weights snapshot to this file (servable via glp4nn-serve -weights)")
 
 		faultSeed   = flag.Int64("fault-seed", 0, "fault schedule seed (0 = reuse -seed)")
 		faultLaunch = flag.Float64("fault-launch", 0, "kernel-launch fault probability [0,1]")
@@ -60,7 +61,7 @@ func main() {
 		fp.Seed = *seed
 	}
 
-	if _, err := run(os.Stdout, *netName, *batch, *iters, *device, *useGLP, *useDAG, *prefFlg, *compute, *seed, *every, *trace, fp); err != nil {
+	if _, err := run(os.Stdout, *netName, *batch, *iters, *device, *useGLP, *useDAG, *prefFlg, *compute, *seed, *every, *trace, *saveW, fp); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -69,7 +70,7 @@ func main() {
 // run trains the workload and returns the final iteration's loss (0 for
 // timing-only runs), so tests can assert the -dag and -prefetch schedules
 // change no bits.
-func run(out io.Writer, netName string, batch, iters int, device string, useGLP, useDAG, prefetch, compute bool, seed int64, every int, tracePath string, fp simgpu.FaultPlan) (float64, error) {
+func run(out io.Writer, netName string, batch, iters int, device string, useGLP, useDAG, prefetch, compute bool, seed int64, every int, tracePath, saveWeights string, fp simgpu.FaultPlan) (float64, error) {
 	spec, ok := simgpu.DeviceByName(device)
 	if !ok {
 		return 0, fmt.Errorf("unknown device %q (have %v)", device, simgpu.CatalogNames())
@@ -191,6 +192,13 @@ func run(out io.Writer, netName string, batch, iters int, device string, useGLP,
 			return 0, err
 		}
 		fmt.Fprintf(out, "chrome trace of the final iteration written to %s\n", tracePath)
+	}
+
+	if saveWeights != "" {
+		if err := net.SaveWeightsFile(saveWeights); err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(out, "trained weights written to %s\n", saveWeights)
 	}
 
 	if pipe != nil {

@@ -15,11 +15,11 @@ import (
 // the serial baseline and the GLP4NN runtime.
 func TestDAGFlagLossIdentical(t *testing.T) {
 	for _, glp := range []bool{false, true} {
-		serial, err := run(io.Discard, "GoogLeNet", 2, 3, "P100", glp, false, false, true, 1, 0, "", simgpu.FaultPlan{})
+		serial, err := run(io.Discard, "GoogLeNet", 2, 3, "P100", glp, false, false, true, 1, 0, "", "", simgpu.FaultPlan{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		dag, err := run(io.Discard, "GoogLeNet", 2, 3, "P100", glp, true, false, true, 1, 0, "", simgpu.FaultPlan{})
+		dag, err := run(io.Discard, "GoogLeNet", 2, 3, "P100", glp, true, false, true, 1, 0, "", "", simgpu.FaultPlan{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -36,7 +36,7 @@ func TestDAGFlagLossIdentical(t *testing.T) {
 // concurrent-session dispatch count.
 func TestDAGFlagReportsDispatches(t *testing.T) {
 	var sb strings.Builder
-	if _, err := run(&sb, "GoogLeNet", 2, 3, "P100", true, true, false, true, 1, 0, "", simgpu.FaultPlan{}); err != nil {
+	if _, err := run(&sb, "GoogLeNet", 2, 3, "P100", true, true, false, true, 1, 0, "", "", simgpu.FaultPlan{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "operator DAG dispatches:") {
@@ -52,11 +52,11 @@ func TestDAGFlagReportsDispatches(t *testing.T) {
 func TestPrefetchFlagLossIdentical(t *testing.T) {
 	for _, net := range []string{"CIFAR10", "Siamese", "CaffeNet", "GoogLeNet"} {
 		for _, glp := range []bool{false, true} {
-			serial, err := run(io.Discard, net, 2, 2, "P100", glp, false, false, true, 1, 0, "", simgpu.FaultPlan{})
+			serial, err := run(io.Discard, net, 2, 2, "P100", glp, false, false, true, 1, 0, "", "", simgpu.FaultPlan{})
 			if err != nil {
 				t.Fatal(err)
 			}
-			pre, err := run(io.Discard, net, 2, 2, "P100", glp, false, true, true, 1, 0, "", simgpu.FaultPlan{})
+			pre, err := run(io.Discard, net, 2, 2, "P100", glp, false, true, true, 1, 0, "", "", simgpu.FaultPlan{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -72,7 +72,7 @@ func TestPrefetchFlagLossIdentical(t *testing.T) {
 // (which includes copy-stream overlap time).
 func TestPrefetchFlagReportsPipeline(t *testing.T) {
 	var sb strings.Builder
-	if _, err := run(&sb, "CIFAR10", 4, 3, "P100", true, false, true, true, 1, 0, "", simgpu.FaultPlan{}); err != nil {
+	if _, err := run(&sb, "CIFAR10", 4, 3, "P100", true, false, true, true, 1, 0, "", "", simgpu.FaultPlan{}); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -91,12 +91,12 @@ func TestPrefetchFlagReportsPipeline(t *testing.T) {
 // fault schedule still converges to the fault-free loss — the copy stream's
 // retry/quarantine path and the runtime's self-healing keep bits intact.
 func TestPrefetchFlagUnderFaults(t *testing.T) {
-	clean, err := run(io.Discard, "CIFAR10", 4, 3, "P100", true, false, true, true, 1, 0, "", simgpu.FaultPlan{})
+	clean, err := run(io.Discard, "CIFAR10", 4, 3, "P100", true, false, true, true, 1, 0, "", "", simgpu.FaultPlan{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	fp := simgpu.FaultPlan{Seed: 7, Memcpy: 0.3, Launch: 0.05, MaxFaults: 32}
-	faulty, err := run(io.Discard, "CIFAR10", 4, 3, "P100", true, false, true, true, 1, 0, "", fp)
+	faulty, err := run(io.Discard, "CIFAR10", 4, 3, "P100", true, false, true, true, 1, 0, "", "", fp)
 	if err != nil {
 		t.Fatal(err)
 	}

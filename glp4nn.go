@@ -42,6 +42,7 @@ import (
 	"repro/internal/dnn"
 	"repro/internal/hostpool"
 	"repro/internal/models"
+	"repro/internal/serve"
 	"repro/internal/simgpu"
 )
 
@@ -121,6 +122,33 @@ type (
 	// execution engine: kernel host math of independent dependency chains
 	// runs on separate goroutines while the simulated timeline is unchanged.
 	HostPool = hostpool.Pool
+
+	// FrozenNet is a forward-only inference executor produced by Freeze:
+	// training-only layers stripped, dropout folded to identity, gradient
+	// storage droppable via Compact, outputs bitwise identical to the
+	// training net's Test phase under serial and DAG dispatch alike.
+	FrozenNet = dnn.FrozenNet
+	// ForwardPlan is the inference plan inside a FrozenNet (kept steps,
+	// aliased blobs, operator DAG).
+	ForwardPlan = dnn.ForwardPlan
+	// Server answers concurrent single-sample Predict calls by dynamically
+	// batching them into a FrozenNet's fixed device batch, flushing on
+	// batch-full or a deadline; every answer is bitwise independent of
+	// co-batching, padding and flush timing.
+	Server = serve.Server
+	// ServeConfig tunes a Server (max batch, flush deadline, queue depth,
+	// transient-fault retries, ledger observer).
+	ServeConfig = serve.Config
+	// ServeStats is a Server's request/batch census with p50/p99 latency.
+	ServeStats = serve.Stats
+	// ServeObserver receives per-request and per-batch serving events; a
+	// Runtime's *core.Ledger implements it.
+	ServeObserver = serve.Observer
+	// LoadGen is the seeded heavy-tailed (Pareto) request load generator
+	// used by glp4nn-serve and the servebench experiment.
+	LoadGen = serve.LoadGen
+	// LatencyWindow is a bounded sliding window with nearest-rank quantiles.
+	LatencyWindow = core.LatencyWindow
 )
 
 // The paper's three evaluation GPUs (Table 3).
@@ -199,6 +227,25 @@ func WithDAG(net *Net) *Net {
 	net.EnableDAG(true)
 	return net
 }
+
+// Freeze compiles a built network into a forward-only inference executor.
+// Loss/accuracy layers and their exclusive inputs are stripped, dropout
+// folds to identity, and Forward always runs the Test phase — so the frozen
+// outputs are bitwise identical to the training net's Test-phase forward.
+// Call Compact to drop gradient storage once training is over.
+func Freeze(net *Net) (*FrozenNet, error) { return dnn.Freeze(net) }
+
+// NewServer starts a dynamic-batching inference server over a frozen net.
+// Concurrent Predict calls (one sample each) are coalesced into device
+// batches; set ServeConfig.Observer to a Runtime's Ledger to fold serving
+// latency into the overhead ledger.
+func NewServer(fz *FrozenNet, ctx *Context, cfg ServeConfig) (*Server, error) {
+	return serve.New(fz, ctx, cfg)
+}
+
+// NewLoadGen builds a seeded heavy-tailed request load generator with the
+// given mean inter-arrival gap.
+func NewLoadGen(seed int64, mean time.Duration) *LoadGen { return serve.NewLoadGen(seed, mean) }
 
 // NewSolver builds a momentum-SGD solver.
 func NewSolver(net *Net, ctx *Context, cfg SolverConfig) *Solver {

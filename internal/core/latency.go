@@ -1,0 +1,83 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// defaultLatencyCap bounds a LatencyWindow's memory: 16 Ki samples × 8 B.
+// Long-running servers keep the most recent window, which is what a
+// serving tail-latency quantile should describe anyway.
+const defaultLatencyCap = 1 << 14
+
+// LatencyWindow is a bounded, concurrency-safe reservoir of latency
+// observations with nearest-rank quantiles. Once the window is full, new
+// samples overwrite the oldest (a sliding window, not a decaying sketch):
+// quantiles describe the most recent capacity-many observations.
+type LatencyWindow struct {
+	mu   sync.Mutex
+	buf  []int64 // ns, ring
+	next int     // ring write position
+	full bool
+	n    int64 // total ever observed
+}
+
+// NewLatencyWindow builds a window holding the most recent capacity
+// samples; capacity ≤ 0 selects the 16 Ki default.
+func NewLatencyWindow(capacity int) *LatencyWindow {
+	if capacity <= 0 {
+		capacity = defaultLatencyCap
+	}
+	return &LatencyWindow{buf: make([]int64, 0, capacity)}
+}
+
+// Add records one observation.
+func (w *LatencyWindow) Add(d time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.n++
+	if !w.full {
+		w.buf = append(w.buf, int64(d))
+		if len(w.buf) == cap(w.buf) {
+			w.full = true
+		}
+		return
+	}
+	w.buf[w.next] = int64(d)
+	w.next = (w.next + 1) % len(w.buf)
+}
+
+// Count returns the total number of observations ever recorded (which may
+// exceed the window's capacity).
+func (w *LatencyWindow) Count() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+// Quantile returns the nearest-rank q-quantile (q in [0, 1]) of the
+// windowed observations, 0 when empty.
+func (w *LatencyWindow) Quantile(q float64) time.Duration {
+	w.mu.Lock()
+	sorted := append([]int64(nil), w.buf...)
+	w.mu.Unlock()
+	if len(sorted) == 0 {
+		return 0
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return time.Duration(sorted[rank])
+}

@@ -57,6 +57,12 @@ type Ledger struct {
 	prefetchStalls int64
 	stallNs        int64
 	copyOverlapNs  int64
+
+	serveRequests int64
+	serveBatches  int64
+	serveSamples  int64
+	serveReqLat   *LatencyWindow
+	serveBatchLat *LatencyWindow
 }
 
 // Per-record host memory for the tracker's own structures: two 8-byte
@@ -115,6 +121,20 @@ type Snapshot struct {
 	PrefetchStalls  int64
 	PrefetchStallNs int64
 	CopyOverlapNs   int64
+
+	// Serving counters (inference path). ServeRequests counts client
+	// requests answered; ServeBatches counts device batches the dynamic
+	// batcher flushed; ServeSamples sums their occupancies, so
+	// ServeSamples/ServeBatches is the mean coalescing factor. The
+	// quantiles are nearest-rank over a sliding window: request latency is
+	// enqueue→answer (queueing + compute), batch latency is flush→done.
+	ServeRequests int64
+	ServeBatches  int64
+	ServeSamples  int64
+	ServeReqP50   time.Duration
+	ServeReqP99   time.Duration
+	ServeBatchP50 time.Duration
+	ServeBatchP99 time.Duration
 }
 
 // Recoveries sums every recovery action the runtime took — nonzero proves
@@ -137,6 +157,18 @@ func (s Snapshot) InputPipe() string {
 		s.PrefetchHits, s.PrefetchStalls,
 		time.Duration(s.PrefetchStallNs).Round(time.Microsecond),
 		time.Duration(s.CopyOverlapNs).Round(time.Microsecond))
+}
+
+// Serving renders the inference-serving counters.
+func (s Snapshot) Serving() string {
+	mean := 0.0
+	if s.ServeBatches > 0 {
+		mean = float64(s.ServeSamples) / float64(s.ServeBatches)
+	}
+	return fmt.Sprintf("requests=%d batches=%d mean-batch=%.2f | req p50=%v p99=%v | batch p50=%v p99=%v",
+		s.ServeRequests, s.ServeBatches, mean,
+		s.ServeReqP50.Round(time.Microsecond), s.ServeReqP99.Round(time.Microsecond),
+		s.ServeBatchP50.Round(time.Microsecond), s.ServeBatchP99.Round(time.Microsecond))
 }
 
 // TTotal is the paper's Eq. 12: T_p + T_a + T_s.
@@ -240,6 +272,32 @@ func (l *Ledger) PrefetchStall(wait time.Duration) {
 	l.stallNs += int64(wait)
 }
 
+// ServeRequest implements serve.Observer: one client request answered,
+// with its enqueue→answer latency. Wiring a runtime's ledger into a
+// serve.Server lands serving behavior next to the paper's cost counters.
+func (l *Ledger) ServeRequest(lat time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.serveRequests++
+	if l.serveReqLat == nil {
+		l.serveReqLat = NewLatencyWindow(0)
+	}
+	l.serveReqLat.Add(lat)
+}
+
+// ServeBatch implements serve.Observer: one device batch flushed with the
+// given occupancy and flush→done latency.
+func (l *Ledger) ServeBatch(size int, lat time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.serveBatches++
+	l.serveSamples += int64(size)
+	if l.serveBatchLat == nil {
+		l.serveBatchLat = NewLatencyWindow(0)
+	}
+	l.serveBatchLat.Add(lat)
+}
+
 // addCopyOverlap credits modeled copy time issued on the dedicated copy
 // stream instead of the default stream.
 func (l *Ledger) addCopyOverlap(d time.Duration) {
@@ -296,5 +354,20 @@ func (l *Ledger) Snapshot() Snapshot {
 		PrefetchStalls:  l.prefetchStalls,
 		PrefetchStallNs: l.stallNs,
 		CopyOverlapNs:   l.copyOverlapNs,
+
+		ServeRequests: l.serveRequests,
+		ServeBatches:  l.serveBatches,
+		ServeSamples:  l.serveSamples,
+		ServeReqP50:   quantileOrZero(l.serveReqLat, 0.50),
+		ServeReqP99:   quantileOrZero(l.serveReqLat, 0.99),
+		ServeBatchP50: quantileOrZero(l.serveBatchLat, 0.50),
+		ServeBatchP99: quantileOrZero(l.serveBatchLat, 0.99),
 	}
+}
+
+func quantileOrZero(w *LatencyWindow, q float64) time.Duration {
+	if w == nil {
+		return 0
+	}
+	return w.Quantile(q)
 }

@@ -118,7 +118,8 @@ type Prefetcher struct {
 
 	stop   chan struct{} // closed to halt the producer
 	joined chan struct{} // closed by the producer on exit
-	closed bool
+	term   chan struct{} // closed by Close: unblocks consumers forever
+	closed atomic.Bool
 
 	// inflight is the batch the producer held when halted: drawn (its plan
 	// is consumed) but not yet enqueued on ready. Written by the producer
@@ -184,6 +185,7 @@ func newPrefetcher(src source, opts Options) *Prefetcher {
 		ready:   make(chan *Batch, depth),
 		start:   make([]chan *Batch, workers),
 		done:    make(chan struct{}, workers),
+		term:    make(chan struct{}),
 	}
 	for w := range p.start {
 		p.start[w] = make(chan *Batch, 1)
@@ -248,7 +250,8 @@ func (p *Prefetcher) fillWorker(w int) {
 
 // Next returns the next batch of the stream, waiting for synthesis only
 // when the pipeline has fallen behind. The returned buffers are loaned:
-// copy out and Recycle.
+// copy out and Recycle. After Close, Next drains any batches that were
+// already synthesized and then returns nil instead of blocking forever.
 func (p *Prefetcher) Next() *Batch {
 	select {
 	case b := <-p.ready:
@@ -260,7 +263,19 @@ func (p *Prefetcher) Next() *Batch {
 	default:
 	}
 	t0 := time.Now()
-	b := <-p.ready
+	var b *Batch
+	select {
+	case b = <-p.ready:
+	case <-p.term:
+		// Closed while we waited (or before): the producer will never
+		// enqueue again, but a batch may have landed before the race
+		// resolved — take it if so, otherwise report end-of-stream.
+		select {
+		case b = <-p.ready:
+		default:
+			return nil
+		}
+	}
 	wait := time.Since(t0)
 	p.stalls.Add(1)
 	p.stallNs.Add(int64(wait))
@@ -285,7 +300,7 @@ func (p *Prefetcher) Recycle(b *Batch) {
 // already run ahead. Every batch handed out by Next must be recycled
 // before calling Rollback.
 func (p *Prefetcher) Rollback() {
-	if p.closed {
+	if p.closed.Load() {
 		return
 	}
 	p.halt()
@@ -314,17 +329,20 @@ func (p *Prefetcher) Rollback() {
 	p.launch()
 }
 
-// Close stops the pipeline and its workers. Buffers handed out by Next
-// stay valid; the Prefetcher must not be used afterwards (except Stats).
+// Close stops the pipeline and its workers. Idempotent and safe to call
+// from any goroutine, including concurrently with itself and with a
+// consumer parked in Next: later Closes are no-ops, and a parked Next
+// unblocks with the already-synthesized tail of the stream, then nil.
+// Buffers handed out by Next stay valid.
 func (p *Prefetcher) Close() {
-	if p.closed {
+	if !p.closed.CompareAndSwap(false, true) {
 		return
 	}
-	p.closed = true
 	p.halt()
 	for _, c := range p.start {
 		close(c)
 	}
+	close(p.term)
 }
 
 // halt stops the producer and joins it. The producer never parks between

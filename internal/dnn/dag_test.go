@@ -222,7 +222,7 @@ func FuzzDAGBuilder(f *testing.F) {
 // with two add-once consumers (scratch fold), a slice→conv branches→concat
 // diamond (concurrent non-add-once layers on disjoint blobs), and a final
 // classifier.
-func buildBranchyNet(t *testing.T, batch int, seed int64) *Net {
+func buildBranchyNet(t testing.TB, batch int, seed int64) *Net {
 	t.Helper()
 	ctx := NewContext(HostLauncher{}, seed)
 	cc := Conv(4, 3, 1, 1)
@@ -257,7 +257,7 @@ func buildBranchyNet(t *testing.T, batch int, seed int64) *Net {
 // buildSharedBottomConvNet makes two convolutions (not add-once) consume
 // one blob, forcing the serialization-edge policy instead of scratch
 // folding.
-func buildSharedBottomConvNet(t *testing.T, batch int, seed int64) *Net {
+func buildSharedBottomConvNet(t testing.TB, batch int, seed int64) *Net {
 	t.Helper()
 	ctx := NewContext(HostLauncher{}, seed)
 	c0 := Conv(2, 3, 1, 1)
@@ -286,7 +286,7 @@ func buildSharedBottomConvNet(t *testing.T, batch int, seed int64) *Net {
 
 // buildDropoutBranchNet puts a dropout in each of two parallel branches,
 // exercising the RNG insertion-order chain in the forward DAG.
-func buildDropoutBranchNet(t *testing.T, batch int, seed int64) *Net {
+func buildDropoutBranchNet(t testing.TB, batch int, seed int64) *Net {
 	t.Helper()
 	ctx := NewContext(HostLauncher{}, seed)
 	cc := Conv(4, 3, 1, 1)
@@ -353,7 +353,7 @@ func assertBitsEqual(t *testing.T, serial, dag [][]float32, label string) {
 // bitwise-identical parameters to serial training, with and without the
 // host pool.
 func TestDAGInvariance(t *testing.T) {
-	builders := map[string]func(*testing.T, int, int64) *Net{
+	builders := map[string]func(testing.TB, int, int64) *Net{
 		"branchy":      buildBranchyNet,
 		"sharedbottom": buildSharedBottomConvNet,
 		"dropbranch":   buildDropoutBranchNet,

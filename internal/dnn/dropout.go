@@ -38,6 +38,11 @@ func (l *DropoutLayer) Setup(ctx *Context, bottom, top []*Blob) error {
 func (l *DropoutLayer) Forward(ctx *Context, bottom, top []*Blob) error {
 	src := bottom[0].Data.Data()
 	dst := top[0].Data.Data()
+	if len(l.mask) != len(src) {
+		// The bottom was reshaped after Setup (variable-batch serving);
+		// Setup's mask length would index out of range.
+		l.mask = make([]float32, len(src))
+	}
 	scale := 1 / (1 - l.ratio)
 	phase := ctx.Phase
 	rng := ctx.RNG

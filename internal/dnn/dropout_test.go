@@ -1,0 +1,73 @@
+package dnn
+
+import (
+	"math"
+	"testing"
+)
+
+func buildDropoutPair(t *testing.T, batch int) (*Net, *Blob, *Blob) {
+	t.Helper()
+	ctx := NewContext(HostLauncher{}, 11)
+	net, err := NewNet("drop").
+		Input("x", batch, 4).
+		Add(NewDropout("d", 0.5), []string{"x"}, []string{"y"}).
+		Build(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, net.Blob("x"), net.Blob("y")
+}
+
+// TestDropoutReshapeLargerBatch is the variable-batch serving regression:
+// Setup sizes the mask once, so a bottom reshaped larger afterwards used to
+// panic with index-out-of-range inside the forward kernel.
+func TestDropoutReshapeLargerBatch(t *testing.T) {
+	net, x, y := buildDropoutPair(t, 2)
+	ctx := NewContext(HostLauncher{}, 12)
+
+	fill := func(n int) {
+		vals := make([]float32, n*4)
+		for i := range vals {
+			vals[i] = float32(i + 1)
+		}
+		copy(x.Data.Data(), vals)
+	}
+	fill(2)
+	if _, err := net.Forward(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Grow the batch in place, as a serving path with a larger device batch
+	// would, and run a Train-phase forward: must resize the mask, not panic.
+	x.Reshape(8, 4)
+	y.Reshape(8, 4)
+	fill(8)
+	if _, err := net.Forward(ctx); err != nil {
+		t.Fatal(err)
+	}
+	out := y.Data.Data()
+	if len(out) != 32 {
+		t.Fatalf("top len %d, want 32", len(out))
+	}
+	// Inverted dropout: every output is 0 or 2× its input.
+	for i, v := range out {
+		in := x.Data.Data()[i]
+		if v != 0 && math.Abs(float64(v-2*in)) > 1e-6 {
+			t.Fatalf("out[%d] = %v, want 0 or %v", i, v, 2*in)
+		}
+	}
+
+	// Shrinking works too, and Test phase stays the identity.
+	x.Reshape(1, 4)
+	y.Reshape(1, 4)
+	fill(1)
+	ctx.Phase = Test
+	if _, err := net.Forward(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range y.Data.Data() {
+		if v != x.Data.Data()[i] {
+			t.Fatalf("test phase not identity at %d: %v vs %v", i, v, x.Data.Data()[i])
+		}
+	}
+}

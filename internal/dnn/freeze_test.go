@@ -1,0 +1,273 @@
+package dnn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// buildServeNet is a tiny classifier with the layers freezing must handle:
+// dropout (folds to identity), a loss layer (stripped, taking the label
+// input with it) and an accuracy layer (stripped).
+func buildServeNet(t *testing.T, batch int, seed int64) *Net {
+	t.Helper()
+	ctx := NewContext(HostLauncher{}, seed)
+	cc := Conv(4, 3, 1, 1)
+	cc.Seed = seed
+	ic := IP(3)
+	ic.Seed = seed
+	net, err := NewNet("serve-tiny").
+		Input("data", batch, 2, 8, 8).
+		Input("label", batch).
+		Add(NewConv("conv1", cc), []string{"data"}, []string{"c1"}).
+		Add(NewReLU("relu1"), []string{"c1"}, []string{"r1"}).
+		Add(NewDropout("drop1", 0.5), []string{"r1"}, []string{"d1"}).
+		Add(NewIP("ip1", ic), []string{"d1"}, []string{"scores"}).
+		Add(NewSoftmaxLoss("loss"), []string{"scores", "label"}, []string{"loss"}).
+		Add(NewAccuracy("acc"), []string{"scores", "label"}, []string{"acc"}).
+		Build(ctx)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return net
+}
+
+func captureBits(t *testing.T, b *Blob) []uint32 {
+	t.Helper()
+	data := b.Data.Data()
+	bits := make([]uint32, len(data))
+	for i, v := range data {
+		bits[i] = math.Float32bits(v)
+	}
+	return bits
+}
+
+func TestFreezeStripsTrainingOnlyPieces(t *testing.T) {
+	net := buildServeNet(t, 4, 401)
+	fz, err := Freeze(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fz.Inputs(); len(got) != 1 || got[0] != "data" {
+		t.Fatalf("inputs = %v, want [data] (label feeds only stripped layers)", got)
+	}
+	if got := fz.Outputs(); len(got) != 1 || got[0] != "scores" {
+		t.Fatalf("outputs = %v, want [scores]", got)
+	}
+	if fz.Batch() != 4 {
+		t.Fatalf("batch = %d, want 4", fz.Batch())
+	}
+	// The dropout layer folded away: its top must not be a plan blob.
+	if fz.Blob("d1") != nil {
+		t.Fatal("dropout top survived freezing")
+	}
+	for _, st := range fz.plan.steps {
+		if _, isDrop := st.layer.(*DropoutLayer); isDrop {
+			t.Fatal("dropout step survived freezing")
+		}
+		if _, isLoss := st.layer.(LossLayer); isLoss {
+			t.Fatal("loss step survived freezing")
+		}
+	}
+	// The IP layer now reads the dropout's bottom directly.
+	last := fz.plan.steps[len(fz.plan.steps)-1]
+	if last.layer.Name() != "ip1" || last.bottomB[0] != net.Blob("r1") {
+		t.Fatalf("ip1 bottom not aliased through the folded dropout")
+	}
+}
+
+func TestFreezeRequiresBuiltNet(t *testing.T) {
+	if _, err := Freeze(&Net{name: "raw"}); err == nil {
+		t.Fatal("unbuilt net accepted")
+	}
+}
+
+// TestFrozenForwardMatchesTestPhase: the frozen net's outputs are bitwise
+// the Test-phase outputs of the training net, even when the frozen forward
+// runs under a Train-phase context with a perturbed RNG (frozen nets force
+// Test and never draw).
+func TestFrozenForwardMatchesTestPhase(t *testing.T) {
+	net := buildServeNet(t, 4, 402)
+	fillTinyInputs(t, net, 403)
+
+	ctx := NewContext(HostLauncher{}, 404)
+	ctx.Phase = Test
+	if _, err := net.Forward(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want := captureBits(t, net.Blob("scores"))
+
+	fz, err := Freeze(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fctx := NewContext(HostLauncher{}, 999) // Train phase, different seed
+	fctx.RNG.Float32()                      // perturb the RNG position
+	net.Blob("scores").Data.Zero()
+	if err := fz.Forward(fctx); err != nil {
+		t.Fatal(err)
+	}
+	got := captureBits(t, net.Blob("scores"))
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("scores[%d]: frozen %08x vs test-phase %08x", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFrozenSetInputAndOutput(t *testing.T) {
+	net := buildServeNet(t, 2, 405)
+	fz, err := Freeze(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float32, net.Blob("data").Count())
+	rng := rand.New(rand.NewSource(406))
+	for i := range vals {
+		vals[i] = float32(rng.NormFloat64())
+	}
+	if err := fz.SetInput("data", vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := fz.SetInput("data", vals[:3]); err == nil {
+		t.Fatal("short input accepted")
+	}
+	if err := fz.SetInput("label", []float32{0, 1}); err == nil {
+		t.Fatal("non-input blob accepted")
+	}
+	if err := fz.SetInput("nope", nil); err == nil {
+		t.Fatal("unknown blob accepted")
+	}
+	if err := fz.Forward(NewContext(HostLauncher{}, 1)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := fz.Output("scores")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2*3 {
+		t.Fatalf("scores len %d, want 6", len(out))
+	}
+	if _, err := fz.Output("nope"); err == nil {
+		t.Fatal("unknown output accepted")
+	}
+}
+
+// TestFrozenDAGMatchesSerial: the wavefront dispatch path produces bitwise
+// the serial plan order's outputs (tiny net, but it exercises the forked
+// sessions and dependency counters; the four real workloads are covered in
+// internal/models).
+func TestFrozenDAGMatchesSerial(t *testing.T) {
+	net := buildServeNet(t, 4, 407)
+	fillTinyInputs(t, net, 408)
+	fz, err := Freeze(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fz.EnableDAG(false)
+	if err := fz.Forward(NewContext(HostLauncher{}, 1)); err != nil {
+		t.Fatal(err)
+	}
+	want := captureBits(t, net.Blob("scores"))
+
+	net.Blob("scores").Data.Zero()
+	fz.EnableDAG(true)
+	if err := fz.Forward(NewContext(HostLauncher{}, 1)); err != nil {
+		t.Fatal(err)
+	}
+	got := captureBits(t, net.Blob("scores"))
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("scores[%d]: dag %08x vs serial %08x", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFrozenCompactDropsGradients(t *testing.T) {
+	net := buildServeNet(t, 4, 409)
+	fillTinyInputs(t, net, 410)
+	fz, err := Freeze(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext(HostLauncher{}, 1)
+	if err := fz.Forward(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want := captureBits(t, net.Blob("scores"))
+
+	if freed := fz.Compact(); freed == 0 {
+		t.Fatal("Compact freed nothing")
+	}
+	if fz.Compact() != 0 {
+		t.Fatal("second Compact freed storage again")
+	}
+	for _, name := range []string{"data", "scores"} {
+		if d := fz.Blob(name).Diff; d.Len() != 0 {
+			t.Fatalf("%s diff not compacted: %d elems", name, d.Len())
+		}
+	}
+	for _, p := range net.Params() {
+		if fz.Blob(p.Name) == nil && p.Diff.Len() != 0 {
+			t.Fatalf("param %s diff not compacted", p.Name)
+		}
+	}
+	// Forward still works on the compacted plan, bit for bit.
+	net.Blob("scores").Data.Zero()
+	if err := fz.Forward(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got := captureBits(t, net.Blob("scores"))
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("scores[%d] changed after Compact", i)
+		}
+	}
+}
+
+// TestFrozenLoadedWeights: a frozen twin restored from a weights snapshot
+// answers bitwise like the original — the save → load → freeze serving
+// path.
+func TestFrozenLoadedWeights(t *testing.T) {
+	net := buildServeNet(t, 2, 411)
+	fillTinyInputs(t, net, 412)
+	ctx := NewContext(HostLauncher{}, 1)
+	ctx.Phase = Test
+	if _, err := net.Forward(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want := captureBits(t, net.Blob("scores"))
+
+	var buf bytes.Buffer
+	if err := net.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	twin := buildServeNet(t, 2, 777)
+	if err := twin.LoadWeights(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	fz, err := Freeze(twin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := net.Blob("data").Data.Data()
+	if err := fz.SetInput("data", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := fz.Forward(NewContext(HostLauncher{}, 2)); err != nil {
+		t.Fatal(err)
+	}
+	got := captureBits(t, twin.Blob("scores"))
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("scores[%d]: loaded-frozen %08x vs original %08x", i, got[i], want[i])
+		}
+	}
+	if !tensor.Equal(net.Blob("scores").Data, twin.Blob("scores").Data) {
+		t.Fatal("tensor.Equal disagrees with bitwise capture")
+	}
+}

@@ -11,7 +11,7 @@ import (
 
 // buildTinyNet makes a small conv→relu→pool→ip→softmax classifier over
 // random inputs, the workhorse for net-level tests.
-func buildTinyNet(t *testing.T, batch int, seed int64) *Net {
+func buildTinyNet(t testing.TB, batch int, seed int64) *Net {
 	t.Helper()
 	ctx := NewContext(HostLauncher{}, seed)
 	cc := Conv(4, 3, 1, 1)
@@ -33,7 +33,7 @@ func buildTinyNet(t *testing.T, batch int, seed int64) *Net {
 	return net
 }
 
-func fillTinyInputs(t *testing.T, net *Net, seed int64) {
+func fillTinyInputs(t testing.TB, net *Net, seed int64) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	data := net.Blob("data")

@@ -25,6 +25,12 @@ const (
 	weightsMagic = "GLPW"
 	solverMagic  = "GLPS"
 	formatVer    = 1
+
+	// Reader bounds: a corrupt or adversarial snapshot must fail with a
+	// clear error before any large allocation, never panic. No real net
+	// here comes near either limit.
+	maxSnapshotParams = 1 << 20 // parameters per snapshot
+	maxSnapshotElems  = 1 << 31 // elements per tensor (8 GiB of f32)
 )
 
 var byteOrder = binary.LittleEndian
@@ -79,7 +85,10 @@ func readTensorInto(r io.Reader, dst *tensor.Tensor) error {
 	if rank > 16 {
 		return fmt.Errorf("dnn: corrupt snapshot: rank %d", rank)
 	}
-	count := 1
+	// Accumulate in int64 and bound after every dimension: rank ≤ 16 keeps
+	// the running product ≤ maxSnapshotElems × (2³²−1), which cannot
+	// overflow int64, and a hostile dims field cannot reach make().
+	count := int64(1)
 	shape := make([]int, rank)
 	for i := range shape {
 		var d uint32
@@ -87,9 +96,12 @@ func readTensorInto(r io.Reader, dst *tensor.Tensor) error {
 			return err
 		}
 		shape[i] = int(d)
-		count *= int(d)
+		count *= int64(d)
+		if count > maxSnapshotElems {
+			return fmt.Errorf("dnn: corrupt snapshot: shape %v exceeds %d elements", shape[:i+1], maxSnapshotElems)
+		}
 	}
-	if count != dst.Len() {
+	if int(count) != dst.Len() {
 		return fmt.Errorf("dnn: snapshot shape %v (%d elems) does not match blob %v (%d elems)",
 			shape, count, dst.Shape(), dst.Len())
 	}
@@ -141,10 +153,13 @@ func (n *Net) LoadWeights(r io.Reader) error {
 		return err
 	}
 	if ver != formatVer {
-		return fmt.Errorf("dnn: unsupported snapshot version %d", ver)
+		return fmt.Errorf("dnn: unsupported snapshot version %d (this build reads version %d)", ver, formatVer)
 	}
 	if err := binary.Read(br, byteOrder, &count); err != nil {
 		return err
+	}
+	if count > maxSnapshotParams {
+		return fmt.Errorf("dnn: corrupt snapshot: parameter count %d", count)
 	}
 	byName := map[string]*Blob{}
 	for _, p := range n.Params() {
@@ -247,6 +262,9 @@ func (s *Solver) Restore(r io.Reader) error {
 	}
 	if err := binary.Read(br, byteOrder, &count); err != nil {
 		return err
+	}
+	if count > maxSnapshotParams {
+		return fmt.Errorf("dnn: corrupt solver state: parameter count %d", count)
 	}
 	byName := map[string]*Blob{}
 	for _, p := range s.net.Params() {

@@ -1,0 +1,71 @@
+package dnn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzSnapshotRestore feeds arbitrary bytes to both snapshot readers. The
+// contract under attack: a truncated, mutated or adversarial snapshot must
+// return an error (or load cleanly, for byte-identical mutants) — never
+// panic, and never allocate unboundedly from a hostile rank/dims/count
+// field. The seed corpus covers a valid weights file, a valid solver
+// state, and hand-built hostile headers (wrong version, huge parameter
+// count, huge rank, overflowing dims).
+func FuzzSnapshotRestore(f *testing.F) {
+	net := buildTinyNet(f, 2, 501)
+	var weights bytes.Buffer
+	if err := net.SaveWeights(&weights); err != nil {
+		f.Fatal(err)
+	}
+	ctx := NewContext(HostLauncher{}, 502)
+	s := NewSolver(net, ctx, SolverConfig{BaseLR: 0.01, Momentum: 0.9})
+	fillTinyInputs(f, net, 503)
+	if _, err := s.Step(); err != nil {
+		f.Fatal(err)
+	}
+	var state bytes.Buffer
+	if err := s.Snapshot(&state); err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(weights.Bytes())
+	f.Add(state.Bytes())
+	f.Add(weights.Bytes()[:len(weights.Bytes())/2])
+	f.Add([]byte{})
+	f.Add([]byte("GLPW"))
+	hostile := func(build func(*bytes.Buffer)) []byte {
+		var b bytes.Buffer
+		build(&b)
+		return b.Bytes()
+	}
+	f.Add(hostile(func(b *bytes.Buffer) { // unknown version
+		b.WriteString("GLPW")
+		binary.Write(b, byteOrder, uint32(99))
+		binary.Write(b, byteOrder, uint32(1))
+	}))
+	f.Add(hostile(func(b *bytes.Buffer) { // absurd parameter count
+		b.WriteString("GLPW")
+		binary.Write(b, byteOrder, uint32(formatVer))
+		binary.Write(b, byteOrder, uint32(0xffffffff))
+	}))
+	f.Add(hostile(func(b *bytes.Buffer) { // huge rank / overflowing dims
+		b.WriteString("GLPW")
+		binary.Write(b, byteOrder, uint32(formatVer))
+		binary.Write(b, byteOrder, uint32(1))
+		binary.Write(b, byteOrder, uint32(len("conv1.w")))
+		b.WriteString("conv1.w")
+		binary.Write(b, byteOrder, uint32(8))
+		for i := 0; i < 8; i++ {
+			binary.Write(b, byteOrder, uint32(0xfffffff0))
+		}
+	}))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		target := buildTinyNet(t, 2, 504)
+		_ = target.LoadWeights(bytes.NewReader(raw))
+		sv := NewSolver(target, NewContext(HostLauncher{}, 505), SolverConfig{BaseLR: 0.01})
+		_ = sv.Restore(bytes.NewReader(raw))
+	})
+}

@@ -1,0 +1,114 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dnn"
+)
+
+// frozenOutputs lists what each workload answers with once the loss (and
+// its label/similarity input) is stripped by freezing.
+var frozenOutputs = map[string][]string{
+	"CIFAR10":   {"scores"},
+	"Siamese":   {"feat", "feat_p"},
+	"CaffeNet":  {"scores"},
+	"GoogLeNet": {"scores"},
+}
+
+func outputBits(t *testing.T, net *dnn.Net, names []string) map[string][]uint32 {
+	t.Helper()
+	out := map[string][]uint32{}
+	for _, name := range names {
+		data := net.Blob(name).Data.Data()
+		bits := make([]uint32, len(data))
+		for i, v := range data {
+			bits[i] = math.Float32bits(v)
+		}
+		out[name] = bits
+	}
+	return out
+}
+
+func assertSameBits(t *testing.T, want, got map[string][]uint32, what string) {
+	t.Helper()
+	for name, wb := range want {
+		gb := got[name]
+		if len(gb) != len(wb) {
+			t.Fatalf("%s: %s length %d vs %d", what, name, len(gb), len(wb))
+		}
+		for i := range wb {
+			if wb[i] != gb[i] {
+				t.Fatalf("%s: %s[%d] = %08x, want %08x", what, name, i, gb[i], wb[i])
+			}
+		}
+	}
+}
+
+// TestFrozenEquivalenceAllWorkloads is the inference face of the
+// convergence-invariance contract, on all four paper workloads:
+// Freeze(net).Forward is bitwise identical to the training net run in the
+// Test phase — under serial dispatch and under the operator DAG wavefront.
+func TestFrozenEquivalenceAllWorkloads(t *testing.T) {
+	batches := map[string]int{"CIFAR10": 4, "Siamese": 4, "CaffeNet": 2, "GoogLeNet": 2}
+	for _, name := range Names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			batch := batches[name]
+			w, err := Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := dnn.NewContext(dnn.HostLauncher{}, 7)
+			net, err := w.Build(ctx, batch, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.NewFeeder(batch, 8)(net); err != nil {
+				t.Fatal(err)
+			}
+
+			// Reference: the training net in Test phase.
+			tctx := dnn.NewContext(dnn.HostLauncher{}, 9)
+			tctx.Phase = dnn.Test
+			if _, err := net.Forward(tctx); err != nil {
+				t.Fatal(err)
+			}
+			outs := frozenOutputs[name]
+			want := outputBits(t, net, outs)
+
+			fz, err := dnn.Freeze(net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := fz.Outputs(); len(got) != len(outs) {
+				t.Fatalf("frozen outputs = %v, want %v", got, outs)
+			}
+
+			// Serial frozen forward, Train-phase context (freeze forces Test).
+			for _, o := range outs {
+				net.Blob(o).Data.Zero()
+			}
+			fz.EnableDAG(false)
+			if err := fz.Forward(dnn.NewContext(dnn.HostLauncher{}, 11)); err != nil {
+				t.Fatal(err)
+			}
+			assertSameBits(t, want, outputBits(t, net, outs), name+"/serial")
+
+			// DAG wavefront dispatch over forked sessions.
+			for _, o := range outs {
+				net.Blob(o).Data.Zero()
+			}
+			fz.EnableDAG(true)
+			if err := fz.Forward(dnn.NewContext(hostWidthLauncher{2}, 12)); err != nil {
+				t.Fatal(err)
+			}
+			assertSameBits(t, want, outputBits(t, net, outs), name+"/dag")
+			if name == "GoogLeNet" || name == "Siamese" {
+				if st := fz.DAGStats(); st.MaxWavefront < 2 {
+					t.Fatalf("%s frozen plan has no parallelism: %+v", name, st)
+				}
+			}
+		})
+	}
+}

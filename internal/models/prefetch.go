@@ -36,6 +36,9 @@ type InputPipe struct {
 // for synthesis only when the pipeline has fallen behind.
 func (p *InputPipe) Feed(net *dnn.Net) error {
 	b := p.pf.Next()
+	if b == nil {
+		return fmt.Errorf("models: input pipe for %s is closed", net.Name())
+	}
 	err := p.feed(net, b)
 	p.pf.Recycle(b)
 	return err

@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// LoadGen is a seeded open-loop load generator with heavy-tailed
+// (bounded Pareto) inter-arrival times — the bursty traffic shape that
+// makes dynamic batching interesting: long quiet gaps where a batch=1
+// server idles cheaply, and bursts where coalescing wins. Deterministic
+// for a fixed seed; sample content is a pure function of (seed, id), so
+// two servers driven by the same generator see bitwise-identical
+// requests regardless of arrival interleaving.
+type LoadGen struct {
+	seed  int64
+	rng   *rand.Rand // inter-arrival stream only
+	alpha float64
+	scale float64 // ns
+	maxNs float64
+}
+
+// NewLoadGen builds a generator whose inter-arrival times have the given
+// mean, Pareto tail index 1.5 (infinite variance, finite mean), and a
+// 50× mean bound so a single draw cannot stall a benchmark.
+func NewLoadGen(seed int64, mean time.Duration) *LoadGen {
+	alpha := 1.5
+	// Bounded-tail correction is negligible at 50×: E[d] ≈ scale·α/(α−1).
+	scale := float64(mean) * (alpha - 1) / alpha
+	return &LoadGen{
+		seed:  seed,
+		rng:   rand.New(rand.NewSource(seed)),
+		alpha: alpha,
+		scale: scale,
+		maxNs: 50 * float64(mean),
+	}
+}
+
+// NextDelay draws the next inter-arrival gap. Not safe for concurrent
+// use: one goroutine owns the arrival process.
+func (g *LoadGen) NextDelay() time.Duration {
+	u := g.rng.Float64()
+	for u == 0 {
+		u = g.rng.Float64()
+	}
+	d := g.scale * math.Pow(u, -1/g.alpha)
+	if d > g.maxNs {
+		d = g.maxNs
+	}
+	return time.Duration(d)
+}
+
+// Sample synthesizes request id's row for one input: size standard
+// normals from an RNG keyed by (seed, id, input). Pure — callable from
+// any goroutine, any number of times, always the same bits.
+func (g *LoadGen) Sample(id, input, size int) []float32 {
+	rng := rand.New(rand.NewSource(g.seed ^ int64(id)*1000003 ^ int64(input)*7919))
+	row := make([]float32, size)
+	for i := range row {
+		row[i] = float32(rng.NormFloat64())
+	}
+	return row
+}

@@ -1,0 +1,372 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dnn"
+	"repro/internal/simgpu"
+)
+
+// buildFrozen is a small classifier (with a dropout for the fold path)
+// frozen for serving. Identical seeds give identical weights, so two
+// calls produce servers that must answer bitwise identically.
+func buildFrozen(t testing.TB, batch int, seed int64) (*dnn.Net, *dnn.FrozenNet) {
+	t.Helper()
+	ctx := dnn.NewContext(dnn.HostLauncher{}, seed)
+	ic1 := dnn.IP(5)
+	ic1.Seed = seed
+	ic2 := dnn.IP(3)
+	ic2.Seed = seed + 1
+	net, err := dnn.NewNet("serve-test").
+		Input("data", batch, 6).
+		Add(dnn.NewIP("ip1", ic1), []string{"data"}, []string{"h"}).
+		Add(dnn.NewReLU("relu"), []string{"h"}, []string{"hr"}).
+		Add(dnn.NewDropout("drop", 0.4), []string{"hr"}, []string{"hd"}).
+		Add(dnn.NewIP("ip2", ic2), []string{"hd"}, []string{"scores"}).
+		Build(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fz, err := dnn.Freeze(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, fz
+}
+
+// reference computes the expected answer for one sample on a private
+// frozen twin: the sample in row 0, everything else zero. Per-sample
+// independence makes this the answer regardless of batch placement.
+func reference(t testing.TB, batch int, seed int64, sample []float32) []float32 {
+	t.Helper()
+	_, fz := buildFrozen(t, batch, seed)
+	in := make([]float32, fz.Blob("data").Count())
+	copy(in, sample)
+	if err := fz.SetInput("data", in); err != nil {
+		t.Fatal(err)
+	}
+	if err := fz.Forward(dnn.NewContext(dnn.HostLauncher{}, 1)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := fz.Output("scores")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append([]float32(nil), out[:3]...)
+}
+
+func assertRowBits(t *testing.T, got, want []float32, what string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: row length %d vs %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("%s[%d]: %08x vs %08x", what, i, math.Float32bits(got[i]), math.Float32bits(want[i]))
+		}
+	}
+}
+
+// TestServeDynamicBatching: concurrent single-sample clients, answers
+// bitwise equal to a clean single-sample reference, and the batcher
+// actually coalesces (fewer batches than requests).
+func TestServeDynamicBatching(t *testing.T) {
+	const batch, seed, nReq = 4, 601, 32
+	_, fz := buildFrozen(t, batch, seed)
+	srv, err := New(fz, dnn.NewContext(dnn.HostLauncher{}, 1), Config{
+		MaxBatch: batch,
+		MaxDelay: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	gen := NewLoadGen(seed, time.Millisecond)
+	var wg sync.WaitGroup
+	results := make([][]float32, nReq)
+	errs := make([]error, nReq)
+	for id := 0; id < nReq; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			out, err := srv.Predict(gen.Sample(id, 0, 6))
+			if err != nil {
+				errs[id] = err
+				return
+			}
+			results[id] = out[0]
+		}(id)
+	}
+	wg.Wait()
+	for id := 0; id < nReq; id++ {
+		if errs[id] != nil {
+			t.Fatalf("request %d: %v", id, errs[id])
+		}
+		assertRowBits(t, results[id], reference(t, batch, seed, gen.Sample(id, 0, 6)),
+			fmt.Sprintf("request %d", id))
+	}
+	st := srv.Stats()
+	if st.Requests != nReq {
+		t.Fatalf("requests = %d, want %d", st.Requests, nReq)
+	}
+	if st.Batches >= nReq {
+		t.Fatalf("batches = %d for %d requests: no coalescing happened", st.Batches, nReq)
+	}
+	if st.Samples != nReq || st.Failures != 0 {
+		t.Fatalf("samples=%d failures=%d", st.Samples, st.Failures)
+	}
+	if st.ReqP50 <= 0 || st.ReqP99 < st.ReqP50 || st.BatchP50 <= 0 {
+		t.Fatalf("latency quantiles not recorded: %+v", st)
+	}
+}
+
+// TestServeDeadlineFlush: a lone request in a MaxBatch=8 server must be
+// answered by the deadline flush, not wait for a full batch forever.
+func TestServeDeadlineFlush(t *testing.T) {
+	_, fz := buildFrozen(t, 8, 602)
+	srv, err := New(fz, dnn.NewContext(dnn.HostLauncher{}, 1), Config{
+		MaxDelay: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := srv.Predict(make([]float32, 6)); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("deadline flush never fired")
+	}
+	if st := srv.Stats(); st.Batches != 1 || st.Samples != 1 {
+		t.Fatalf("stats after lone request: %+v", st)
+	}
+}
+
+// TestServeGreedyFlush: MaxDelay < 0 answers immediately with whatever is
+// queued.
+func TestServeGreedyFlush(t *testing.T) {
+	_, fz := buildFrozen(t, 8, 603)
+	srv, err := New(fz, dnn.NewContext(dnn.HostLauncher{}, 1), Config{MaxDelay: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := srv.Predict(make([]float32, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.Stats(); st.Requests != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestServeValidation(t *testing.T) {
+	_, fz := buildFrozen(t, 2, 604)
+	srv, err := New(fz, dnn.NewContext(dnn.HostLauncher{}, 1), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := srv.Predict(); err == nil {
+		t.Fatal("no samples accepted")
+	}
+	if _, err := srv.Predict(make([]float32, 5)); err == nil {
+		t.Fatal("short sample accepted")
+	}
+	if got := srv.Inputs(); len(got) != 1 || got[0] != "data" {
+		t.Fatalf("inputs = %v", got)
+	}
+	if got := srv.Outputs(); len(got) != 1 || got[0] != "scores" {
+		t.Fatalf("outputs = %v", got)
+	}
+	if got := srv.RowSizes(); len(got) != 1 || got[0] != 6 {
+		t.Fatalf("row sizes = %v", got)
+	}
+}
+
+func TestServeClose(t *testing.T) {
+	_, fz := buildFrozen(t, 2, 605)
+	srv, err := New(fz, dnn.NewContext(dnn.HostLauncher{}, 1), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Predict(make([]float32, 6)); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv.Close() // idempotent
+	if _, err := srv.Predict(make([]float32, 6)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Predict after Close = %v, want ErrClosed", err)
+	}
+}
+
+// flakyLauncher fails every failEvery-th kernel launch with a transient
+// error before any math runs — a deterministic device-fault storm at the
+// serving layer.
+type flakyLauncher struct {
+	dnn.HostLauncher
+	every int32
+	count atomic.Int32
+	fails atomic.Int32
+}
+
+var errFlaky = errors.New("flaky: injected transient launch fault")
+
+func (f *flakyLauncher) Launch(k *simgpu.Kernel, chain int) error {
+	if f.count.Add(1)%f.every == 0 {
+		f.fails.Add(1)
+		return fmt.Errorf("launch %s: %w", k.Name, errFlaky)
+	}
+	return f.HostLauncher.Launch(k, chain)
+}
+
+// TestServeFaultStormRetriesBatch: under injected transient faults the
+// batcher retries failed batches in place — every concurrent request is
+// answered, bitwise equal to the fault-free reference, none dropped and
+// none reordered within its retried batch.
+func TestServeFaultStormRetriesBatch(t *testing.T) {
+	const batch, seed, nReq = 4, 606, 24
+	_, fz := buildFrozen(t, batch, seed)
+	fl := &flakyLauncher{every: 7}
+	srv, err := New(fz, dnn.NewContext(fl, 1), Config{
+		MaxBatch:  batch,
+		MaxDelay:  time.Millisecond,
+		Retries:   10,
+		Transient: func(err error) bool { return errors.Is(err, errFlaky) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	gen := NewLoadGen(seed, 500*time.Microsecond)
+	var wg sync.WaitGroup
+	results := make([][]float32, nReq)
+	errs := make([]error, nReq)
+	for id := 0; id < nReq; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			out, err := srv.Predict(gen.Sample(id, 0, 6))
+			if err != nil {
+				errs[id] = err
+				return
+			}
+			results[id] = out[0]
+		}(id)
+	}
+	wg.Wait()
+	for id := 0; id < nReq; id++ {
+		if errs[id] != nil {
+			t.Fatalf("request %d dropped: %v", id, errs[id])
+		}
+		assertRowBits(t, results[id], reference(t, batch, seed, gen.Sample(id, 0, 6)),
+			fmt.Sprintf("request %d under faults", id))
+	}
+	if fl.fails.Load() == 0 {
+		t.Fatal("fault storm injected nothing")
+	}
+	st := srv.Stats()
+	if st.Retries == 0 {
+		t.Fatalf("no batch retries recorded despite %d injected faults", fl.fails.Load())
+	}
+	if st.Failures != 0 || st.Requests != nReq {
+		t.Fatalf("stats under faults: %+v", st)
+	}
+}
+
+// TestServeNonTransientFails: a persistent error is answered to every
+// request in the batch, not retried forever.
+func TestServeNonTransientFails(t *testing.T) {
+	_, fz := buildFrozen(t, 2, 607)
+	fl := &flakyLauncher{every: 1} // every launch fails
+	srv, err := New(fz, dnn.NewContext(fl, 1), Config{
+		MaxDelay:  time.Millisecond,
+		Retries:   2,
+		Transient: func(error) bool { return false },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := srv.Predict(make([]float32, 6)); !errors.Is(err, errFlaky) {
+		t.Fatalf("want the injected error surfaced, got %v", err)
+	}
+	if st := srv.Stats(); st.Failures != 1 || st.Requests != 0 {
+		t.Fatalf("failure accounting: %+v", st)
+	}
+}
+
+// TestServeLedgerObserver: wiring a *core.Ledger as the Observer lands
+// serving counters in the runtime's overhead ledger.
+func TestServeLedgerObserver(t *testing.T) {
+	led := &core.Ledger{}
+	var _ Observer = led // compile-time interface check
+	_, fz := buildFrozen(t, 2, 608)
+	srv, err := New(fz, dnn.NewContext(dnn.HostLauncher{}, 1), Config{
+		MaxDelay: -1,
+		Observer: led,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := srv.Predict(make([]float32, 6)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Close()
+	snap := led.Snapshot()
+	if snap.ServeRequests != 3 || snap.ServeBatches == 0 || snap.ServeSamples != 3 {
+		t.Fatalf("ledger serving counters: %s", snap.Serving())
+	}
+	if snap.ServeReqP50 <= 0 || snap.ServeReqP99 < snap.ServeReqP50 {
+		t.Fatalf("ledger quantiles: %s", snap.Serving())
+	}
+}
+
+// TestServeCloseDrainsPending: requests pending when Close lands are
+// answered by the shutdown flush, not dropped. With MaxBatch=4 and a
+// deadline that never fires, 6 requests leave a partial batch of 2 that
+// only Close can flush.
+func TestServeCloseDrainsPending(t *testing.T) {
+	const nReq = 6
+	_, fz := buildFrozen(t, 4, 609)
+	srv, err := New(fz, dnn.NewContext(dnn.HostLauncher{}, 1), Config{
+		MaxBatch: 4,
+		MaxDelay: time.Hour, // deadline never fires: only batch-full or Close flushes
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var answered atomic.Int32
+	for id := 0; id < nReq; id++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := srv.Predict(make([]float32, 6)); err == nil {
+				answered.Add(1)
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond) // let every request enqueue
+	srv.Close()
+	wg.Wait()
+	if answered.Load() != nReq {
+		t.Fatalf("Close answered %d of %d pending requests", answered.Load(), nReq)
+	}
+}
