@@ -13,12 +13,13 @@ MAINS := \
 	./examples/quickstart \
 	./examples/timeline
 
-.PHONY: tier1 vet build test race alloc bins bench bench-tensor bench-dag bench-input bench-serve serve chaos clean
+.PHONY: tier1 vet build test race alloc purego bins bench bench-tensor bench-dag bench-input bench-kernel bench-serve serve chaos clean
 
 # tier1 is the CI gate: vet, build, the full test suite under the race
 # detector (the host-side parallel engine must stay race-clean), the
-# zero-allocation kernel gate, and a build of every binary.
-tier1: vet build race alloc bins
+# zero-allocation kernel gate, the pure-Go fallback build, and a build of
+# every binary.
+tier1: vet build race alloc purego bins
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +42,15 @@ race:
 # themselves under the race build.
 alloc:
 	$(GO) test -run 'SteadyStateAllocs' ./internal/tensor ./internal/data
+
+# The pure-Go fallback (no asm micro-kernels, the only path off amd64) must
+# stay green: vet and the focused kernel/engine suites with the asm files
+# excluded. The purego GEMM is several times slower, so this runs the
+# packages that pin the numeric contract rather than the whole-repo soak
+# (which `race` already covers on the asm path).
+purego:
+	$(GO) vet -tags purego ./...
+	$(GO) test -tags purego -timeout 30m ./internal/tensor ./internal/kernels ./internal/dnn ./internal/models
 
 bins:
 	@mkdir -p bin
@@ -76,6 +86,13 @@ bench-dag:
 # plus the bitwise parameter-identity check.
 bench-input:
 	$(GO) run ./cmd/glp4nn-bench -exp inputpipe -quick
+
+# Host kernel engine sweep: every runnable ISA level (purego → sse2 → avx2)
+# × {plain GEMM, separate bias+relu passes, fused epilogue} over the Table 5
+# GEMM geometries, bit-identity checked per arm, with machine-readable
+# records written to BENCH_kernelperf.json (the repo's perf trajectory).
+bench-kernel:
+	$(GO) run ./cmd/glp4nn-bench -exp kernelperf -json-out BENCH_kernelperf.json
 
 # Inference serving experiment: batch=1 serial vs dynamic request batching
 # on the same frozen engine, per-request answers bitwise-compared across

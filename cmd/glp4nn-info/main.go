@@ -1,9 +1,10 @@
-// Command glp4nn-info prints the simulated hardware and dataset catalogs
-// (the paper's Tables 1, 3 and 4), with -occupancy the CUDA occupancy
-// calculation for a kernel launch configuration on each device, and with
-// -dag the operator-level dependency DAG of each workload (depth, maximum
-// wavefront, critical path — the inter-layer parallelism the DAG scheduler
-// can exploit).
+// Command glp4nn-info prints the host micro-kernel ISA ladder, the
+// simulated hardware and dataset catalogs (the paper's Tables 1, 3 and 4)
+// and each workload's fusable GEMM-epilogue sites; with -occupancy the CUDA
+// occupancy calculation for a kernel launch configuration on each device,
+// and with -dag the operator-level dependency DAG of each workload (depth,
+// maximum wavefront, critical path — the inter-layer parallelism the DAG
+// scheduler can exploit).
 //
 // Examples:
 //
@@ -22,6 +23,7 @@ import (
 	"repro/internal/dnn"
 	"repro/internal/models"
 	"repro/internal/simgpu"
+	"repro/internal/tensor"
 )
 
 func main() {
@@ -56,6 +58,9 @@ func main() {
 		return
 	}
 
+	fmt.Printf("host micro-kernel ISA: detected %s, active %s (runnable: %v; GLP4NN_ISA forces down)\n\n",
+		tensor.DetectedISA(), tensor.ActiveISA(), tensor.AvailableISAs())
+
 	for _, id := range []string{"table1", "table3", "table4"} {
 		e, err := bench.Get(id)
 		if err != nil {
@@ -69,6 +74,43 @@ func main() {
 		}
 		fmt.Println()
 	}
+
+	if err := printFusion(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// printFusion builds each registered workload at a tiny batch and reports
+// its fusable GEMM-epilogue sites (what Net.EnableFusion — the CLIs' -fuse
+// flag — collapses into the GEMM while changing no bits).
+func printFusion() error {
+	fmt.Println("fusable GEMM epilogue sites per workload (enable with -fuse / Net.EnableFusion):")
+	for _, name := range models.Names {
+		w, err := models.Get(name)
+		if err != nil {
+			return err
+		}
+		ctx := dnn.NewContext(dnn.HostLauncher{}, 1)
+		ctx.Compute = false
+		net, err := w.Build(ctx, 2, 1)
+		if err != nil {
+			return fmt.Errorf("building %s: %w", name, err)
+		}
+		sites := net.FusionPlan()
+		kinds := map[string]int{}
+		for _, s := range sites {
+			kinds[s.Kind]++
+		}
+		var parts []string
+		for _, k := range []string{"conv+bias+relu", "conv+bias", "conv+relu", "ip+bias"} {
+			if kinds[k] > 0 {
+				parts = append(parts, fmt.Sprintf("%d %s", kinds[k], k))
+			}
+		}
+		fmt.Printf("  %-10s %3d sites (%s)\n", name, len(sites), strings.Join(parts, ", "))
+	}
+	return nil
 }
 
 // printDAGs builds each registered workload at a tiny batch and prints its

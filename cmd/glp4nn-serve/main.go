@@ -39,6 +39,7 @@ type options struct {
 	device   string
 	useGLP   bool
 	useDAG   bool
+	useFuse  bool
 	weights  string
 	seed     int64
 	mean     time.Duration
@@ -56,6 +57,7 @@ func main() {
 	flag.StringVar(&o.device, "device", "P100", "simulated GPU: K40C, P100 or TitanXP")
 	flag.BoolVar(&o.useGLP, "glp4nn", false, "serve through GLP4NN's runtime (stream pool + copy stream) instead of the serial launcher")
 	flag.BoolVar(&o.useDAG, "dag", false, "dispatch independent layers as concurrent wavefronts (bits unchanged)")
+	flag.BoolVar(&o.useFuse, "fuse", false, "fuse bias/ReLU epilogues into the GEMM kernels (bits unchanged)")
 	flag.StringVar(&o.weights, "weights", "", "load a weights snapshot (glp4nn-train -save-weights) before freezing")
 	flag.Int64Var(&o.seed, "seed", 1, "seed for weights, load shape and sample content")
 	flag.DurationVar(&o.mean, "mean-gap", 500*time.Microsecond, "mean request inter-arrival gap (Pareto tail)")
@@ -122,6 +124,10 @@ func run(out io.Writer, o options) error {
 		}
 	}
 	net.EnableDAG(o.useDAG)
+	fusedSites := 0
+	if o.useFuse {
+		fusedSites = net.EnableFusion(true)
+	}
 	fz, err := dnn.Freeze(net)
 	if err != nil {
 		return err
@@ -139,10 +145,13 @@ func run(out io.Writer, o options) error {
 	defer srv.Close()
 
 	if !o.jsonOut {
-		fmt.Fprintf(out, "serving %s on %s: engine batch %d, max-batch %d, max-delay %v, glp4nn=%v dag=%v\n",
-			o.netName, spec.Name, fz.Batch(), srv.MaxBatch(), o.maxDelay, o.useGLP, o.useDAG)
+		fmt.Fprintf(out, "serving %s on %s: engine batch %d, max-batch %d, max-delay %v, glp4nn=%v dag=%v fuse=%v\n",
+			o.netName, spec.Name, fz.Batch(), srv.MaxBatch(), o.maxDelay, o.useGLP, o.useDAG, o.useFuse)
 		fmt.Fprintf(out, "frozen: inputs %v → outputs %v, %d gradient elements dropped\n",
 			fz.Inputs(), fz.Outputs(), freed)
+		if o.useFuse {
+			fmt.Fprintf(out, "fused GEMM epilogues: %d sites\n", fusedSites)
+		}
 		if o.weights != "" {
 			fmt.Fprintf(out, "weights loaded from %s\n", o.weights)
 		}
@@ -190,8 +199,8 @@ func run(out io.Writer, o options) error {
 			Batch: fz.Batch(), MaxBatch: srv.MaxBatch(),
 			Requests: st.Requests, Batches: st.Batches, MeanBatch: mean,
 			Retries: st.Retries, Failures: st.Failures,
-			WallMs: float64(wall) / float64(time.Millisecond),
-			RPS:    float64(st.Requests) / wall.Seconds(),
+			WallMs:   float64(wall) / float64(time.Millisecond),
+			RPS:      float64(st.Requests) / wall.Seconds(),
 			ReqP50Ms: float64(st.ReqP50) / float64(time.Millisecond),
 			ReqP99Ms: float64(st.ReqP99) / float64(time.Millisecond),
 			BatP50Ms: float64(st.BatchP50) / float64(time.Millisecond),

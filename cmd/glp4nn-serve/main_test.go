@@ -41,6 +41,23 @@ func TestServeCLISmoke(t *testing.T) {
 	}
 }
 
+// TestServeCLIFuse: a fused frozen engine serves the same load without
+// failures and reports its fused-site count.
+func TestServeCLIFuse(t *testing.T) {
+	var buf bytes.Buffer
+	o := baseOpts()
+	o.useFuse = true
+	if err := run(&buf, o); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	got := buf.String()
+	for _, want := range []string{"fuse=true", "fused GEMM epilogues:", "served 16 requests"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
 func TestServeCLIJSON(t *testing.T) {
 	var buf bytes.Buffer
 	o := baseOpts()

@@ -31,6 +31,7 @@ func main() {
 		device  = flag.String("device", "P100", "simulated GPU: K40C, P100 or TitanXP")
 		useGLP  = flag.Bool("glp4nn", false, "train through GLP4NN instead of the serial baseline")
 		useDAG  = flag.Bool("dag", false, "execute independent layers concurrently (operator DAG scheduler; bits unchanged)")
+		useFuse = flag.Bool("fuse", false, "fuse bias/ReLU epilogues into the GEMM kernels (bits unchanged)")
 		prefFlg = flag.Bool("prefetch", false, "synthesize input batches asynchronously: double-buffered prefetch with copy-stream H2D staging (bits unchanged)")
 		compute = flag.Bool("compute", true, "run real math (disable for timing-only runs)")
 		seed    = flag.Int64("seed", 1, "seed")
@@ -61,16 +62,16 @@ func main() {
 		fp.Seed = *seed
 	}
 
-	if _, err := run(os.Stdout, *netName, *batch, *iters, *device, *useGLP, *useDAG, *prefFlg, *compute, *seed, *every, *trace, *saveW, fp); err != nil {
+	if _, err := run(os.Stdout, *netName, *batch, *iters, *device, *useGLP, *useDAG, *useFuse, *prefFlg, *compute, *seed, *every, *trace, *saveW, fp); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
 // run trains the workload and returns the final iteration's loss (0 for
-// timing-only runs), so tests can assert the -dag and -prefetch schedules
-// change no bits.
-func run(out io.Writer, netName string, batch, iters int, device string, useGLP, useDAG, prefetch, compute bool, seed int64, every int, tracePath, saveWeights string, fp simgpu.FaultPlan) (float64, error) {
+// timing-only runs), so tests can assert the -dag, -fuse and -prefetch
+// schedules change no bits.
+func run(out io.Writer, netName string, batch, iters int, device string, useGLP, useDAG, useFuse, prefetch, compute bool, seed int64, every int, tracePath, saveWeights string, fp simgpu.FaultPlan) (float64, error) {
 	spec, ok := simgpu.DeviceByName(device)
 	if !ok {
 		return 0, fmt.Errorf("unknown device %q (have %v)", device, simgpu.CatalogNames())
@@ -106,12 +107,15 @@ func run(out io.Writer, netName string, batch, iters int, device string, useGLP,
 
 	ctx := dnn.NewContext(launcher, seed)
 	ctx.Compute = compute
-	fmt.Fprintf(out, "building %s (batch %d) for %s, glp4nn=%v dag=%v prefetch=%v compute=%v\n", netName, batch, spec.Name, useGLP, useDAG, prefetch, compute)
+	fmt.Fprintf(out, "building %s (batch %d) for %s, glp4nn=%v dag=%v fuse=%v prefetch=%v compute=%v\n", netName, batch, spec.Name, useGLP, useDAG, useFuse, prefetch, compute)
 	net, err := w.Build(ctx, batch, seed)
 	if err != nil {
 		return 0, err
 	}
 	net.EnableDAG(useDAG)
+	if useFuse {
+		fmt.Fprintf(out, "fused GEMM epilogues: %d sites\n", net.EnableFusion(true))
+	}
 	fmt.Fprint(out, net.Summary())
 
 	// Same (batch, seed) → same batch stream, pipelined or not: that is

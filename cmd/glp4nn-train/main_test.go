@@ -15,11 +15,11 @@ import (
 // the serial baseline and the GLP4NN runtime.
 func TestDAGFlagLossIdentical(t *testing.T) {
 	for _, glp := range []bool{false, true} {
-		serial, err := run(io.Discard, "GoogLeNet", 2, 3, "P100", glp, false, false, true, 1, 0, "", "", simgpu.FaultPlan{})
+		serial, err := run(io.Discard, "GoogLeNet", 2, 3, "P100", glp, false, false, false, true, 1, 0, "", "", simgpu.FaultPlan{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		dag, err := run(io.Discard, "GoogLeNet", 2, 3, "P100", glp, true, false, true, 1, 0, "", "", simgpu.FaultPlan{})
+		dag, err := run(io.Discard, "GoogLeNet", 2, 3, "P100", glp, true, false, false, true, 1, 0, "", "", simgpu.FaultPlan{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -36,11 +36,49 @@ func TestDAGFlagLossIdentical(t *testing.T) {
 // concurrent-session dispatch count.
 func TestDAGFlagReportsDispatches(t *testing.T) {
 	var sb strings.Builder
-	if _, err := run(&sb, "GoogLeNet", 2, 3, "P100", true, true, false, true, 1, 0, "", "", simgpu.FaultPlan{}); err != nil {
+	if _, err := run(&sb, "GoogLeNet", 2, 3, "P100", true, true, false, false, true, 1, 0, "", "", simgpu.FaultPlan{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "operator DAG dispatches:") {
 		t.Fatalf("missing DAG dispatch report in output:\n%s", sb.String())
+	}
+}
+
+// TestFuseFlagLossIdentical is the CLI-level fusion numeric contract:
+// -fuse collapses bias/ReLU passes into the GEMM epilogue and the final
+// loss must not move by a single bit — alone and stacked with -dag, under
+// both the serial baseline and the GLP4NN runtime.
+func TestFuseFlagLossIdentical(t *testing.T) {
+	for _, glp := range []bool{false, true} {
+		serial, err := run(io.Discard, "GoogLeNet", 2, 3, "P100", glp, false, false, false, true, 1, 0, "", "", simgpu.FaultPlan{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fused, err := run(io.Discard, "GoogLeNet", 2, 3, "P100", glp, false, true, false, true, 1, 0, "", "", simgpu.FaultPlan{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(serial) != math.Float64bits(fused) {
+			t.Fatalf("glp4nn=%v: -fuse changed the final loss: serial %v fused %v", glp, serial, fused)
+		}
+		both, err := run(io.Discard, "GoogLeNet", 2, 3, "P100", glp, true, true, false, true, 1, 0, "", "", simgpu.FaultPlan{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(serial) != math.Float64bits(both) {
+			t.Fatalf("glp4nn=%v: -dag -fuse changed the final loss: serial %v both %v", glp, serial, both)
+		}
+	}
+}
+
+// TestFuseFlagReportsSites: -fuse prints the fused-site count.
+func TestFuseFlagReportsSites(t *testing.T) {
+	var sb strings.Builder
+	if _, err := run(&sb, "CIFAR10", 4, 2, "P100", false, false, true, false, true, 1, 0, "", "", simgpu.FaultPlan{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fused GEMM epilogues:") {
+		t.Fatalf("missing fusion report in output:\n%s", sb.String())
 	}
 }
 
@@ -52,11 +90,11 @@ func TestDAGFlagReportsDispatches(t *testing.T) {
 func TestPrefetchFlagLossIdentical(t *testing.T) {
 	for _, net := range []string{"CIFAR10", "Siamese", "CaffeNet", "GoogLeNet"} {
 		for _, glp := range []bool{false, true} {
-			serial, err := run(io.Discard, net, 2, 2, "P100", glp, false, false, true, 1, 0, "", "", simgpu.FaultPlan{})
+			serial, err := run(io.Discard, net, 2, 2, "P100", glp, false, false, false, true, 1, 0, "", "", simgpu.FaultPlan{})
 			if err != nil {
 				t.Fatal(err)
 			}
-			pre, err := run(io.Discard, net, 2, 2, "P100", glp, false, true, true, 1, 0, "", "", simgpu.FaultPlan{})
+			pre, err := run(io.Discard, net, 2, 2, "P100", glp, false, false, true, true, 1, 0, "", "", simgpu.FaultPlan{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -72,7 +110,7 @@ func TestPrefetchFlagLossIdentical(t *testing.T) {
 // (which includes copy-stream overlap time).
 func TestPrefetchFlagReportsPipeline(t *testing.T) {
 	var sb strings.Builder
-	if _, err := run(&sb, "CIFAR10", 4, 3, "P100", true, false, true, true, 1, 0, "", "", simgpu.FaultPlan{}); err != nil {
+	if _, err := run(&sb, "CIFAR10", 4, 3, "P100", true, false, false, true, true, 1, 0, "", "", simgpu.FaultPlan{}); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -91,12 +129,12 @@ func TestPrefetchFlagReportsPipeline(t *testing.T) {
 // fault schedule still converges to the fault-free loss — the copy stream's
 // retry/quarantine path and the runtime's self-healing keep bits intact.
 func TestPrefetchFlagUnderFaults(t *testing.T) {
-	clean, err := run(io.Discard, "CIFAR10", 4, 3, "P100", true, false, true, true, 1, 0, "", "", simgpu.FaultPlan{})
+	clean, err := run(io.Discard, "CIFAR10", 4, 3, "P100", true, false, false, true, true, 1, 0, "", "", simgpu.FaultPlan{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	fp := simgpu.FaultPlan{Seed: 7, Memcpy: 0.3, Launch: 0.05, MaxFaults: 32}
-	faulty, err := run(io.Discard, "CIFAR10", 4, 3, "P100", true, false, true, true, 1, 0, "", "", fp)
+	faulty, err := run(io.Discard, "CIFAR10", 4, 3, "P100", true, false, false, true, true, 1, 0, "", "", fp)
 	if err != nil {
 		t.Fatal(err)
 	}

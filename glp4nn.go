@@ -44,6 +44,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/serve"
 	"repro/internal/simgpu"
+	"repro/internal/tensor"
 )
 
 // Re-exported core types. The façade keeps examples and downstream users on
@@ -149,6 +150,23 @@ type (
 	LoadGen = serve.LoadGen
 	// LatencyWindow is a bounded sliding window with nearest-rank quantiles.
 	LatencyWindow = core.LatencyWindow
+
+	// ISA is one rung of the host micro-kernel dispatch ladder behind the
+	// engine's GEMM (purego → sse2 → avx2). Every rung produces bitwise
+	// identical outputs — dispatch is a pure speed decision (DESIGN §7.5).
+	ISA = tensor.ISA
+
+	// FusedSite is one fusable GEMM-epilogue site of a built network: the
+	// producing conv/ip layer, the kind of epilogue (conv+bias+relu,
+	// conv+bias, conv+relu or ip+bias) and the absorbed ReLU layer, if any.
+	FusedSite = dnn.FusedSite
+)
+
+// The micro-kernel dispatch ladder's rungs, lowest to highest.
+const (
+	ISAPureGo = tensor.ISAPureGo
+	ISASSE2   = tensor.ISASSE2
+	ISAAVX2   = tensor.ISAAVX2
 )
 
 // The paper's three evaluation GPUs (Table 3).
@@ -227,6 +245,41 @@ func WithDAG(net *Net) *Net {
 	net.EnableDAG(true)
 	return net
 }
+
+// WithFusedEpilogues switches a built network onto fused GEMM epilogues and
+// returns it: bias addition and ReLU activation are applied per row segment
+// inside the producing GEMM while the output tile is cache-hot, collapsing
+// the separate bias and activation kernels. The epilogues are elementwise
+// transforms of a finished GEMM row, so every blob and every trained
+// parameter stays bitwise identical to the unfused schedule (DESIGN §7.5);
+// it composes freely with WithDAG and the host pool. Net.Summary reports
+// the detected sites.
+func WithFusedEpilogues(net *Net) *Net {
+	net.EnableFusion(true)
+	return net
+}
+
+// DetectedISA returns the highest micro-kernel ISA level this host can run.
+func DetectedISA() ISA { return tensor.DetectedISA() }
+
+// ActiveISA returns the level the GEMM currently dispatches to.
+func ActiveISA() ISA { return tensor.ActiveISA() }
+
+// AvailableISAs returns every runnable level in ascending order.
+func AvailableISAs() []ISA { return tensor.AvailableISAs() }
+
+// SetISA forces the GEMM dispatch level. Forcing below the detected ceiling
+// is always allowed (bits are identical at every rung, so this is a pure
+// speed/reproducibility knob — the GLP4NN_ISA environment variable does the
+// same at process start); forcing above it is an error.
+func SetISA(lv ISA) error { return tensor.SetISA(lv) }
+
+// SetISAName is SetISA for CLI/env-style names ("purego", "sse2", "avx2");
+// "auto" or "" restores the detected ceiling.
+func SetISAName(name string) error { return tensor.SetISAName(name) }
+
+// ParseISA parses an ISA level name as accepted by GLP4NN_ISA.
+func ParseISA(name string) (ISA, error) { return tensor.ParseISA(name) }
 
 // Freeze compiles a built network into a forward-only inference executor.
 // Loss/accuracy layers and their exclusive inputs are stripped, dropout

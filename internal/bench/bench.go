@@ -37,6 +37,10 @@ type Config struct {
 	// Quick shrinks batch sizes and sweep ranges so the experiment smoke-
 	// runs in seconds (used by unit tests and testing.B wrappers).
 	Quick bool
+	// JSONOut, when non-empty, makes experiments that support it (currently
+	// kernelperf) write their records as a machine-readable JSON file at
+	// this path in addition to the human-readable table.
+	JSONOut string
 	// ConvergenceIters overrides the Fig. 11 training length.
 	ConvergenceIters int
 }

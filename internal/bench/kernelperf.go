@@ -1,23 +1,25 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
 	"math/rand"
+	"os"
 	"time"
 
-	"repro/internal/hostpool"
 	"repro/internal/tensor"
 )
 
 func init() {
 	register(&Experiment{
 		ID:    "kernelperf",
-		Title: "Host kernel engine: blocked SGEMM vs naive, Table 5 geometries",
+		Title: "Host kernel engine: ISA dispatch ladder × fused epilogues, Table 5 geometries",
 		Paper: "Extension: the simulated kernels' host math dominates reproduction wall-clock; " +
-			"the blocked zero-allocation SGEMM and the row-parallel variant must beat the " +
-			"naive triple loop while staying bit-identical to it.",
+			"every rung of the runtime-dispatched micro-kernel ladder (purego → sse2 → avx2) " +
+			"and the fused bias+ReLU epilogue must beat the rung/passes below them while " +
+			"staying bit-identical to the naive triple loop plus separate passes.",
 		Run: runKernelPerf,
 	})
 }
@@ -56,35 +58,113 @@ func naiveGemm(m, n, k int, alpha float32, a, b []float32, c []float32) {
 	}
 }
 
-// runKernelPerf times naive vs blocked vs row-parallel GEMM on each shape,
-// verifying bitwise identity of every variant against the naive loop.
+// kernelPerfRecord is one machine-readable sweep point: a (shape, ISA level)
+// pair with the timings of every arm in milliseconds.
+type kernelPerfRecord struct {
+	Shape string `json:"shape"`
+	M     int    `json:"m"`
+	N     int    `json:"n"`
+	K     int    `json:"k"`
+	ISA   string `json:"isa"`
+	// NaiveMs is the ISA-independent triple-loop baseline for this shape.
+	NaiveMs float64 `json:"naive_ms"`
+	// GemmMs is the blocked GEMM alone at this ISA level.
+	GemmMs float64 `json:"gemm_ms"`
+	// SeparateMs is blocked GEMM + bias pass + ReLU pass, each its own
+	// sweep over C (the unfused operator sequence).
+	SeparateMs float64 `json:"separate_ms"`
+	// FusedMs is GemmFused with the bias+ReLU epilogue applied per row
+	// segment while C is cache-hot.
+	FusedMs float64 `json:"fused_ms"`
+	// SpeedupVsNaive is NaiveMs/GemmMs; FusionSpeedup is SeparateMs/FusedMs.
+	SpeedupVsNaive float64 `json:"speedup_vs_naive"`
+	FusionSpeedup  float64 `json:"fusion_speedup"`
+	Bitwise        bool    `json:"bitwise"`
+}
+
+// kernelPerfReport is the JSONOut document.
+type kernelPerfReport struct {
+	Experiment  string             `json:"experiment"`
+	Generated   string             `json:"generated"`
+	Reps        int                `json:"reps"`
+	DetectedISA string             `json:"detected_isa"`
+	Records     []kernelPerfRecord `json:"records"`
+}
+
+// runKernelPerf sweeps every runnable ISA level × {plain, separate-passes,
+// fused-epilogue} over each shape, verifying bitwise identity of every arm
+// against the naive loop (plus the same passes run separately) and reporting
+// per-rung and per-fusion speedups. With cfg.JSONOut set, the sweep is also
+// written as JSON.
 func runKernelPerf(cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	reps := 5
 	if cfg.Quick {
 		reps = 1
 	}
-	pool := hostpool.Default()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	fmt.Fprintf(w, "blocked SGEMM vs naive triple loop, %d rep(s), pool of %d worker(s)\n\n",
-		reps, pool.Workers())
-	t := newTable("GEMM (M×N×K)", "naive", "blocked", "speedup", "row-par", "speedup", "bitwise")
+	levels := tensor.AvailableISAs()
+	prev := tensor.ActiveISA()
+	defer func() { _ = tensor.SetISA(prev) }()
+
+	fmt.Fprintf(w, "ISA ladder %v × fusion sweep, %d rep(s); fused arm = bias+ReLU epilogue in the GEMM\n\n",
+		levels, reps)
+	t := newTable("GEMM (M×N×K)", "isa", "naive", "gemm", "vs naive", "g+b+r", "fused", "fusion", "bitwise")
 	shapes := kernelGemmShapes
 	if cfg.Quick {
 		shapes = shapes[:2]
 	}
+	var records []kernelPerfRecord
 	for _, s := range shapes {
 		a := make([]float32, s.m*s.k)
 		b := make([]float32, s.k*s.n)
+		bias := make([]float32, s.m)
 		for i := range a {
 			a[i] = float32(rng.NormFloat64())
 		}
 		for i := range b {
 			b[i] = float32(rng.NormFloat64())
 		}
+		for i := range bias {
+			bias[i] = float32(rng.NormFloat64())
+		}
 		want := make([]float32, s.m*s.n)
+		wantEpi := make([]float32, s.m*s.n)
 		got := make([]float32, s.m*s.n)
+
+		// The fused arm's epilogue and its separate-pass equivalents. The
+		// bias pass skips bv == 0 exactly like the gemmk bias kernel it
+		// replaces (preserving -0 outputs); ReLU clamps in place.
+		epi := func(row, col int, seg []float32) {
+			if bv := bias[row]; bv != 0 {
+				for j := range seg {
+					seg[j] += bv
+				}
+			}
+			for j, v := range seg {
+				if v < 0 {
+					seg[j] = 0
+				}
+			}
+		}
+		biasPass := func(c []float32) {
+			for i := 0; i < s.m; i++ {
+				if bv := bias[i]; bv != 0 {
+					ci := c[i*s.n : (i+1)*s.n]
+					for j := range ci {
+						ci[j] += bv
+					}
+				}
+			}
+		}
+		reluPass := func(c []float32) {
+			for i, v := range c {
+				if v < 0 {
+					c[i] = 0
+				}
+			}
+		}
 
 		timeIt := func(fn func()) time.Duration {
 			best := time.Duration(math.MaxInt64)
@@ -99,24 +179,73 @@ func runKernelPerf(cfg Config, w io.Writer) error {
 		}
 
 		tNaive := timeIt(func() { naiveGemm(s.m, s.n, s.k, 1, a, b, want) })
-		tBlocked := timeIt(func() { tensor.Gemm(false, false, s.m, s.n, s.k, 1, a, b, 0, got) })
-		identical := bitwiseEqual(got, want)
-		tPar := timeIt(func() { tensor.GemmParallel(pool, false, false, s.m, s.n, s.k, 1, a, b, 0, got) })
-		identical = identical && bitwiseEqual(got, want)
+		copy(wantEpi, want)
+		biasPass(wantEpi)
+		reluPass(wantEpi)
 
-		t.addf("%s %dx%dx%d\t%s\t%s\t%.2fx\t%s\t%.2fx\t%v",
-			s.name, s.m, s.n, s.k,
-			ms(tNaive), ms(tBlocked), float64(tNaive)/float64(tBlocked),
-			ms(tPar), float64(tNaive)/float64(tPar), identical)
-		if !identical {
-			t.write(w)
-			return fmt.Errorf("bench: kernelperf %s: blocked GEMM not bit-identical to naive", s.name)
+		for _, lv := range levels {
+			if err := tensor.SetISA(lv); err != nil {
+				return fmt.Errorf("bench: kernelperf: forcing %s: %w", lv, err)
+			}
+			tGemm := timeIt(func() { tensor.Gemm(false, false, s.m, s.n, s.k, 1, a, b, 0, got) })
+			identical := bitwiseEqual(got, want)
+			tSep := timeIt(func() {
+				tensor.Gemm(false, false, s.m, s.n, s.k, 1, a, b, 0, got)
+				biasPass(got)
+				reluPass(got)
+			})
+			identical = identical && bitwiseEqual(got, wantEpi)
+			tFused := timeIt(func() {
+				tensor.GemmFused(false, false, s.m, s.n, s.k, 1, a, b, 0, got, epi)
+			})
+			identical = identical && bitwiseEqual(got, wantEpi)
+
+			rec := kernelPerfRecord{
+				Shape: s.name, M: s.m, N: s.n, K: s.k, ISA: lv.String(),
+				NaiveMs: msF(tNaive), GemmMs: msF(tGemm),
+				SeparateMs: msF(tSep), FusedMs: msF(tFused),
+				SpeedupVsNaive: float64(tNaive) / float64(tGemm),
+				FusionSpeedup:  float64(tSep) / float64(tFused),
+				Bitwise:        identical,
+			}
+			records = append(records, rec)
+			t.addf("%s %dx%dx%d\t%s\t%s\t%s\t%.2fx\t%s\t%s\t%.2fx\t%v",
+				s.name, s.m, s.n, s.k, lv,
+				ms(tNaive), ms(tGemm), rec.SpeedupVsNaive,
+				ms(tSep), ms(tFused), rec.FusionSpeedup, identical)
+			if !identical {
+				t.write(w)
+				return fmt.Errorf("bench: kernelperf %s at %s: output not bit-identical to naive + separate passes", s.name, lv)
+			}
 		}
 	}
 	t.write(w)
-	fmt.Fprintln(w, "\nbitwise column compares every blocked/row-parallel output element to the naive loop.")
+	fmt.Fprintln(w, "\nbitwise column compares every arm's output elements to the naive loop")
+	fmt.Fprintln(w, "(plus the identical bias and ReLU passes run separately); g+b+r is the")
+	fmt.Fprintln(w, "unfused gemm → bias → relu sequence the fused epilogue collapses.")
+
+	if cfg.JSONOut != "" {
+		report := kernelPerfReport{
+			Experiment:  "kernelperf",
+			Generated:   time.Now().UTC().Format(time.RFC3339),
+			Reps:        reps,
+			DetectedISA: tensor.DetectedISA().String(),
+			Records:     records,
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return fmt.Errorf("bench: kernelperf: encoding JSON: %w", err)
+		}
+		if err := os.WriteFile(cfg.JSONOut, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("bench: kernelperf: writing %s: %w", cfg.JSONOut, err)
+		}
+		fmt.Fprintf(w, "\nwrote %d records to %s\n", len(records), cfg.JSONOut)
+	}
 	return nil
 }
+
+// msF is a duration in float milliseconds (the JSON twin of ms).
+func msF(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
 func bitwiseEqual(a, b []float32) bool {
 	if len(a) != len(b) {

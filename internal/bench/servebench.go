@@ -180,7 +180,7 @@ func RunServeBenchRows(cfg Config) ([]ServeBenchRow, error) {
 			SerialP50: serialSt.ReqP50, SerialP99: serialSt.ReqP99,
 			DynP50: dynSt.ReqP50, DynP99: dynSt.ReqP99,
 			DynBatchP50: dynSt.BatchP50, DynBatchP99: dynSt.BatchP99,
-			MeanBatch:   mean,
+			MeanBatch: mean,
 
 			Identical: paramsEqual(serialOut, dynOut),
 		})

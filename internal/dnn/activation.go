@@ -10,11 +10,15 @@ import (
 // whole batch in both directions.
 type ReLULayer struct {
 	baseLayer
+
+	// fusedInput (set by Net.EnableFusion, see fusion.go) marks this
+	// layer's forward as fused into its producer's GEMM epilogue.
+	fusedInput bool
 }
 
 // NewReLU constructs a ReLU layer.
 func NewReLU(name string) *ReLULayer {
-	return &ReLULayer{baseLayer{name: name, typ: "ReLU"}}
+	return &ReLULayer{baseLayer: baseLayer{name: name, typ: "ReLU"}}
 }
 
 // Setup implements Layer.
@@ -28,6 +32,15 @@ func (l *ReLULayer) Setup(ctx *Context, bottom, top []*Blob) error {
 
 // Forward implements Layer.
 func (l *ReLULayer) Forward(ctx *Context, bottom, top []*Blob) error {
+	if l.fusedInput {
+		// The producer's fused GEMM epilogue already wrote this layer's top
+		// (max(0, bottom)) while each output segment was cache hot, and the
+		// producer's barrier retired those writes before its Forward
+		// returned; serial order and the DAG's producer→consumer edge both
+		// run this layer after the producer. The bottom blob still holds
+		// the exact pre-activation values, so Backward is unchanged.
+		return nil
+	}
 	src := bottom[0].Data.Data()
 	dst := top[0].Data.Data()
 	k := kernels.Elementwise("relu_fwd", l.name, len(src), 8, 1, func() {

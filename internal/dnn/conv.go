@@ -70,6 +70,13 @@ type ConvLayer struct {
 	partW    []*tensor.Buf // per-chain weight-gradient partials
 	partB    []*tensor.Buf // per-chain bias-gradient partials
 	onesP    []float32     // length p, for bias broadcast
+
+	// Fusion flags set by Net.EnableFusion (see fusion.go): fuseBias folds
+	// the gemmk bias pass into the forward GEMM's epilogue; fusedReLU, when
+	// non-nil, is the downstream activation's top blob, co-written with
+	// max(0, x) by the same epilogue. Backward is untouched.
+	fuseBias  bool
+	fusedReLU *Blob
 }
 
 // NewConv constructs a convolution layer.
@@ -183,6 +190,11 @@ func (l *ConvLayer) forwardDispatch(ctx *Context, bottom, top []*Blob, width int
 	n := bottom[0].Num()
 	w := l.weight.Data.Data()
 	par := ctx.RowPar()
+	var bias []float32
+	if l.fuseBias && l.bias != nil {
+		bias = l.bias.Data.Data()
+	}
+	fused := bias != nil || l.fusedReLU != nil
 	for i := 0; i < n; i++ {
 		chain := i
 		buf := l.colBufs[i%width].Data
@@ -191,6 +203,16 @@ func (l *ConvLayer) forwardDispatch(ctx *Context, bottom, top []*Blob, width int
 		tag := fmt.Sprintf("%s/n%d", l.name, i)
 		if err := ctx.Dispatch(kernels.Im2col(tag, img, l.geom, buf), chain); err != nil {
 			return err
+		}
+		if fused {
+			// Bias (and ReLU co-write) ride the GEMM's fused epilogue; the
+			// separate gemmk/relu_fwd kernels never launch. Bitwise
+			// identical outputs — see fusion.go.
+			epi, ops := l.fusionEpilogue(bias, i)
+			if err := ctx.Dispatch(kernels.SgemmEpi(tag, par, false, false, l.co, l.p, l.k, 1, w, buf, 0, out, epi, ops), chain); err != nil {
+				return err
+			}
+			continue
 		}
 		if err := ctx.Dispatch(kernels.SgemmP(tag, par, false, false, l.co, l.p, l.k, 1, w, buf, 0, out), chain); err != nil {
 			return err

@@ -505,9 +505,9 @@ func (failForkLauncher) Launch(k *simgpu.Kernel, _ int) error {
 	k.Fn()
 	return nil
 }
-func (failForkLauncher) Sync() error            { return nil }
-func (failForkLauncher) Width() int             { return 1 }
-func (failForkLauncher) ForkLayerSession() any  { return failingLauncher{} }
+func (failForkLauncher) Sync() error           { return nil }
+func (failForkLauncher) Width() int            { return 1 }
+func (failForkLauncher) ForkLayerSession() any { return failingLauncher{} }
 
 type failingLauncher struct{}
 

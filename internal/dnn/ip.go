@@ -34,6 +34,10 @@ type IPLayer struct {
 	in     int
 	out    int
 	onesN  []float32
+
+	// fuseBias (set by Net.EnableFusion, see fusion.go) folds the
+	// ones·biasᵀ rank-one pass into the forward GEMM's epilogue.
+	fuseBias bool
 }
 
 // NewIP constructs an inner-product layer.
@@ -81,6 +85,22 @@ func (l *IPLayer) Forward(ctx *Context, bottom, top []*Blob) error {
 	w := l.weight.Data.Data()
 	// y = x(N×In) · Wᵀ(In×Out). FC layers run one whole-batch GEMM on a
 	// single chain, so row-band parallelism is what puts the pool to work.
+	if l.fuseBias && l.bias != nil {
+		bias := l.bias.Data.Data()
+		// The separate pass is ones(N×1)·bias(1×Out) with av = 1·1 never
+		// zero, so the fused add is unconditional: y[i,j] += 1·bias[j],
+		// and 1·b is bitwise b. See fusion.go for the full contract.
+		epi := func(row, col int, seg []float32) {
+			bseg := bias[col : col+len(seg)]
+			for j, bv := range bseg {
+				seg[j] += bv
+			}
+		}
+		if err := ctx.Dispatch(kernels.SgemmEpi(l.name, ctx.RowPar(), false, true, n, l.out, l.in, 1, x, w, 0, y, epi, 1), 0); err != nil {
+			return err
+		}
+		return ctx.Barrier()
+	}
 	if err := ctx.Dispatch(kernels.SgemmP(l.name, ctx.RowPar(), false, true, n, l.out, l.in, 1, x, w, 0, y), 0); err != nil {
 		return err
 	}

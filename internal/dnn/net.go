@@ -32,6 +32,10 @@ type Net struct {
 	dagOn  bool
 	dag    *layerDAG
 	dagErr error
+
+	// fusionOn records whether EnableFusion activated any fused GEMM
+	// epilogues (see fusion.go).
+	fusionOn bool
 }
 
 // Name returns the net's name.
@@ -395,6 +399,17 @@ func (n *Net) Summary() string {
 	if st, err := n.DAGStats(); err == nil && st.Layers > 0 {
 		fmt.Fprintf(&sb, "  inter-layer DAG: %s\n", st)
 		fmt.Fprintf(&sb, "  critical path: %s\n", strings.Join(st.CriticalPath, " → "))
+	}
+	if sites := n.FusionPlan(); len(sites) > 0 {
+		state := "off; Net.EnableFusion activates"
+		if n.fusionOn {
+			state = "enabled"
+		}
+		descs := make([]string, len(sites))
+		for i, s := range sites {
+			descs[i] = s.String()
+		}
+		fmt.Fprintf(&sb, "  fusable epilogues (%s): %d sites: %s\n", state, len(sites), strings.Join(descs, ", "))
 	}
 	return sb.String()
 }

@@ -135,6 +135,17 @@ func Sgemm(tag string, transA, transB bool, m, n, k int, alpha float32, a, b []f
 // tensor.GemmParallel). The simulated kernel and its launch geometry are
 // unchanged; only the host-side wall-clock of the closure improves.
 func SgemmP(tag string, par tensor.RowParallel, transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) *simgpu.Kernel {
+	return SgemmEpi(tag, par, transA, transB, m, n, k, alpha, a, b, beta, c, nil, 0)
+}
+
+// SgemmEpi is SgemmP with a fused per-row epilogue (bias add, activation)
+// applied while each C tile is still cache hot — the fusion the dnn conv/ip
+// layers use to collapse their separate bias/ReLU output passes into the
+// GEMM (see tensor.GemmEpilogue for the elementwise bit-identity contract).
+// epiOps is the epilogue's per-element FLOP count for the cost model; the
+// fused kernel charges no extra DRAM bytes because the separate pass's
+// output round trip is exactly what fusion eliminates.
+func SgemmEpi(tag string, par tensor.RowParallel, transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32, epi tensor.GemmEpilogue, epiOps float64) *simgpu.Kernel {
 	gx := (n + 63) / 64
 	gy := (m + 63) / 64
 	if gx < 1 {
@@ -143,10 +154,15 @@ func SgemmP(tag string, par tensor.RowParallel, transA, transB bool, m, n, k int
 	if gy < 1 {
 		gy = 1
 	}
+	name := "sgemm_64x64"
 	flops := 2 * float64(m) * float64(n) * float64(k)
+	if epi != nil {
+		name = "sgemm_64x64_fused"
+		flops += epiOps * float64(m) * float64(n)
+	}
 	traffic := 4 * (float64(m)*float64(k) + float64(k)*float64(n) + 2*float64(m)*float64(n))
 	return &simgpu.Kernel{
-		Name: "sgemm_64x64",
+		Name: name,
 		Tag:  tag,
 		Config: simgpu.LaunchConfig{
 			Grid:           simgpu.D2(gx, gy),
@@ -158,7 +174,7 @@ func SgemmP(tag string, par tensor.RowParallel, transA, transB bool, m, n, k int
 			FLOPs: flops / gemmEff,
 			Bytes: traffic / memEff,
 		},
-		Fn: func() { tensor.GemmParallel(par, transA, transB, m, n, k, alpha, a, b, beta, c) },
+		Fn: func() { tensor.GemmParallelFused(par, transA, transB, m, n, k, alpha, a, b, beta, c, epi) },
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/dnn"
 	"repro/internal/hostpool"
 	"repro/internal/simgpu"
+	"repro/internal/tensor"
 )
 
 // hostWidthLauncher is HostLauncher with a configurable chain width, so the
@@ -40,6 +41,12 @@ func trainWorkload(t *testing.T, name string, batch, width, steps int, pool *hos
 // trainWorkloadDAG is trainWorkload with the operator DAG scheduler
 // switchable on.
 func trainWorkloadDAG(t *testing.T, name string, batch, width, steps int, pool *hostpool.Pool, dag bool) [][]float32 {
+	return trainWorkloadFused(t, name, batch, width, steps, pool, dag, false)
+}
+
+// trainWorkloadFused is trainWorkloadDAG with fused GEMM epilogues
+// switchable on too.
+func trainWorkloadFused(t *testing.T, name string, batch, width, steps int, pool *hostpool.Pool, dag, fuse bool) [][]float32 {
 	t.Helper()
 	w, err := Get(name)
 	if err != nil {
@@ -52,6 +59,11 @@ func trainWorkloadDAG(t *testing.T, name string, batch, width, steps int, pool *
 		t.Fatal(err)
 	}
 	net.EnableDAG(dag)
+	if fuse {
+		if sites := net.EnableFusion(true); sites == 0 {
+			t.Fatalf("%s: no fusable sites detected", name)
+		}
+	}
 	feed := w.NewFeeder(batch, 6)
 	s := dnn.NewSolver(net, ctx, dnn.SolverConfig{BaseLR: 0.001, Momentum: 0.9, WeightDecay: 0.001})
 	for i := 0; i < steps; i++ {
@@ -144,5 +156,59 @@ func TestDAGConvergenceInvariance(t *testing.T) {
 			pooled := trainWorkloadDAG(t, c.name, c.batch, c.width, c.steps, hostpool.New(4), true)
 			assertParamsBitwiseEqual(t, c.name, "dag+pool", serial, pooled)
 		})
+	}
+}
+
+// TestFusionConvergenceInvariance extends the invariance gate to fused GEMM
+// epilogues: with conv+bias+relu and ip+bias collapsed into the GEMM (alone,
+// and stacked with the operator DAG scheduler and the host pool), the
+// trained parameters of all four evaluated workloads must stay bitwise
+// identical to the plain serial schedule. This runs at the host's detected
+// ISA level, so on AVX2 machines it also exercises the 8×8 micro-kernel
+// under full training.
+func TestFusionConvergenceInvariance(t *testing.T) {
+	cases := []struct {
+		name         string
+		batch, width int
+		steps        int
+	}{
+		{"CIFAR10", 4, 3, 2},
+		{"Siamese", 4, 3, 2},
+		{"CaffeNet", 2, 2, 1},
+		{"GoogLeNet", 4, 4, 2},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			serial := trainWorkload(t, c.name, c.batch, c.width, c.steps, nil)
+			fused := trainWorkloadFused(t, c.name, c.batch, c.width, c.steps, nil, false, true)
+			assertParamsBitwiseEqual(t, c.name, "fused", serial, fused)
+			full := trainWorkloadFused(t, c.name, c.batch, c.width, c.steps, hostpool.New(4), true, true)
+			assertParamsBitwiseEqual(t, c.name, "fused+dag+pool", serial, full)
+		})
+	}
+}
+
+// TestISAConvergenceInvariance pins the dispatch ladder under full training:
+// the same CIFAR10 run forced to each runnable ISA level must produce
+// bitwise identical trained parameters — SIMD width is a pure speed knob.
+func TestISAConvergenceInvariance(t *testing.T) {
+	avail := tensor.AvailableISAs()
+	if len(avail) < 2 {
+		t.Skip("single-level host: nothing to compare")
+	}
+	prev := tensor.ActiveISA()
+	defer func() { _ = tensor.SetISA(prev) }()
+	var ref [][]float32
+	for _, lv := range avail {
+		if err := tensor.SetISA(lv); err != nil {
+			t.Fatal(err)
+		}
+		got := trainWorkloadFused(t, "CIFAR10", 4, 3, 2, nil, false, true)
+		if ref == nil {
+			ref = got
+			continue
+		}
+		assertParamsBitwiseEqual(t, "CIFAR10", "isa="+lv.String(), ref, got)
 	}
 }

@@ -32,6 +32,58 @@ func TestGemmSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestGemmISASteadyStateAllocs extends the zero-allocation gate across the
+// dispatch ladder: every runnable ISA level must hit the heap zero times in
+// steady state (the AVX2 8×8 path included — //go:noescape keeps its
+// pointer arguments off the heap).
+func TestGemmISASteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is skewed by race instrumentation")
+	}
+	rng := rand.New(rand.NewSource(3))
+	m, n, k := 70, 520, 300
+	a := randSlice(rng, m*k)
+	b := randSlice(rng, k*n)
+	c := make([]float32, m*n)
+	for _, lv := range AvailableISAs() {
+		forceISA(t, lv)
+		Gemm(false, false, m, n, k, 1, a, b, 0, c) // warm the arena
+		allocs := testing.AllocsPerRun(10, func() {
+			Gemm(false, false, m, n, k, 1, a, b, 0, c)
+		})
+		if allocs != 0 {
+			t.Errorf("Gemm at %s allocates %.1f objects per call in steady state, want 0", lv, allocs)
+		}
+	}
+}
+
+// TestGemmFusedSteadyStateAllocs pins the fused-epilogue paths at zero
+// allocations: the epilogue hook must neither allocate nor force C (or
+// itself) to escape, serial and band-parallel alike.
+func TestGemmFusedSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is skewed by race instrumentation")
+	}
+	rng := rand.New(rand.NewSource(4))
+	m, n, k := 96, 260, 128
+	a := randSlice(rng, m*k)
+	b := randSlice(rng, k*n)
+	c := make([]float32, m*n)
+	par := serialBands{4}
+	GemmFused(false, false, m, n, k, 1, a, b, 0, c, reluEpi) // warm
+	if allocs := testing.AllocsPerRun(10, func() {
+		GemmFused(false, false, m, n, k, 1, a, b, 0, c, reluEpi)
+	}); allocs != 0 {
+		t.Errorf("GemmFused allocates %.1f objects per call in steady state, want 0", allocs)
+	}
+	GemmParallelFused(par, false, false, m, n, k, 1, a, b, 0, c, reluEpi) // warm
+	if allocs := testing.AllocsPerRun(10, func() {
+		GemmParallelFused(par, false, false, m, n, k, 1, a, b, 0, c, reluEpi)
+	}); allocs != 0 {
+		t.Errorf("GemmParallelFused allocates %.1f objects per call in steady state, want 0", allocs)
+	}
+}
+
 // TestIm2colSteadyStateAllocs pins Im2col and Col2im at zero allocations.
 func TestIm2colSteadyStateAllocs(t *testing.T) {
 	if raceEnabled {

@@ -6,23 +6,62 @@ import "fmt"
 // matrices, mirroring the cblas_sgemm calls Caffe makes: op(A) is M×K,
 // op(B) is K×N, C is M×N. transA/transB select op = transpose.
 //
-// The implementation is the cache-blocked, packed-panel kernel in pack.go.
-// Its determinism contract: every C element accumulates its k terms in
-// strictly ascending order, exactly as the retained naive kernel
+// The implementation is the cache-blocked, packed-panel kernel in pack.go,
+// dispatched over the runtime ISA ladder (isa.go: pure-Go, SSE2 4×8, AVX2
+// 8×8). Its determinism contract: every C element accumulates its k terms
+// in strictly ascending order, exactly as the retained naive kernel
 // (gemmNaive) does, so results are bit-identical to the historical
-// implementation for all transpose combinations and all alpha/beta values.
-// Steady-state calls perform zero heap allocations: packing buffers come
-// from a sync.Pool-backed arena.
+// implementation for all transpose combinations, all alpha/beta values,
+// and every ISA level. Steady-state calls perform zero heap allocations:
+// packing buffers come from a sync.Pool-backed arena.
 func Gemm(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	GemmFused(transA, transB, m, n, k, alpha, a, b, beta, c, nil)
+}
+
+// GemmEpilogue is an elementwise transform fused into a GEMM: it is invoked
+// exactly once for each completed row segment of C, immediately after the
+// last k term of that block lands — while the segment is still cache hot —
+// instead of as a separate full pass over the output. row is the C row
+// index, col the absolute column of seg[0], and seg aliases
+// C[row, col:col+len(seg)] for in-place update.
+//
+// Contract: the transform must be elementwise — seg[j]'s new value may
+// depend only on seg[j], row, and col+j. Under that restriction the fused
+// result is bitwise identical to running the same transform as a separate
+// pass after the GEMM, by construction (each element is transformed exactly
+// once, from exactly the same input value). Epilogues may write derived
+// values to other storage (e.g. a fused ReLU writing the activation top)
+// but must not read other C elements, and must not allocate — they run
+// inside the zero-allocation kernel, possibly on pool workers.
+type GemmEpilogue func(row, col int, seg []float32)
+
+// GemmFused is Gemm with an optional fused epilogue. A nil epi is exactly
+// Gemm. The epilogue runs even when the multiply itself is screened out
+// (k == 0 or alpha == 0): the transform is a property of the output pass,
+// not of the accumulation, so C still gets its beta pass followed by one
+// epilogue application per element — identical to the unfused sequence.
+func GemmFused(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32, epi GemmEpilogue) {
 	checkGemmDims(transA, transB, m, n, k, a, b, c)
 	if m == 0 || n == 0 {
 		return
 	}
 	gemmScaleBeta(beta, c[:m*n])
 	if k == 0 || alpha == 0 {
+		applyEpilogueRows(epi, 0, m, n, c)
 		return
 	}
-	gemmBlocked(transA, transB, 0, m, m, n, k, alpha, a, b, c)
+	gemmBlocked(ActiveISA(), transA, transB, 0, m, m, n, k, alpha, a, b, c, epi)
+}
+
+// applyEpilogueRows runs epi over whole rows [i0,i1) of the m×n C — the
+// fallback for GEMMs whose accumulation was screened out entirely.
+func applyEpilogueRows(epi GemmEpilogue, i0, i1, n int, c []float32) {
+	if epi == nil || n == 0 {
+		return
+	}
+	for i := i0; i < i1; i++ {
+		epi(i, 0, c[i*n:i*n+n])
+	}
 }
 
 // checkGemmDims validates operand sizes against the logical dims; the panic

@@ -1,0 +1,42 @@
+//go:build amd64 && !purego
+
+package tensor
+
+// cpuid executes CPUID with the given leaf/subleaf (implemented in
+// cpuid_amd64.s).
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0, the OS-enabled extended-state mask (valid only when
+// CPUID reports OSXSAVE).
+func xgetbv0() (eax, edx uint32)
+
+// detectISA probes the dispatch ceiling once at init. SSE2 is part of the
+// amd64 baseline; AVX2 additionally requires the CPU feature bit AND the OS
+// to have enabled XMM+YMM state saving (OSXSAVE + XCR0 bits 1–2) — a kernel
+// that does not context-switch YMM registers would corrupt them across
+// preemption, so both checks are load-bearing, not pedantry.
+func detectISA() ISA {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return ISASSE2
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const (
+		osxsaveBit = 1 << 27 // CPUID.1:ECX.OSXSAVE
+		avxBit     = 1 << 28 // CPUID.1:ECX.AVX
+	)
+	if c1&osxsaveBit == 0 || c1&avxBit == 0 {
+		return ISASSE2
+	}
+	xlo, _ := xgetbv0()
+	const ymmState = 0x6 // XCR0 bits 1 (SSE) and 2 (AVX) both OS-enabled
+	if xlo&ymmState != ymmState {
+		return ISASSE2
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	const avx2Bit = 1 << 5 // CPUID.7.0:EBX.AVX2
+	if b7&avx2Bit == 0 {
+		return ISASSE2
+	}
+	return ISAAVX2
+}

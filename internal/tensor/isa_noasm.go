@@ -1,0 +1,7 @@
+//go:build !amd64 || purego
+
+package tensor
+
+// detectISA without assembly micro-kernels: the portable Go tiles are the
+// only level, so the ladder has a single rung.
+func detectISA() ISA { return ISAPureGo }

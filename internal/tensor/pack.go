@@ -4,38 +4,47 @@ import "sync"
 
 // Blocked SGEMM: the GotoBLAS-style loop nest behind Gemm. The matrix is
 // processed in cache-sized panels — B in KC×NC panels that stay resident in
-// L2, A in MC×KC panels repacked into register-block order — with a 4-row
-// register-blocked micro-kernel at the bottom. Two properties are load
-// bearing and must survive any future tuning:
+// L2, A in MC×KC panels repacked into register-block order — with a
+// register-blocked micro-kernel at the bottom, selected by the runtime ISA
+// ladder (isa.go): pure-Go 4×4 tiles, SSE2 4×8, or AVX2 8×8. Two properties
+// are load bearing and must survive any future tuning:
 //
 //  1. Determinism. Every C element accumulates its k terms in strictly
 //     ascending order: the KC loop walks k blocks in ascending order and the
 //     micro-kernel walks l within a block in ascending order, accumulating
 //     straight into C. Together with the per-row `av == 0` skip (inherited
 //     from the naive kernel) this makes the blocked kernel bit-identical to
-//     gemmNaive for every transpose combination, every alpha/beta, and any
-//     row banding — the convergence-invariance contract the dnn layers and
+//     gemmNaive for every transpose combination, every alpha/beta, any row
+//     banding, AND every ISA level — SIMD lanes always map to distinct j
+//     columns, never to k, and the wider AVX2 tile only changes how many
+//     *rows* share one pass over packed B, not any element's accumulation
+//     order. This is the convergence-invariance contract the dnn layers and
 //     internal/models/invariance_test.go rely on.
 //
 //  2. Zero steady-state allocation. Packing buffers are drawn from a
 //     sync.Pool-backed arena (gemmBufs); the transposed cases pack straight
 //     from the strided source into panels, so the naive kernel's per-call
-//     transpose allocation is gone entirely.
+//     transpose allocation is gone entirely. The optional fused epilogue is
+//     applied in place over completed C rows and allocates nothing.
 //
 // Block sizes: KC×NC×4B = 512 KB keeps the B panel in L2; MC×KC×4B = 64 KB
-// streams the A panel through L1; MR=4 rows of C (≤ NC×4B each) live in
+// streams the A panel through L1; MR rows of C (≤ NC×4B each) live in
 // registers/L1 inside the micro-kernel, so each packed B row is loaded once
-// per 4 rows of output instead of once per row.
+// per MR rows of output instead of once per row. MR is per-ISA (4 for
+// pure-Go/SSE2, 8 for AVX2); gemmMC is divisible by both so full panels
+// split into whole strips.
 const (
-	gemmMC = 64  // rows of A packed per panel
-	gemmKC = 256 // k extent of one panel pass
-	gemmNC = 512 // columns of B packed per panel
-	gemmMR = 4   // register-blocked rows per micro-kernel
+	gemmMC  = 64  // rows of A packed per panel
+	gemmKC  = 256 // k extent of one panel pass
+	gemmNC  = 512 // columns of B packed per panel
+	gemmMR4 = 4   // register-blocked rows: pure-Go and SSE2 micro-kernels
+	gemmMR8 = 8   // register-blocked rows: AVX2 micro-kernel
 )
 
 // gemmBufs is one arena cell: the A and B packing panels for a single
 // in-flight Gemm (or one row band of GemmParallel). Capacity is fixed at the
-// maximum panel size, so steady-state Get/Put never reallocates.
+// maximum panel size (independent of MR — the strip layout reorders the
+// same mc×kc elements), so steady-state Get/Put never reallocates.
 type gemmBufs struct {
 	ap []float32 // packed op(A) panel, MC×KC, alpha folded in
 	bp []float32 // packed op(B) panel, KC×NC row-major
@@ -49,12 +58,19 @@ var gemmPool = sync.Pool{New: func() any {
 }}
 
 // gemmBlocked computes rows [i0,i1) of C += op(A)·op(B) with alpha folded
-// into the packed A panel. m is the full logical M of op(A) (the lead
-// dimension of a transposed A), so a row band sees exactly the same memory
-// layout as the full product — the basis of GemmParallel's bitwise
-// determinism at any band count. The caller has already applied beta and
-// screened out the k==0 / alpha==0 / empty cases.
-func gemmBlocked(transA, transB bool, i0, i1, m, n, k int, alpha float32, a, b, c []float32) {
+// into the packed A panel, dispatching the lv micro-kernel. m is the full
+// logical M of op(A) (the lead dimension of a transposed A), so a row band
+// sees exactly the same memory layout as the full product — the basis of
+// GemmParallel's bitwise determinism at any band count. The caller has
+// already applied beta and screened out the k==0 / alpha==0 / empty cases.
+//
+// A non-nil epi runs once per completed C row segment, immediately after
+// the final k panel finishes that block — while the rows are still cache
+// hot. The epilogue must be elementwise (each output element transformed
+// independently), which makes the fused result bitwise identical to running
+// the same transform as a separate full pass, by construction.
+func gemmBlocked(lv ISA, transA, transB bool, i0, i1, m, n, k int, alpha float32, a, b, c []float32, epi GemmEpilogue) {
+	mr := lv.mr()
 	bufs := gemmPool.Get().(*gemmBufs)
 	ap, bp := bufs.ap, bufs.bp
 	for jc := 0; jc < n; jc += gemmNC {
@@ -63,11 +79,17 @@ func gemmBlocked(transA, transB bool, i0, i1, m, n, k int, alpha float32, a, b, 
 		// accumulates its k terms in the same order the naive kernel uses.
 		for pc := 0; pc < k; pc += gemmKC {
 			kc := min(gemmKC, k-pc)
+			lastK := pc+kc == k
 			packB(transB, b, bp, pc, jc, kc, nc, n, k)
 			for ic := i0; ic < i1; ic += gemmMC {
 				mc := min(gemmMC, i1-ic)
-				packA(transA, a, ap, ic, pc, mc, kc, m, k, alpha)
-				gemmMicro(ap, bp, c, ic, jc, mc, kc, nc, n)
+				packA(transA, a, ap, ic, pc, mc, kc, m, k, alpha, mr)
+				gemmMicro(lv, mr, ap, bp, c, ic, jc, mc, kc, nc, n)
+				if epi != nil && lastK {
+					for i := ic; i < ic+mc; i++ {
+						epi(i, jc, c[i*n+jc:i*n+jc+nc])
+					}
+				}
 			}
 		}
 	}
@@ -97,45 +119,39 @@ func packB(transB bool, b, bp []float32, pc, jc, kc, nc, n, k int) {
 
 // packA packs the mc×kc panel of op(A) starting at row ic, column pc, with
 // alpha folded in (av = alpha·a matches the naive kernel's per-term
-// multiply bit for bit). Layout: full 4-row strips interleaved by l
-// ([l*4+r] within a strip), then any remainder rows appended one contiguous
-// kc-length row each.
-func packA(transA bool, a, ap []float32, ic, pc, mc, kc, m, k int, alpha float32) {
+// multiply bit for bit). Layout: full mr-row strips interleaved by l
+// ([l*mr+r] within a strip), then any remainder rows appended one
+// contiguous kc-length row each.
+func packA(transA bool, a, ap []float32, ic, pc, mc, kc, m, k int, alpha float32, mr int) {
+	off := 0
+	strips := mc / mr
+	for s := 0; s < strips; s++ {
+		r := ic + s*mr
+		dst := ap[off : off+mr*kc]
+		if !transA {
+			for rr := 0; rr < mr; rr++ {
+				row := a[(r+rr)*k+pc : (r+rr)*k+pc+kc]
+				for l, v := range row {
+					dst[l*mr+rr] = alpha * v
+				}
+			}
+		} else {
+			for l := 0; l < kc; l++ {
+				row := a[(pc+l)*m+r : (pc+l)*m+r+mr]
+				for rr, v := range row {
+					dst[l*mr+rr] = alpha * v
+				}
+			}
+		}
+		off += mr * kc
+	}
 	at := func(i, l int) float32 {
 		if transA {
 			return a[l*m+i] // stored K×M
 		}
 		return a[i*k+l]
 	}
-	off := 0
-	strips := mc / gemmMR
-	for s := 0; s < strips; s++ {
-		r := ic + s*gemmMR
-		if !transA {
-			a0 := a[r*k+pc : r*k+pc+kc]
-			a1 := a[(r+1)*k+pc : (r+1)*k+pc+kc]
-			a2 := a[(r+2)*k+pc : (r+2)*k+pc+kc]
-			a3 := a[(r+3)*k+pc : (r+3)*k+pc+kc]
-			dst := ap[off : off+gemmMR*kc]
-			for l := 0; l < kc; l++ {
-				dst[l*gemmMR+0] = alpha * a0[l]
-				dst[l*gemmMR+1] = alpha * a1[l]
-				dst[l*gemmMR+2] = alpha * a2[l]
-				dst[l*gemmMR+3] = alpha * a3[l]
-			}
-		} else {
-			dst := ap[off : off+gemmMR*kc]
-			for l := 0; l < kc; l++ {
-				row := a[(pc+l)*m+r : (pc+l)*m+r+gemmMR]
-				dst[l*gemmMR+0] = alpha * row[0]
-				dst[l*gemmMR+1] = alpha * row[1]
-				dst[l*gemmMR+2] = alpha * row[2]
-				dst[l*gemmMR+3] = alpha * row[3]
-			}
-		}
-		off += gemmMR * kc
-	}
-	for r := ic + strips*gemmMR; r < ic+mc; r++ {
+	for r := ic + strips*mr; r < ic+mc; r++ {
 		for l := 0; l < kc; l++ {
 			ap[off+l] = alpha * at(r, pc+l)
 		}
@@ -144,40 +160,70 @@ func packA(transA bool, a, ap []float32, ic, pc, mc, kc, m, k int, alpha float32
 }
 
 // gemmMicro runs the packed panels against the C block at (ic, jc):
-// 4-row register-blocked strips through the 4×4 register-tile kernel, then
-// single remainder rows through a scalar kernel. Both keep their C elements
-// in registers across the whole k block (one load and one store per element
-// per panel pass instead of one round trip per k term — the difference
-// between the naive kernel's store-port bound and this one's FPU bound),
-// and both accumulate l in ascending order with the naive kernel's
+// mr-row register-blocked strips through the level's register-tile kernel,
+// then single remainder rows through a scalar kernel. Both keep their C
+// elements in registers across the whole k block (one load and one store
+// per element per panel pass instead of one round trip per k term — the
+// difference between the naive kernel's store-port bound and this one's FPU
+// bound), and both accumulate l in ascending order with the naive kernel's
 // `av == 0` skip applied per row, so every element's value is bit-identical
-// to the naive kernel's.
-func gemmMicro(ap, bp, c []float32, ic, jc, mc, kc, nc, n int) {
+// to the naive kernel's at every ISA level.
+func gemmMicro(lv ISA, mr int, ap, bp, c []float32, ic, jc, mc, kc, nc, n int) {
 	off := 0
-	strips := mc / gemmMR
+	strips := mc / mr
 	for s := 0; s < strips; s++ {
-		r := ic + s*gemmMR
-		micro4(ap[off:off+gemmMR*kc], bp,
-			c[r*n+jc:r*n+jc+nc],
-			c[(r+1)*n+jc:(r+1)*n+jc+nc],
-			c[(r+2)*n+jc:(r+2)*n+jc+nc],
-			c[(r+3)*n+jc:(r+3)*n+jc+nc],
-			kc, nc)
-		off += gemmMR * kc
+		r := ic + s*mr
+		strip := ap[off : off+mr*kc]
+		if mr == gemmMR8 {
+			micro8(strip, bp, c, r, jc, kc, nc, n)
+		} else {
+			micro4(lv >= ISASSE2, strip, bp,
+				c[r*n+jc:r*n+jc+nc],
+				c[(r+1)*n+jc:(r+1)*n+jc+nc],
+				c[(r+2)*n+jc:(r+2)*n+jc+nc],
+				c[(r+3)*n+jc:(r+3)*n+jc+nc],
+				kc, nc)
+		}
+		off += mr * kc
 	}
-	for r := ic + strips*gemmMR; r < ic+mc; r++ {
+	for r := ic + strips*mr; r < ic+mc; r++ {
 		micro1(ap[off:off+kc], bp, c[r*n+jc:r*n+jc+nc], kc, nc)
 		off += kc
 	}
 }
 
-// micro4 computes four C rows against the packed panels: 4×8 SSE register
-// tiles where assembly is available, portable 4×4 register tiles plus a
-// scalar column tail otherwise. strip is the packed 4-row A strip
-// ([l*4+row], alpha folded in).
-func micro4(strip, bp, c0, c1, c2, c3 []float32, kc, nc int) {
+// micro8 computes eight C rows against the packed panels at the ISAAVX2
+// level: 8×8 YMM register tiles through the assembly kernel, then a scalar
+// column tail with the same per-element ordering contract. strip is the
+// packed 8-row A strip ([l*8+row], alpha folded in); r/jc locate the block
+// inside the n-wide C.
+func micro8(strip, bp, c []float32, r, jc, kc, nc, n int) {
 	j := 0
-	if hasAsmMicro && kc > 0 {
+	if kc > 0 {
+		for ; j+8 <= nc; j += 8 {
+			micro8x8(&strip[0], &bp[j], &c[r*n+jc+j], kc, 4*nc, 4*n)
+		}
+	}
+	for ; j < nc; j++ {
+		for rr := 0; rr < gemmMR8; rr++ {
+			s := c[(r+rr)*n+jc+j]
+			for l := 0; l < kc; l++ {
+				if a := strip[l*gemmMR8+rr]; a != 0 {
+					s += a * bp[l*nc+j]
+				}
+			}
+			c[(r+rr)*n+jc+j] = s
+		}
+	}
+}
+
+// micro4 computes four C rows against the packed panels: 4×8 SSE register
+// tiles where useAsm (the SSE2-or-higher rungs of the ladder), portable Go
+// 4×4 register tiles plus a scalar column tail otherwise. strip is the
+// packed 4-row A strip ([l*4+row], alpha folded in).
+func micro4(useAsm bool, strip, bp, c0, c1, c2, c3 []float32, kc, nc int) {
+	j := 0
+	if hasAsmMicro && useAsm && kc > 0 {
 		for ; j+8 <= nc; j += 8 {
 			micro4x8(&strip[0], &bp[j], &c0[j], &c1[j], &c2[j], &c3[j], kc, 4*nc)
 		}
@@ -191,7 +237,7 @@ func micro4(strip, bp, c0, c1, c2, c3 []float32, kc, nc int) {
 		for l := 0; l < kc; l++ {
 			bl := bp[l*nc+j : l*nc+j+4 : l*nc+j+4]
 			b0, b1, b2, b3 := bl[0], bl[1], bl[2], bl[3]
-			al := strip[l*gemmMR : l*gemmMR+gemmMR : l*gemmMR+gemmMR]
+			al := strip[l*gemmMR4 : l*gemmMR4+gemmMR4 : l*gemmMR4+gemmMR4]
 			if a := al[0]; a != 0 {
 				s00 += a * b0
 				s01 += a * b1
@@ -226,7 +272,7 @@ func micro4(strip, bp, c0, c1, c2, c3 []float32, kc, nc int) {
 		s0, s1, s2, s3 := c0[j], c1[j], c2[j], c3[j]
 		for l := 0; l < kc; l++ {
 			b := bp[l*nc+j]
-			al := strip[l*gemmMR : l*gemmMR+gemmMR : l*gemmMR+gemmMR]
+			al := strip[l*gemmMR4 : l*gemmMR4+gemmMR4 : l*gemmMR4+gemmMR4]
 			if a := al[0]; a != 0 {
 				s0 += a * b
 			}
@@ -246,7 +292,7 @@ func micro4(strip, bp, c0, c1, c2, c3 []float32, kc, nc int) {
 
 // micro1 computes one C row against the packed panels (remainder rows of a
 // panel): 1×4 register tiles with a scalar tail, same ordering contract as
-// micro4.
+// the strip kernels.
 func micro1(arow, bp, ci []float32, kc, nc int) {
 	j := 0
 	for ; j+4 <= nc; j += 4 {
@@ -300,31 +346,73 @@ const gemmMinBandRows = 32
 // under the convergence-invariance contract. A nil p, a single worker, or a
 // small M falls back to the serial kernel.
 func GemmParallel(p RowParallel, transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	GemmParallelFused(p, transA, transB, m, n, k, alpha, a, b, beta, c, nil)
+}
+
+// bandState carries one GemmParallelFused call's parameters to its band
+// closure. Instances are pooled and each carries its fn (a closure over the
+// instance) built once at first allocation, so a steady-state parallel call
+// creates no funcval and captures nothing on the heap.
+type bandState struct {
+	transA, transB bool
+	m, n, k        int
+	alpha, beta    float32
+	a, b, c        []float32
+	epi            GemmEpilogue
+	lv             ISA
+	quo, rem       int
+	fn             func(int)
+}
+
+var bandPool = sync.Pool{New: func() any {
+	st := &bandState{}
+	st.fn = st.run
+	return st
+}}
+
+// run computes one row band: disjoint rows, same blocked kernel, same panel
+// geometry and ascending-k order as the serial path.
+func (st *bandState) run(band int) {
+	i0 := band*st.quo + min(band, st.rem)
+	i1 := i0 + st.quo
+	if band < st.rem {
+		i1++
+	}
+	gemmScaleBeta(st.beta, st.c[i0*st.n:i1*st.n])
+	if st.k == 0 || st.alpha == 0 {
+		applyEpilogueRows(st.epi, i0, i1, st.n, st.c)
+		return
+	}
+	gemmBlocked(st.lv, st.transA, st.transB, i0, i1, st.m, st.n, st.k, st.alpha, st.a, st.b, st.c, st.epi)
+}
+
+// GemmParallelFused is GemmParallel with an optional fused epilogue: each
+// band applies epi to its own (disjoint) completed rows, so the fused
+// result is bitwise identical to GemmFused at any band count.
+func GemmParallelFused(p RowParallel, transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32, epi GemmEpilogue) {
 	bands := 0
 	if p != nil {
 		bands = min(p.Workers(), m/gemmMinBandRows)
 	}
 	if bands <= 1 {
-		Gemm(transA, transB, m, n, k, alpha, a, b, beta, c)
+		GemmFused(transA, transB, m, n, k, alpha, a, b, beta, c, epi)
 		return
 	}
 	checkGemmDims(transA, transB, m, n, k, a, b, c)
 	if n == 0 {
 		return
 	}
-	quo, rem := m/bands, m%bands
-	err := p.Run(bands, func(band int) {
-		i0 := band*quo + min(band, rem)
-		i1 := i0 + quo
-		if band < rem {
-			i1++
-		}
-		gemmScaleBeta(beta, c[i0*n:i1*n])
-		if k == 0 || alpha == 0 {
-			return
-		}
-		gemmBlocked(transA, transB, i0, i1, m, n, k, alpha, a, b, c)
-	})
+	st := bandPool.Get().(*bandState)
+	st.transA, st.transB = transA, transB
+	st.m, st.n, st.k = m, n, k
+	st.alpha, st.beta = alpha, beta
+	st.a, st.b, st.c = a, b, c
+	st.epi = epi
+	st.lv = ActiveISA() // read once: every band runs the same kernel
+	st.quo, st.rem = m/bands, m%bands
+	err := p.Run(bands, st.fn)
+	st.a, st.b, st.c, st.epi = nil, nil, nil, nil // no liveness past the call
+	bandPool.Put(st)
 	if err != nil {
 		// A band panic is a programming error (bad dims slipped past the
 		// checks); re-panic like the serial kernel would, now with every

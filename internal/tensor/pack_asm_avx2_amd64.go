@@ -1,0 +1,24 @@
+//go:build amd64 && !purego
+
+package tensor
+
+// micro8x8 is the AVX2 register-tile kernel: it accumulates an 8-row ×
+// 8-col block of C held in 8 YMM registers across kc ascending k steps.
+//
+//   - strip points at the packed 8-row A strip ([l*8+row], alpha folded in)
+//   - b points at the packed B panel element bp[0*nc + j]; ldbBytes is the
+//     byte stride between consecutive packed B rows (4*nc)
+//   - c points at the C element C[r*n + jc + j]; ldcBytes is the byte
+//     stride between consecutive C rows (4*n)
+//
+// Per-element arithmetic matches the scalar and SSE2 kernels bit for bit:
+// each lane computes c += av*b in ascending-l order with VMULPS/VADDPS
+// (never FMA — see the .s file and DESIGN §7.5), a row whose av is zero is
+// skipped (NaN av is not — the unordered compare falls through to the
+// multiply), and lanes round exactly like scalar MULSS/ADDSS.
+//
+// Callers must only dispatch here when ActiveISA() == ISAAVX2 — the
+// instruction stream requires AVX2 plus OS YMM-state support (detectISA).
+//
+//go:noescape
+func micro8x8(strip, b, c *float32, kc, ldbBytes, ldcBytes int)

@@ -1,0 +1,155 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func micro8x8(strip, b, c *float32, kc, ldbBytes, ldcBytes int)
+//
+// 8-row × 8-col SGEMM register tile, the ISAAVX2 rung of the dispatch
+// ladder. Y0..Y7 hold the C block for the whole k loop (one 8-wide vector
+// per row); each k step loads one packed B row, broadcasts the eight packed
+// A values (alpha already folded in), and accumulates c += av*b per lane
+// with VMULPS + VADDPS.
+//
+// Deliberately NO FMA (VFMADD*): a fused multiply-add rounds once where the
+// scalar reference rounds twice, which would break the bit-identity
+// contract every convergence-invariance test pins. FMA stays a documented
+// future opt-in alongside the accuracy-gated reduced-precision paths.
+//
+// A row with av == 0 is skipped, matching the scalar kernel's
+// short-circuit; the unordered (NaN) compare result falls through to the
+// multiply so NaN propagation is identical too. VMULPS/VADDPS lanes round
+// exactly like scalar MULSS/ADDSS, so every element matches the pure-Go and
+// SSE2 kernels bit for bit.
+TEXT ·micro8x8(SB), NOSPLIT, $0-48
+	MOVQ strip+0(FP), SI
+	MOVQ b+8(FP), BX
+	MOVQ c+16(FP), R8
+	MOVQ kc+24(FP), CX
+	MOVQ ldbBytes+32(FP), DX
+	MOVQ ldcBytes+40(FP), R9
+
+	// Row-address multiples of ldc for the strided C block.
+	LEAQ (R9)(R9*2), R12 // 3*ldc
+	LEAQ (R9)(R9*4), R13 // 5*ldc
+	LEAQ (R12)(R9*4), R14 // 7*ldc
+
+	// Load the 8×8 C block into Y0..Y7.
+	VMOVUPS (R8), Y0
+	VMOVUPS (R8)(R9*1), Y1
+	VMOVUPS (R8)(R9*2), Y2
+	VMOVUPS (R8)(R12*1), Y3
+	VMOVUPS (R8)(R9*4), Y4
+	VMOVUPS (R8)(R13*1), Y5
+	VMOVUPS (R8)(R12*2), Y6
+	VMOVUPS (R8)(R14*1), Y7
+
+	VXORPS X14, X14, X14 // constant zero for the av == 0 test
+
+loop:
+	VMOVUPS (BX), Y8 // b[j..j+7]
+
+	// Row 0: av = strip[l*8+0]
+	VMOVSS   (SI), X10
+	VUCOMISS X14, X10
+	JP       row0do // unordered: av is NaN, compute
+	JE       row1   // av == 0: skip row 0
+
+row0do:
+	VBROADCASTSS (SI), Y10
+	VMULPS       Y8, Y10, Y10
+	VADDPS       Y10, Y0, Y0
+
+row1:
+	VMOVSS   4(SI), X10
+	VUCOMISS X14, X10
+	JP       row1do
+	JE       row2
+
+row1do:
+	VBROADCASTSS 4(SI), Y10
+	VMULPS       Y8, Y10, Y10
+	VADDPS       Y10, Y1, Y1
+
+row2:
+	VMOVSS   8(SI), X10
+	VUCOMISS X14, X10
+	JP       row2do
+	JE       row3
+
+row2do:
+	VBROADCASTSS 8(SI), Y10
+	VMULPS       Y8, Y10, Y10
+	VADDPS       Y10, Y2, Y2
+
+row3:
+	VMOVSS   12(SI), X10
+	VUCOMISS X14, X10
+	JP       row3do
+	JE       row4
+
+row3do:
+	VBROADCASTSS 12(SI), Y10
+	VMULPS       Y8, Y10, Y10
+	VADDPS       Y10, Y3, Y3
+
+row4:
+	VMOVSS   16(SI), X10
+	VUCOMISS X14, X10
+	JP       row4do
+	JE       row5
+
+row4do:
+	VBROADCASTSS 16(SI), Y10
+	VMULPS       Y8, Y10, Y10
+	VADDPS       Y10, Y4, Y4
+
+row5:
+	VMOVSS   20(SI), X10
+	VUCOMISS X14, X10
+	JP       row5do
+	JE       row6
+
+row5do:
+	VBROADCASTSS 20(SI), Y10
+	VMULPS       Y8, Y10, Y10
+	VADDPS       Y10, Y5, Y5
+
+row6:
+	VMOVSS   24(SI), X10
+	VUCOMISS X14, X10
+	JP       row6do
+	JE       row7
+
+row6do:
+	VBROADCASTSS 24(SI), Y10
+	VMULPS       Y8, Y10, Y10
+	VADDPS       Y10, Y6, Y6
+
+row7:
+	VMOVSS   28(SI), X10
+	VUCOMISS X14, X10
+	JP       row7do
+	JE       next
+
+row7do:
+	VBROADCASTSS 28(SI), Y10
+	VMULPS       Y8, Y10, Y10
+	VADDPS       Y10, Y7, Y7
+
+next:
+	ADDQ $32, SI // next packed A octet
+	ADDQ DX, BX  // next packed B row
+	DECQ CX
+	JNZ  loop
+
+	// Store the C block back.
+	VMOVUPS Y0, (R8)
+	VMOVUPS Y1, (R8)(R9*1)
+	VMOVUPS Y2, (R8)(R9*2)
+	VMOVUPS Y3, (R8)(R12*1)
+	VMOVUPS Y4, (R8)(R9*4)
+	VMOVUPS Y5, (R8)(R13*1)
+	VMOVUPS Y6, (R8)(R12*2)
+	VMOVUPS Y7, (R8)(R14*1)
+	VZEROUPPER
+	RET

@@ -3,10 +3,16 @@
 package tensor
 
 // hasAsmMicro is false without an assembly micro-kernel; micro4 runs its
-// portable Go register-tile path instead.
+// portable Go register-tile path instead, and the dispatch ladder tops out
+// at ISAPureGo (see isa_noasm.go), so neither stub below is reachable.
 const hasAsmMicro = false
 
 // micro4x8 is unreachable when hasAsmMicro is false.
 func micro4x8(strip, b, c0, c1, c2, c3 *float32, kc, ldbBytes int) {
 	panic("tensor: micro4x8 called without assembly support")
+}
+
+// micro8x8 is unreachable when the ladder tops out at ISAPureGo.
+func micro8x8(strip, b, c *float32, kc, ldbBytes, ldcBytes int) {
+	panic("tensor: micro8x8 called without assembly support")
 }
