@@ -13,7 +13,7 @@ MAINS := \
 	./examples/quickstart \
 	./examples/timeline
 
-.PHONY: tier1 vet build test race alloc purego bins bench bench-tensor bench-dag bench-input bench-kernel bench-serve serve chaos clean
+.PHONY: tier1 vet build test race alloc purego bins bench bench-tensor bench-dag bench-input bench-kernel bench-serve serve chaos checkpoint clean
 
 # tier1 is the CI gate: vet, build, the full test suite under the race
 # detector (the host-side parallel engine must stay race-clean), the
@@ -61,11 +61,21 @@ bins:
 
 # Focused fault-injection/self-healing suite: the chaos soak (all four
 # workloads under seeded fault storms, bitwise-invariance checked), the
-# deterministic rollback test, and the mid-run degradation test. Not a
-# separate tier1 dependency: `race` already runs these via ./... — this
-# target exists for fast iteration on the recovery paths alone.
+# deterministic rollback test, the mid-run degradation test, the
+# device-loss eviction soak (replica evicted mid-run, post-eviction
+# training bitwise identical to the healthy N-device run), and the
+# crash-resume soak (trainer killed mid-run and restored from a durable
+# checkpoint, bitwise identical to the uninterrupted run). Not a separate
+# tier1 dependency: `race` already runs these via ./... — this target
+# exists for fast iteration on the recovery paths alone.
 chaos:
-	$(GO) test -race -timeout 45m -run 'TestChaosSoak|TestStepRollback|TestMidRunDegradation' -v ./internal/parallel/
+	$(GO) test -race -timeout 45m -run 'TestChaosSoak|TestStepRollback|TestMidRunDegradation|TestDeviceLossSoak|TestCrashResumeSoak' -v ./internal/parallel/
+
+# Durable-checkpoint suite alone: the on-disk GLPC codec, corruption
+# refusal (flipped CRC byte, truncated tail, wrong version), atomic-write
+# guarantees, the crash-resume soak, and the CLI resume paths.
+checkpoint:
+	$(GO) test -race -timeout 45m -run 'TestDurable|TestCheckpoint|TestCrashResumeSoak|TestWriteFileAtomic|TestTrainerCheckpoint|TestResumeRefuses' -v ./internal/parallel/ ./cmd/glp4nn-train/
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -3,6 +3,8 @@ package main
 import (
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -15,11 +17,14 @@ import (
 // the serial baseline and the GLP4NN runtime.
 func TestDAGFlagLossIdentical(t *testing.T) {
 	for _, glp := range []bool{false, true} {
-		serial, err := run(io.Discard, "GoogLeNet", 2, 3, "P100", glp, false, false, false, true, 1, 0, "", "", simgpu.FaultPlan{})
+		base := runOptions{Net: "GoogLeNet", Batch: 2, Iters: 3, Device: "P100", GLP: glp, Compute: true, Seed: 1}
+		serial, err := run(io.Discard, base)
 		if err != nil {
 			t.Fatal(err)
 		}
-		dag, err := run(io.Discard, "GoogLeNet", 2, 3, "P100", glp, true, false, false, true, 1, 0, "", "", simgpu.FaultPlan{})
+		withDAG := base
+		withDAG.DAG = true
+		dag, err := run(io.Discard, withDAG)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -36,7 +41,8 @@ func TestDAGFlagLossIdentical(t *testing.T) {
 // concurrent-session dispatch count.
 func TestDAGFlagReportsDispatches(t *testing.T) {
 	var sb strings.Builder
-	if _, err := run(&sb, "GoogLeNet", 2, 3, "P100", true, true, false, false, true, 1, 0, "", "", simgpu.FaultPlan{}); err != nil {
+	o := runOptions{Net: "GoogLeNet", Batch: 2, Iters: 3, Device: "P100", GLP: true, DAG: true, Compute: true, Seed: 1}
+	if _, err := run(&sb, o); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "operator DAG dispatches:") {
@@ -50,18 +56,23 @@ func TestDAGFlagReportsDispatches(t *testing.T) {
 // both the serial baseline and the GLP4NN runtime.
 func TestFuseFlagLossIdentical(t *testing.T) {
 	for _, glp := range []bool{false, true} {
-		serial, err := run(io.Discard, "GoogLeNet", 2, 3, "P100", glp, false, false, false, true, 1, 0, "", "", simgpu.FaultPlan{})
+		base := runOptions{Net: "GoogLeNet", Batch: 2, Iters: 3, Device: "P100", GLP: glp, Compute: true, Seed: 1}
+		serial, err := run(io.Discard, base)
 		if err != nil {
 			t.Fatal(err)
 		}
-		fused, err := run(io.Discard, "GoogLeNet", 2, 3, "P100", glp, false, true, false, true, 1, 0, "", "", simgpu.FaultPlan{})
+		withFuse := base
+		withFuse.Fuse = true
+		fused, err := run(io.Discard, withFuse)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if math.Float64bits(serial) != math.Float64bits(fused) {
 			t.Fatalf("glp4nn=%v: -fuse changed the final loss: serial %v fused %v", glp, serial, fused)
 		}
-		both, err := run(io.Discard, "GoogLeNet", 2, 3, "P100", glp, true, true, false, true, 1, 0, "", "", simgpu.FaultPlan{})
+		withBoth := withFuse
+		withBoth.DAG = true
+		both, err := run(io.Discard, withBoth)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -74,7 +85,8 @@ func TestFuseFlagLossIdentical(t *testing.T) {
 // TestFuseFlagReportsSites: -fuse prints the fused-site count.
 func TestFuseFlagReportsSites(t *testing.T) {
 	var sb strings.Builder
-	if _, err := run(&sb, "CIFAR10", 4, 2, "P100", false, false, true, false, true, 1, 0, "", "", simgpu.FaultPlan{}); err != nil {
+	o := runOptions{Net: "CIFAR10", Batch: 4, Iters: 2, Device: "P100", Fuse: true, Compute: true, Seed: 1}
+	if _, err := run(&sb, o); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "fused GEMM epilogues:") {
@@ -90,11 +102,14 @@ func TestFuseFlagReportsSites(t *testing.T) {
 func TestPrefetchFlagLossIdentical(t *testing.T) {
 	for _, net := range []string{"CIFAR10", "Siamese", "CaffeNet", "GoogLeNet"} {
 		for _, glp := range []bool{false, true} {
-			serial, err := run(io.Discard, net, 2, 2, "P100", glp, false, false, false, true, 1, 0, "", "", simgpu.FaultPlan{})
+			base := runOptions{Net: net, Batch: 2, Iters: 2, Device: "P100", GLP: glp, Compute: true, Seed: 1}
+			serial, err := run(io.Discard, base)
 			if err != nil {
 				t.Fatal(err)
 			}
-			pre, err := run(io.Discard, net, 2, 2, "P100", glp, false, false, true, true, 1, 0, "", "", simgpu.FaultPlan{})
+			withPre := base
+			withPre.Prefetch = true
+			pre, err := run(io.Discard, withPre)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -110,7 +125,8 @@ func TestPrefetchFlagLossIdentical(t *testing.T) {
 // (which includes copy-stream overlap time).
 func TestPrefetchFlagReportsPipeline(t *testing.T) {
 	var sb strings.Builder
-	if _, err := run(&sb, "CIFAR10", 4, 3, "P100", true, false, false, true, true, 1, 0, "", "", simgpu.FaultPlan{}); err != nil {
+	o := runOptions{Net: "CIFAR10", Batch: 4, Iters: 3, Device: "P100", GLP: true, Prefetch: true, Compute: true, Seed: 1}
+	if _, err := run(&sb, o); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -129,16 +145,120 @@ func TestPrefetchFlagReportsPipeline(t *testing.T) {
 // fault schedule still converges to the fault-free loss — the copy stream's
 // retry/quarantine path and the runtime's self-healing keep bits intact.
 func TestPrefetchFlagUnderFaults(t *testing.T) {
-	clean, err := run(io.Discard, "CIFAR10", 4, 3, "P100", true, false, false, true, true, 1, 0, "", "", simgpu.FaultPlan{})
+	base := runOptions{Net: "CIFAR10", Batch: 4, Iters: 3, Device: "P100", GLP: true, Prefetch: true, Compute: true, Seed: 1}
+	clean, err := run(io.Discard, base)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fp := simgpu.FaultPlan{Seed: 7, Memcpy: 0.3, Launch: 0.05, MaxFaults: 32}
-	faulty, err := run(io.Discard, "CIFAR10", 4, 3, "P100", true, false, false, true, true, 1, 0, "", "", fp)
+	faulty := base
+	faulty.Fault = simgpu.FaultPlan{Seed: 7, Memcpy: 0.3, Launch: 0.05, MaxFaults: 32}
+	got, err := run(io.Discard, faulty)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Float64bits(clean) != math.Float64bits(faulty) {
-		t.Fatalf("faults changed the prefetched loss: clean %v faulty %v", clean, faulty)
+	if math.Float64bits(clean) != math.Float64bits(got) {
+		t.Fatalf("faults changed the prefetched loss: clean %v faulty %v", clean, got)
+	}
+}
+
+// TestTrainerCheckpointResumeLossIdentical is the CLI-level crash-resume
+// contract: a run checkpointed mid-way, killed, and -resume'd must print
+// the exact final loss of the uninterrupted run — two replicas, GLP4NN on.
+func TestTrainerCheckpointResumeLossIdentical(t *testing.T) {
+	base := runOptions{Net: "CIFAR10", Batch: 4, Iters: 4, Device: "P100", GLP: true, Devices: 2, Compute: true, Seed: 1}
+	full, err := run(io.Discard, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	killed := base
+	killed.Iters = 2
+	killed.CheckpointDir = dir
+	if _, err := run(io.Discard, killed); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	resumed := base
+	resumed.CheckpointDir = dir
+	resumed.Resume = true
+	got, err := run(&sb, resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "resumed from") {
+		t.Fatalf("missing resume report in output:\n%s", sb.String())
+	}
+	if math.Float64bits(full) != math.Float64bits(got) {
+		t.Fatalf("-resume changed the final loss: full %v resumed %v", full, got)
+	}
+}
+
+// TestResumeRefusesCorruptCheckpoint: a corrupted checkpoint (flipped byte)
+// and a non-checkpoint file must both refuse -resume with a clear error.
+func TestResumeRefusesCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	base := runOptions{Net: "CIFAR10", Batch: 4, Iters: 2, Device: "P100", GLP: true, Devices: 2,
+		Compute: true, Seed: 1, CheckpointDir: dir}
+	if _, err := run(io.Discard, base); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, checkpointFile)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flipped := append([]byte(nil), blob...)
+	flipped[len(flipped)-1] ^= 0x40
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resume := base
+	resume.Iters = 4
+	resume.Resume = true
+	if _, err := run(io.Discard, resume); err == nil {
+		t.Fatal("resume from a corrupted checkpoint succeeded")
+	} else if !strings.Contains(err.Error(), "refusing to resume") {
+		t.Fatalf("unexpected refusal error: %v", err)
+	}
+
+	if err := os.WriteFile(path, []byte("definitely not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(io.Discard, resume); err == nil {
+		t.Fatal("resume from a non-checkpoint file succeeded")
+	} else if !strings.Contains(err.Error(), "refusing to resume") {
+		t.Fatalf("unexpected refusal error: %v", err)
+	}
+}
+
+// TestDeviceLossFlagEvicts: -fault-devloss-after on a two-replica run
+// evicts the lost replica, reports the eviction, finishes on the survivor,
+// and the final loss matches the healthy two-replica run bit-for-bit.
+func TestDeviceLossFlagEvicts(t *testing.T) {
+	base := runOptions{Net: "CIFAR10", Batch: 4, Iters: 3, Device: "P100", GLP: true, Devices: 2, Compute: true, Seed: 1}
+	healthy, err := run(io.Discard, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	lossy := base
+	lossy.Fault = simgpu.FaultPlan{Seed: 1, DeviceLossAfter: 40}
+	got, err := run(&sb, lossy)
+	if err != nil {
+		t.Fatalf("device loss not survived: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "device lost:") {
+		t.Fatalf("missing eviction report in output:\n%s", out)
+	}
+	if !strings.Contains(out, "evictions=1") {
+		t.Fatalf("missing eviction counter in output:\n%s", out)
+	}
+	if math.Float64bits(healthy) != math.Float64bits(got) {
+		t.Fatalf("device loss changed the final loss: healthy %v degraded %v", healthy, got)
 	}
 }

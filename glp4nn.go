@@ -35,6 +35,7 @@ package glp4nn
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/core"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/dnn"
 	"repro/internal/hostpool"
 	"repro/internal/models"
+	"repro/internal/parallel"
 	"repro/internal/serve"
 	"repro/internal/simgpu"
 	"repro/internal/tensor"
@@ -151,6 +153,28 @@ type (
 	// LatencyWindow is a bounded sliding window with nearest-rank quantiles.
 	LatencyWindow = core.LatencyWindow
 
+	// Machine is a multi-GPU host: several simulated devices behind one
+	// PCIe-like interconnect.
+	Machine = simgpu.Machine
+	// Trainer is the synchronous data-parallel multi-device trainer:
+	// per-device replicas, deterministic gradient fold, checkpointed step
+	// retry, elastic device-loss eviction and durable on-disk checkpoints.
+	Trainer = parallel.Trainer
+	// TrainerConfig tunes a Trainer (solver schedule, GLP4NN on/off, step
+	// retry budget, Elastic device-loss tolerance, prefetch pipelines).
+	TrainerConfig = parallel.Config
+	// BuildFunc constructs one replica's network on its context.
+	BuildFunc = parallel.BuildFunc
+	// FeedFunc fills one replica's inputs with its shard of the global batch.
+	FeedFunc = parallel.FeedFunc
+	// StepResult is one synchronous training step's timing breakdown.
+	StepResult = parallel.StepResult
+	// EvictionEvent records one replica eviction after permanent device loss.
+	EvictionEvent = parallel.EvictionEvent
+	// DurableInfo is the header of a durable on-disk checkpoint: format
+	// version, solver iteration, feeder steps to replay, replica census.
+	DurableInfo = parallel.DurableInfo
+
 	// ISA is one rung of the host micro-kernel dispatch ladder behind the
 	// engine's GEMM (purego → sse2 → avx2). Every rung produces bitwise
 	// identical outputs — dispatch is a pure speed decision (DESIGN §7.5).
@@ -178,6 +202,11 @@ var (
 
 // Workloads lists the paper's four networks.
 var Workloads = models.Names
+
+// ErrOverloaded is returned by Server.PredictContext when the admission
+// queue is full: the request was shed without occupying queue space, so
+// callers can apply backpressure instead of blocking.
+var ErrOverloaded = serve.ErrOverloaded
 
 // NewDevice creates a simulated GPU.
 func NewDevice(spec DeviceSpec, opts ...DeviceOption) *Device {
@@ -343,6 +372,50 @@ func WithPrefetch(name string, batch int, seed int64, cfg PipeConfig) (*InputPip
 // textual analogue of the paper's Fig. 3).
 func Timeline(records []KernelRecord, width int) string {
 	return simgpu.Timeline(records, width)
+}
+
+// NewMachine builds a multi-GPU host from device specs.
+func NewMachine(specs ...DeviceSpec) *Machine { return simgpu.NewMachine(specs...) }
+
+// NewMachineFromDevices builds a multi-GPU host over pre-constructed
+// devices (e.g. devices carrying fault injectors).
+func NewMachineFromDevices(devs ...*Device) *Machine {
+	return simgpu.NewMachineFromDevices(devs...)
+}
+
+// NewTrainer builds a synchronous data-parallel trainer: one replica per
+// machine device, deterministic ascending-replica gradient fold, and —
+// with TrainerConfig.Elastic — permanent-device-loss eviction that keeps
+// training bitwise identical to the healthy N-device run.
+func NewTrainer(machine *Machine, build BuildFunc, cfg TrainerConfig) (*Trainer, error) {
+	return parallel.NewTrainer(machine, build, cfg)
+}
+
+// IsTransient reports whether any error in err's tree marks itself
+// retryable (FaultError.Transient() == true). Permanent faults — hardened
+// sites and device loss — are not transient: every retry ladder aborts on
+// them immediately.
+func IsTransient(err error) bool { return core.IsTransient(err) }
+
+// IsDeviceLost reports whether any error in err's tree marks permanent
+// whole-device loss — the trainer's signal to evict the replica (see
+// TrainerConfig.Elastic) rather than retry or degrade.
+func IsDeviceLost(err error) bool { return core.IsDeviceLost(err) }
+
+// PeekCheckpointFile validates a durable checkpoint's header (magic,
+// version, length, CRC) and returns its metadata without restoring it —
+// the cheap pre-flight a resume path runs before touching trainer state.
+// Use Trainer.WriteCheckpointFile / Trainer.RestoreCheckpointFile for the
+// full round trip.
+func PeekCheckpointFile(path string) (DurableInfo, error) {
+	return parallel.PeekCheckpointFile(path)
+}
+
+// WriteFileAtomic writes a file via temp-file + fsync + rename, so readers
+// see either the previous complete content or the new complete content —
+// never a torn write. Checkpoints and saved weights go through this.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	return dnn.WriteFileAtomic(path, write)
 }
 
 // Version identifies this reproduction.

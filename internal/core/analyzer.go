@@ -143,6 +143,24 @@ func (a *Analyzer) ForceSerial(key string) *Plan {
 	return p
 }
 
+// Install seeds the concurrency maintainer's cache with a previously
+// analyzed plan's numeric decisions. Checkpoint resume uses this: a fresh
+// runtime would otherwise open a profiling window and run the first resumed
+// iteration at width 1, where the run being resumed executed it at the
+// planned width — and width is part of the numeric contract. Only the
+// fields dispatch depends on are seeded; kernel diagnostics are not
+// restored. An installed plan overwrites any cached one.
+func (a *Analyzer) Install(key string, streams int, serial, fallback bool) *Plan {
+	if streams < 1 {
+		streams = 1
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	p := &Plan{Key: key, Streams: streams, Serial: serial, Fallback: fallback}
+	a.cache[key] = p
+	return p
+}
+
 // Plans returns all cached plans (the data behind the paper's Fig. 8).
 func (a *Analyzer) Plans() []*Plan {
 	a.mu.Lock()

@@ -1,6 +1,10 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/simgpu"
+)
 
 // Fault taxonomy and retry policy of the self-healing runtime.
 //
@@ -47,6 +51,12 @@ func IsTransient(err error) bool {
 	}
 	return false
 }
+
+// IsDeviceLost reports whether any error in err's tree marks permanent
+// whole-device loss. Such errors are never transient — every retry ladder
+// aborts on them immediately — and they are the trainer's signal to evict
+// the replica rather than degrade it.
+func IsDeviceLost(err error) bool { return simgpu.IsDeviceLost(err) }
 
 // Retry policy: bounded attempts with exponential backoff. Backoff is
 // virtual host time (Device.AdvanceHost), so recovery cost shows up in the

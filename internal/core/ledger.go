@@ -63,6 +63,10 @@ type Ledger struct {
 	serveSamples  int64
 	serveReqLat   *LatencyWindow
 	serveBatchLat *LatencyWindow
+
+	evictions  int64
+	shardMoves int64
+	resumes    int64
 }
 
 // Per-record host memory for the tracker's own structures: two 8-byte
@@ -135,6 +139,14 @@ type Snapshot struct {
 	ServeReqP99   time.Duration
 	ServeBatchP50 time.Duration
 	ServeBatchP99 time.Duration
+
+	// Elastic-training counters. Evictions counts replicas permanently
+	// removed after device loss; ShardMoves counts batch shards
+	// deterministically reassigned from evicted replicas to survivors;
+	// Resumes counts trainer restores from a durable on-disk checkpoint.
+	Evictions  int64
+	ShardMoves int64
+	Resumes    int64
 }
 
 // Recoveries sums every recovery action the runtime took — nonzero proves
@@ -169,6 +181,12 @@ func (s Snapshot) Serving() string {
 		s.ServeRequests, s.ServeBatches, mean,
 		s.ServeReqP50.Round(time.Microsecond), s.ServeReqP99.Round(time.Microsecond),
 		s.ServeBatchP50.Round(time.Microsecond), s.ServeBatchP99.Round(time.Microsecond))
+}
+
+// Elastic renders the elastic-training counters.
+func (s Snapshot) Elastic() string {
+	return fmt.Sprintf("evictions=%d shard-moves=%d resumes=%d",
+		s.Evictions, s.ShardMoves, s.Resumes)
 }
 
 // TTotal is the paper's Eq. 12: T_p + T_a + T_s.
@@ -298,6 +316,30 @@ func (l *Ledger) ServeBatch(size int, lat time.Duration) {
 	l.serveBatchLat.Add(lat)
 }
 
+// AddEviction counts one replica permanently evicted after device loss.
+// Exported because the parallel trainer calls it from outside core.
+func (l *Ledger) AddEviction() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.evictions++
+}
+
+// AddShardMoves counts n batch shards reassigned from an evicted replica
+// to survivors (see AddEviction).
+func (l *Ledger) AddShardMoves(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.shardMoves += int64(n)
+}
+
+// AddResume counts one trainer restore from a durable on-disk checkpoint
+// (see AddEviction).
+func (l *Ledger) AddResume() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.resumes++
+}
+
 // addCopyOverlap credits modeled copy time issued on the dedicated copy
 // stream instead of the default stream.
 func (l *Ledger) addCopyOverlap(d time.Duration) {
@@ -362,6 +404,10 @@ func (l *Ledger) Snapshot() Snapshot {
 		ServeReqP99:   quantileOrZero(l.serveReqLat, 0.99),
 		ServeBatchP50: quantileOrZero(l.serveBatchLat, 0.50),
 		ServeBatchP99: quantileOrZero(l.serveBatchLat, 0.99),
+
+		Evictions:  l.evictions,
+		ShardMoves: l.shardMoves,
+		Resumes:    l.resumes,
 	}
 }
 

@@ -234,6 +234,52 @@ func (r *Runtime) ResetProfiling() {
 	})
 }
 
+// Profiling reports whether a profiling window is open — some layers have
+// been sighted this iteration but their profiles are not yet collected.
+func (r *Runtime) Profiling() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.profiling || len(r.pending) > 0
+}
+
+// FinalizePlans closes any open profiling window, analyzes every profile
+// collected so far, and returns the full plan cache. Checkpoint capture
+// uses this: plans are normally analyzed lazily on a layer's second
+// sighting, so a checkpoint taken right after the profiling iteration
+// would otherwise see an empty cache and lose the planned widths the
+// resumed run must reproduce. Analysis is deterministic on a given
+// profile, so forcing it early yields exactly the plans the continuing
+// run would have computed one BeginLayer later.
+func (r *Runtime) FinalizePlans() []*Plan {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.finalizeLocked()
+	for key, profile := range r.profiles {
+		if _, ok := r.analyzer.Cached(key); ok {
+			continue
+		}
+		r.analyzeLocked(profile)
+	}
+	return r.analyzer.Plans()
+}
+
+// InstallPlan seeds a restored concurrency plan into the analyzer cache
+// and sizes the stream pool for it, mirroring analyzeLocked's pool
+// handling. Checkpoint resume calls this for every plan the checkpointed
+// run had analyzed, so the resumed run dispatches at the same widths
+// without re-running a profiling iteration.
+func (r *Runtime) InstallPlan(key string, streams int, serial, fallback bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	plan := r.analyzer.Install(key, streams, serial, fallback)
+	if plan.Streams > 1 && !plan.Serial {
+		if n, err := r.pool.EnsureSize(plan.Streams); err != nil && n == 0 {
+			r.ledger.addDegradation()
+			r.analyzer.ForceSerial(plan.Key)
+		}
+	}
+}
+
 // Width implements dnn.Launcher: the planned stream count for the current
 // layer, 1 while profiling.
 func (r *Runtime) Width() int {

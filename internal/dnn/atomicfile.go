@@ -1,0 +1,49 @@
+package dnn
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a file so a crash can never leave a partial or
+// truncated artifact at path: content goes to a temporary file in the same
+// directory, is fsynced, closed, and renamed over path, and the directory
+// is fsynced so the rename itself is durable. Readers observe either the
+// old complete file or the new complete file, never a mix — the property
+// durable checkpoints and servable weight snapshots need.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := write(tmp); err != nil {
+		return fail(fmt.Errorf("dnn: writing %s: %w", path, err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	// Persist the rename. Directory fsync is best-effort: some platforms
+	// and filesystems refuse it, and the rename is already atomic.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

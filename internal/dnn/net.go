@@ -134,6 +134,11 @@ func (n *Net) StageInputs(ctx *Context) error {
 	return nil
 }
 
+// InputNames returns the input blob names in sorted order — the
+// deterministic order modeled transfers and the elastic trainer's shard
+// stashes iterate in.
+func (n *Net) InputNames() []string { return n.inputNames() }
+
 // inputNames returns the input blob names sorted, so modeled transfer
 // order (and therefore simulated timelines) is reproducible run to run.
 func (n *Net) inputNames() []string {

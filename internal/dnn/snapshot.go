@@ -192,17 +192,11 @@ func expectMagic(r io.Reader, magic string) error {
 	return nil
 }
 
-// SaveWeightsFile writes a weights snapshot to a file.
+// SaveWeightsFile writes a weights snapshot to a file, atomically: a crash
+// mid-write leaves either the previous snapshot or none, never a truncated
+// unservable one.
 func (n *Net) SaveWeightsFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := n.SaveWeights(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return WriteFileAtomic(path, n.SaveWeights)
 }
 
 // LoadWeightsFile reads a weights snapshot from a file.

@@ -9,14 +9,15 @@ import "repro/internal/dnn"
 // re-reads the same persisted shard without advancing the feeder.
 //
 // Replicas are parameter-identical by construction, so parameters and
-// history are captured once (from replica 0, by parameter index) and
-// restored into every replica — which also re-synchronizes a replica whose
-// failed step died between its local update and its peers'.
+// history are captured once (from the first surviving replica, by
+// parameter index) and restored into every live replica — which also
+// re-synchronizes a replica whose failed step died between its local
+// update and its peers'. Evicted replicas are skipped on both sides.
 
 // Checkpoint is a restorable snapshot of a Trainer's training state.
 type Checkpoint struct {
 	iter   int
-	params [][]float32    // by parameter index, from replica 0
+	params [][]float32    // by parameter index, from the first survivor
 	hist   [][]float32    // by parameter index; nil = no momentum yet
 	rng    []dnn.RNGState // per replica
 	rngOK  []bool
@@ -27,8 +28,8 @@ func (c *Checkpoint) Iter() int { return c.iter }
 
 // Checkpoint captures the trainer's current training state.
 func (t *Trainer) Checkpoint() *Checkpoint {
-	r0 := t.replicas[0]
-	params := r0.net.Params()
+	lead := t.firstSurvivor()
+	params := lead.net.Params()
 	cp := &Checkpoint{
 		iter:   t.iter,
 		params: make([][]float32, len(params)),
@@ -36,7 +37,7 @@ func (t *Trainer) Checkpoint() *Checkpoint {
 		rng:    make([]dnn.RNGState, len(t.replicas)),
 		rngOK:  make([]bool, len(t.replicas)),
 	}
-	h0 := r0.solver.HistorySnapshot()
+	h0 := lead.solver.HistorySnapshot()
 	for pi, p := range params {
 		cp.params[pi] = append([]float32(nil), p.Data.Data()...)
 		if h, ok := h0[p]; ok {
@@ -44,6 +45,9 @@ func (t *Trainer) Checkpoint() *Checkpoint {
 		}
 	}
 	for i, r := range t.replicas {
+		if r.lost {
+			continue
+		}
 		cp.rng[i], cp.rngOK[i] = r.ctx.RNGState()
 	}
 	return cp
@@ -58,10 +62,16 @@ func (t *Trainer) Checkpoint() *Checkpoint {
 func (t *Trainer) Restore(cp *Checkpoint) {
 	if t.fw != nil {
 		for _, r := range t.replicas {
+			if r.lost {
+				continue
+			}
 			t.fw.Runtime(r.dev).ResetProfiling()
 		}
 	}
 	for i, r := range t.replicas {
+		if r.lost {
+			continue
+		}
 		params := r.net.Params()
 		hist := make(map[*dnn.Blob][]float32, len(params))
 		for pi, p := range params {

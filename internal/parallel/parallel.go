@@ -61,6 +61,9 @@ type replica struct {
 	ctx    *dnn.Context
 	net    *dnn.Net
 	solver *dnn.Solver
+	// lost marks a replica evicted after permanent device loss; it is
+	// never scheduled again and its shards belong to survivors.
+	lost bool
 }
 
 // Trainer trains synchronously across all devices of a machine.
@@ -74,6 +77,21 @@ type Trainer struct {
 	stepRetries int
 	rollbacks   int
 	prefetch    []InputPipeline
+
+	// Elastic state (see elastic.go). owners maps each of the original N
+	// batch shards to the replica currently processing it — identity until
+	// a device is lost. stash holds each shard's fed inputs (by sorted
+	// input name) once the trainer is degraded; gradStash holds per-shard
+	// gradient contributions for the shard-order fold.
+	elastic    bool
+	owners     []int
+	inputNames []string
+	stash      [][][]float32
+	gradStash  [][][]float32
+	evictions  int
+	shardMoves int
+	resumes    int
+	events     []EvictionEvent
 }
 
 // Config tunes a Trainer.
@@ -105,6 +123,12 @@ type Config struct {
 	// re-synthesized from the restored serial order, keeping retries
 	// bit-identical (see the feed-once contract on Step).
 	Prefetch []InputPipeline
+	// Elastic, when true, arms device-loss tolerance: a replica whose
+	// device fails permanently (core.IsDeviceLost) is evicted, its batch
+	// shard is deterministically reassigned to survivors, and the step is
+	// re-run from its checkpoint — bitwise identical to the healthy run
+	// (see elastic.go). When false, permanent faults propagate.
+	Elastic bool
 }
 
 // InputPipeline is the rollback hook of an asynchronous input feed.
@@ -123,7 +147,11 @@ func NewTrainer(machine *simgpu.Machine, build BuildFunc, cfg Config) (*Trainer,
 	if cfg.Bus.BandwidthGBps == 0 {
 		cfg.Bus = PCIe3
 	}
-	t := &Trainer{bus: cfg.Bus, stepRetries: cfg.StepRetries, prefetch: cfg.Prefetch}
+	t := &Trainer{bus: cfg.Bus, stepRetries: cfg.StepRetries, prefetch: cfg.Prefetch, elastic: cfg.Elastic}
+	t.owners = make([]int, len(devs))
+	for i := range t.owners {
+		t.owners[i] = i
+	}
 	if cfg.UseGLP {
 		t.fw = core.New()
 	}
@@ -172,6 +200,16 @@ func (t *Trainer) Net(i int) *dnn.Net { return t.replicas[i].net }
 // step.
 func (t *Trainer) GradientBytes() int64 { return t.gradBytes }
 
+// Devices returns every replica's device in replica order, including those
+// of evicted replicas.
+func (t *Trainer) Devices() []*simgpu.Device {
+	devs := make([]*simgpu.Device, len(t.replicas))
+	for i, r := range t.replicas {
+		devs[i] = r.dev
+	}
+	return devs
+}
+
 // StepResult reports one synchronous step.
 type StepResult struct {
 	MeanLoss    float64
@@ -193,20 +231,47 @@ type StepResult struct {
 func (t *Trainer) Step(feed FeedFunc) (StepResult, error) {
 	// Feeding happens exactly once per Step, outside the retry loop: the
 	// feeder's own state (e.g. a shared RNG) must advance once per
-	// iteration regardless of how many attempts the iteration takes.
-	for i, r := range t.replicas {
+	// iteration regardless of how many attempts the iteration takes. The
+	// feeder sees shard indices (identical to replica indices until an
+	// eviction); a degraded trainer also refreshes its per-shard stash so
+	// survivors can replay shards they inherit mid-step.
+	for s, o := range t.owners {
+		r := t.replicas[o]
 		if feed != nil {
-			if err := feed(i, r.net); err != nil {
+			if err := feed(s, r.net); err != nil {
 				return StepResult{}, err
 			}
 		}
+		if t.stash != nil {
+			t.stashShard(s, r.net)
+		}
 	}
-	if t.stepRetries <= 0 {
+	if t.stepRetries <= 0 && !t.elastic {
 		return t.stepOnce()
 	}
 	cp := t.Checkpoint()
 	res, err := t.stepOnce()
-	for attempt := 0; attempt < t.stepRetries && err != nil && core.IsTransient(err); attempt++ {
+	for attempt := 0; err != nil; {
+		// Permanent device loss: evict the replica, rewind to the step's
+		// checkpoint, and re-run on the survivors. Evictions do not consume
+		// the transient-retry budget — the device set shrank, the step
+		// itself never misbehaved.
+		if t.elastic && core.IsDeviceLost(err) {
+			idx, ok := failedReplica(err)
+			if !ok {
+				break
+			}
+			if evictErr := t.evict(idx); evictErr != nil {
+				return res, evictErr
+			}
+			t.Restore(cp)
+			res, err = t.stepOnce()
+			continue
+		}
+		if attempt >= t.stepRetries || !core.IsTransient(err) {
+			break
+		}
+		attempt++
 		t.Restore(cp)
 		t.rollbacks++
 		res, err = t.stepOnce()
@@ -216,6 +281,9 @@ func (t *Trainer) Step(feed FeedFunc) (StepResult, error) {
 
 // stepOnce runs one synchronous iteration attempt.
 func (t *Trainer) stepOnce() (StepResult, error) {
+	if t.evictions > 0 {
+		return t.stepDegraded()
+	}
 	var res StepResult
 	n := len(t.replicas)
 
@@ -231,18 +299,18 @@ func (t *Trainer) stepOnce() (StepResult, error) {
 		go func(i int, r *replica) {
 			defer wg.Done()
 			if err := r.dev.ResetClocks(); err != nil {
-				errs[i] = err
+				errs[i] = &replicaError{i, err}
 				return
 			}
 			loss, err := r.net.ForwardBackward(r.ctx)
 			if err != nil {
-				errs[i] = fmt.Errorf("parallel: replica %d: %w", i, err)
+				errs[i] = &replicaError{i, fmt.Errorf("parallel: replica %d: %w", i, err)}
 				return
 			}
 			losses[i] = loss
 			d, err := r.dev.Synchronize()
 			if err != nil {
-				errs[i] = err
+				errs[i] = &replicaError{i, err}
 				return
 			}
 			if h := r.dev.HostTime(); h > d {
@@ -294,14 +362,14 @@ func (t *Trainer) stepOnce() (StepResult, error) {
 	var updateTime time.Duration
 	for i, r := range t.replicas {
 		if err := r.dev.ResetClocks(); err != nil {
-			return res, err
+			return res, &replicaError{i, err}
 		}
 		if err := r.solver.ApplyUpdate(); err != nil {
-			return res, fmt.Errorf("parallel: update replica %d: %w", i, err)
+			return res, &replicaError{i, fmt.Errorf("parallel: update replica %d: %w", i, err)}
 		}
 		d, err := r.dev.Synchronize()
 		if err != nil {
-			return res, err
+			return res, &replicaError{i, err}
 		}
 		if h := r.dev.HostTime(); h > d {
 			d = h

@@ -15,6 +15,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -26,6 +27,11 @@ import (
 
 // ErrClosed is returned by Predict once the server is shut down.
 var ErrClosed = errors.New("serve: server closed")
+
+// ErrOverloaded is returned by PredictContext when the admission queue is
+// full: the request is shed immediately instead of queuing unboundedly, so
+// an overloaded server stays responsive and callers can back off.
+var ErrOverloaded = errors.New("serve: overloaded: admission queue full")
 
 // Observer receives serving events as they happen; *core.Ledger implements
 // it, so serving behavior lands in the runtime's overhead ledger.
@@ -72,7 +78,8 @@ type Stats struct {
 	Batches  int64 // device batches flushed
 	Samples  int64 // sum of batch occupancies (Samples/Batches = mean coalescing)
 	Retries  int64 // transient whole-batch retries absorbed
-	Failures int64 // requests answered with an error
+	Failures int64 // requests answered with an error (including canceled)
+	Shed     int64 // requests rejected at admission (queue full)
 
 	ReqP50, ReqP99     time.Duration // enqueue→answer
 	BatchP50, BatchP99 time.Duration // flush→done
@@ -83,8 +90,8 @@ func (s Stats) String() string {
 	if s.Batches > 0 {
 		mean = float64(s.Samples) / float64(s.Batches)
 	}
-	return fmt.Sprintf("requests=%d batches=%d mean-batch=%.2f retries=%d failures=%d | req p50=%v p99=%v | batch p50=%v p99=%v",
-		s.Requests, s.Batches, mean, s.Retries, s.Failures,
+	return fmt.Sprintf("requests=%d batches=%d mean-batch=%.2f retries=%d failures=%d shed=%d | req p50=%v p99=%v | batch p50=%v p99=%v",
+		s.Requests, s.Batches, mean, s.Retries, s.Failures, s.Shed,
 		s.ReqP50.Round(time.Microsecond), s.ReqP99.Round(time.Microsecond),
 		s.BatchP50.Round(time.Microsecond), s.BatchP99.Round(time.Microsecond))
 }
@@ -98,6 +105,9 @@ type request struct {
 	samples [][]float32 // one row per frozen input, in Inputs() order
 	resp    chan response
 	enq     time.Time
+	// ctx, when non-nil, lets the batcher shed the request at flush time if
+	// its caller has already gone away (PredictContext only).
+	ctx context.Context
 }
 
 // Server owns a frozen net and its execution context on a single batcher
@@ -126,6 +136,7 @@ type Server struct {
 	samples  int64
 	retries  int64
 	failures int64
+	shed     int64
 	reqLat   *core.LatencyWindow
 	batchLat *core.LatencyWindow
 }
@@ -199,17 +210,10 @@ func (s *Server) MaxBatch() int { return s.cfg.MaxBatch }
 // in Outputs() order. Safe for concurrent use; returns ErrClosed after
 // Close.
 func (s *Server) Predict(samples ...[]float32) ([][]float32, error) {
-	if len(samples) != len(s.inNames) {
-		return nil, fmt.Errorf("serve: request has %d samples, frozen net wants %d (%v)",
-			len(samples), len(s.inNames), s.inNames)
+	r, err := s.newRequest(samples)
+	if err != nil {
+		return nil, err
 	}
-	for i, row := range samples {
-		if len(row) != s.inRow[i] {
-			return nil, fmt.Errorf("serve: input %q sample has %d elements, want %d",
-				s.inNames[i], len(row), s.inRow[i])
-		}
-	}
-	r := &request{samples: samples, resp: make(chan response, 1), enq: time.Now()}
 	select {
 	case s.in <- r:
 	case <-s.quit:
@@ -230,6 +234,65 @@ func (s *Server) Predict(samples ...[]float32) ([][]float32, error) {
 	}
 }
 
+// PredictContext is Predict with bounded admission and per-request
+// cancellation. Where Predict blocks until the queue has room,
+// PredictContext never waits for admission: a full queue sheds the request
+// immediately with ErrOverloaded, so overload turns into fast feedback
+// instead of unbounded queueing. A request whose context is done before
+// its batch flushes is answered with the context's error without occupying
+// batch rows; cancellation after the flush started does not recall the
+// answer (the caller just stops waiting for it).
+func (s *Server) PredictContext(ctx context.Context, samples ...[]float32) ([][]float32, error) {
+	r, err := s.newRequest(samples)
+	if err != nil {
+		return nil, err
+	}
+	r.ctx = ctx
+	select {
+	case <-s.quit:
+		return nil, ErrClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	default:
+	}
+	select {
+	case s.in <- r:
+	default:
+		s.mu.Lock()
+		s.shed++
+		s.mu.Unlock()
+		return nil, ErrOverloaded
+	}
+	select {
+	case resp := <-r.resp:
+		return resp.outputs, resp.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-s.done:
+		select {
+		case resp := <-r.resp:
+			return resp.outputs, resp.err
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// newRequest validates one request's sample layout.
+func (s *Server) newRequest(samples [][]float32) (*request, error) {
+	if len(samples) != len(s.inNames) {
+		return nil, fmt.Errorf("serve: request has %d samples, frozen net wants %d (%v)",
+			len(samples), len(s.inNames), s.inNames)
+	}
+	for i, row := range samples {
+		if len(row) != s.inRow[i] {
+			return nil, fmt.Errorf("serve: input %q sample has %d elements, want %d",
+				s.inNames[i], len(row), s.inRow[i])
+		}
+	}
+	return &request{samples: samples, resp: make(chan response, 1), enq: time.Now()}, nil
+}
+
 // Close shuts the server down: pending requests are still answered (one
 // final flush), later Predicts return ErrClosed. Idempotent.
 func (s *Server) Close() {
@@ -247,6 +310,7 @@ func (s *Server) Stats() Stats {
 		Samples:  s.samples,
 		Retries:  s.retries,
 		Failures: s.failures,
+		Shed:     s.shed,
 		ReqP50:   s.reqLat.Quantile(0.50),
 		ReqP99:   s.reqLat.Quantile(0.99),
 		BatchP50: s.batchLat.Quantile(0.50),
@@ -345,6 +409,29 @@ func (s *Server) drainAndExit(pending []*request) {
 // output rows. Request order within the batch is stable across retries,
 // so answers are bitwise independent of the fault history.
 func (s *Server) flush(reqs []*request) {
+	// Answer already-canceled requests without batch rows: their callers
+	// have stopped waiting, and answers are independent of co-batching, so
+	// dropping them changes no surviving request's bits.
+	live := reqs[:0:len(reqs)]
+	var canceled int64
+	for _, r := range reqs {
+		if r.ctx != nil && r.ctx.Err() != nil {
+			r.resp <- response{err: r.ctx.Err()}
+			canceled++
+			continue
+		}
+		live = append(live, r)
+	}
+	if canceled > 0 {
+		s.mu.Lock()
+		s.failures += canceled
+		s.mu.Unlock()
+	}
+	reqs = live
+	if len(reqs) == 0 {
+		return
+	}
+
 	t0 := time.Now()
 	n := len(reqs)
 	for ii, name := range s.inNames {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -368,5 +369,123 @@ func TestServeCloseDrainsPending(t *testing.T) {
 	wg.Wait()
 	if answered.Load() != nReq {
 		t.Fatalf("Close answered %d of %d pending requests", answered.Load(), nReq)
+	}
+}
+
+// TestPredictContextMatchesPredict: the context-aware entry point answers
+// bitwise what Predict answers.
+func TestPredictContextMatchesPredict(t *testing.T) {
+	const batch, seed = 4, 701
+	_, fz := buildFrozen(t, batch, seed)
+	srv, err := New(fz, dnn.NewContext(dnn.HostLauncher{}, 1), Config{MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	sample := []float32{0.5, -1, 2, 0.25, -0.75, 1.5}
+	want := reference(t, batch, seed, sample)
+	got, err := srv.PredictContext(context.Background(), sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRowBits(t, got[0], want, "PredictContext scores")
+}
+
+// blockingObserver parks the batcher inside flush until released, so tests
+// can deterministically fill the admission queue behind it.
+type blockingObserver struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (o *blockingObserver) ServeRequest(time.Duration) {}
+func (o *blockingObserver) ServeBatch(int, time.Duration) {
+	select {
+	case o.entered <- struct{}{}:
+	default: // later flushes (after release) have no listener
+	}
+	<-o.release
+}
+
+// TestPredictContextShedsWhenOverloaded: with the batcher wedged and the
+// admission queue full, PredictContext fails fast with ErrOverloaded (and
+// the shed shows up in Stats), while the queued request is still answered
+// once the batcher frees up.
+func TestPredictContextShedsWhenOverloaded(t *testing.T) {
+	const batch, seed = 4, 702
+	_, fz := buildFrozen(t, batch, seed)
+	obs := &blockingObserver{entered: make(chan struct{}), release: make(chan struct{})}
+	srv, err := New(fz, dnn.NewContext(dnn.HostLauncher{}, 1), Config{
+		MaxBatch: 1,
+		Queue:    1,
+		MaxDelay: -1, // greedy: flush immediately
+		Observer: obs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	sample := []float32{1, 2, 3, 4, 5, 6}
+
+	// First request flushes and wedges the batcher inside the observer.
+	first := make(chan error, 1)
+	go func() {
+		_, err := srv.Predict(sample)
+		first <- err
+	}()
+	<-obs.entered
+
+	// With the batcher wedged, admitted probes stay parked in the 1-deep
+	// queue; each uses a short deadline so the test never blocks on them.
+	// Once a probe occupies the queue, the next one must shed.
+	shed := false
+	for i := 0; i < 200 && !shed; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		_, err := srv.PredictContext(ctx, sample)
+		cancel()
+		shed = errors.Is(err, ErrOverloaded)
+	}
+	if !shed {
+		t.Fatal("queue never filled: no ErrOverloaded")
+	}
+	if got := srv.Stats().Shed; got < 1 {
+		t.Fatalf("Stats().Shed = %d, want ≥ 1", got)
+	}
+
+	close(obs.release)
+	if err := <-first; err != nil {
+		t.Fatalf("first request failed: %v", err)
+	}
+}
+
+// TestPredictContextCanceled: a request canceled while queued returns the
+// context error to its caller, and the batcher sheds it at flush time
+// without computing it.
+func TestPredictContextCanceled(t *testing.T) {
+	const batch, seed = 4, 703
+	_, fz := buildFrozen(t, batch, seed)
+	srv, err := New(fz, dnn.NewContext(dnn.HostLauncher{}, 1), Config{
+		MaxBatch: batch,
+		MaxDelay: time.Hour, // park the partial batch so cancellation wins
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.PredictContext(ctx, []float32{1, 2, 3, 4, 5, 6})
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled request returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled request never returned")
 	}
 }

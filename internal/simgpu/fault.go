@@ -1,6 +1,7 @@
 package simgpu
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -81,27 +82,51 @@ type Injector interface {
 	Decide(op Op, name string) Fault
 }
 
-// FaultError is the error injected for a failed device operation. It is
-// transient by definition: the same operation retried may succeed, exactly
+// FaultError is the error injected for a failed device operation. By
+// default it is transient: the same operation retried may succeed, exactly
 // like a sporadic CUDA_ERROR_LAUNCH_FAILED or a stream-creation failure
-// under driver pressure.
+// under driver pressure. Permanent marks the opposite class — the
+// CUDA_ERROR_DEVICE_LOST / sticky-context family where no retry can help
+// and the runtime must evict the device instead of spinning on it.
 type FaultError struct {
 	Op   Op
 	Name string
 	N    int64 // 1-based occurrence index of the op at this site
+	// Permanent marks a fault retries cannot clear; Transient() returns
+	// !Permanent, so every bounded-backoff ladder gating on
+	// core.IsTransient aborts on the first occurrence.
+	Permanent bool
+	// DeviceLost marks the whole-device failure: once an injector emits
+	// one, every later failable operation on that device fails the same
+	// way. DeviceLost implies Permanent.
+	DeviceLost bool
 }
 
 // Error implements error.
 func (e *FaultError) Error() string {
-	if e.Name != "" {
-		return fmt.Sprintf("simgpu: injected %s fault (op %q, occurrence %d)", e.Op, e.Name, e.N)
+	kind := "injected"
+	if e.DeviceLost {
+		kind = "device lost:"
+	} else if e.Permanent {
+		kind = "permanent"
 	}
-	return fmt.Sprintf("simgpu: injected %s fault (occurrence %d)", e.Op, e.N)
+	if e.Name != "" {
+		return fmt.Sprintf("simgpu: %s %s fault (op %q, occurrence %d)", kind, e.Op, e.Name, e.N)
+	}
+	return fmt.Sprintf("simgpu: %s %s fault (occurrence %d)", kind, e.Op, e.N)
 }
 
-// Transient reports that injected faults model recoverable device errors;
-// runtimes may retry or degrade rather than abort.
-func (e *FaultError) Transient() bool { return true }
+// Transient reports whether retrying the operation may succeed. Permanent
+// faults (device loss, hardened sites) return false; runtimes must stop
+// retrying and either evict the device or abort.
+func (e *FaultError) Transient() bool { return !e.Permanent }
+
+// IsDeviceLost reports whether err (or anything it wraps) is a FaultError
+// marking permanent whole-device loss.
+func IsDeviceLost(err error) bool {
+	var fe *FaultError
+	return errors.As(err, &fe) && fe.DeviceLost
+}
 
 // FaultPlan is a seeded, declarative fault schedule: per-site fault
 // probabilities evaluated deterministically per occurrence. Two injectors
@@ -132,7 +157,26 @@ type FaultPlan struct {
 	// (of any kind); after the budget is spent the device behaves
 	// perfectly. This models a transient outage window and guarantees
 	// bounded-retry recovery strategies eventually see a healthy device.
+	// Device loss ignores the cap: a dead device does not come back.
 	MaxFaults int64
+
+	// DeviceLoss is the per-operation probability that the device is
+	// permanently lost. The coin is flipped once per failable operation
+	// (CreateStream/Launch/Memcpy/Sync) against the device-wide operation
+	// counter; the first hit latches, and every failable operation from
+	// then on — including the triggering one — fails with a DeviceLost
+	// FaultError. The schedule bypasses MaxFaults.
+	DeviceLoss float64
+	// DeviceLossAfter, when positive, permanently loses the device at its
+	// Nth failable operation (counted across CreateStream/Launch/Memcpy/
+	// Sync, in dispatch order). Deterministic alternative to DeviceLoss
+	// for scripting "device dies mid-run" at a known point.
+	DeviceLossAfter int64
+	// PermanentAfter, when positive, hardens each fault site: once a site
+	// has injected this many transient error faults, its further faults
+	// are permanent (Transient() == false). Models a flaky component
+	// degrading into a broken one.
+	PermanentAfter int64
 }
 
 // DefaultHangDelay is the virtual-time stall of an injected kernel hang —
@@ -155,6 +199,8 @@ type PlanInjector struct {
 	plan  FaultPlan
 	seq   [opCount]atomic.Int64
 	spent atomic.Int64
+	ops   atomic.Int64 // failable operations dispatched (all sites but OpRecord)
+	lost  atomic.Bool  // latched by the DeviceLoss / DeviceLossAfter schedule
 
 	createStream atomic.Int64
 	launches     atomic.Int64
@@ -163,6 +209,8 @@ type PlanInjector struct {
 	hangs        atomic.Int64
 	drops        atomic.Int64
 	truncations  atomic.Int64
+	lostOps      atomic.Int64
+	permanents   atomic.Int64
 }
 
 // InjectorStats counts the faults a PlanInjector has injected so far.
@@ -174,16 +222,32 @@ type InjectorStats struct {
 	Hangs        int64
 	Drops        int64
 	Truncations  int64
+	// DeviceLost reports that the device-loss schedule has latched;
+	// LostOps counts the operations failed by it (not part of Total —
+	// the transient budget never applies to them).
+	DeviceLost bool
+	LostOps    int64
+	// Permanents counts site faults hardened by PermanentAfter (already
+	// included in the per-site counters above).
+	Permanents int64
 }
 
-// Total sums all injected faults.
+// Total sums all injected transient-class faults (device-loss failures are
+// counted separately in LostOps).
 func (s InjectorStats) Total() int64 {
 	return s.CreateStream + s.Launches + s.Memcpys + s.Syncs + s.Hangs + s.Drops + s.Truncations
 }
 
 func (s InjectorStats) String() string {
-	return fmt.Sprintf("faults: create=%d launch=%d memcpy=%d sync=%d hang=%d drop=%d trunc=%d (total %d)",
+	out := fmt.Sprintf("faults: create=%d launch=%d memcpy=%d sync=%d hang=%d drop=%d trunc=%d (total %d)",
 		s.CreateStream, s.Launches, s.Memcpys, s.Syncs, s.Hangs, s.Drops, s.Truncations, s.Total())
+	if s.Permanents > 0 {
+		out += fmt.Sprintf(" permanent=%d", s.Permanents)
+	}
+	if s.DeviceLost {
+		out += fmt.Sprintf(" DEVICE-LOST(ops=%d)", s.LostOps)
+	}
+	return out
 }
 
 // Stats returns a snapshot of the injected-fault counters.
@@ -196,8 +260,19 @@ func (in *PlanInjector) Stats() InjectorStats {
 		Hangs:        in.hangs.Load(),
 		Drops:        in.drops.Load(),
 		Truncations:  in.truncations.Load(),
+		DeviceLost:   in.lost.Load(),
+		LostOps:      in.lostOps.Load(),
+		Permanents:   in.permanents.Load(),
 	}
 }
+
+// Lost reports whether the device-loss schedule has latched.
+func (in *PlanInjector) Lost() bool { return in.lost.Load() }
+
+// Ops returns the number of failable operations dispatched so far — the
+// counter the DeviceLossAfter schedule is indexed by. A dry healthy run's
+// final Ops() is how tests pick a mid-run DeviceLossAfter point.
+func (in *PlanInjector) Ops() int64 { return in.ops.Load() }
 
 // Plan returns the schedule this injector executes.
 func (in *PlanInjector) Plan() FaultPlan { return in.plan }
@@ -215,19 +290,46 @@ func (in *PlanInjector) budget() bool {
 	return true
 }
 
+// lostFault fails one operation on a lost device. It bypasses the
+// MaxFaults budget: the device never recovers.
+func (in *PlanInjector) lostFault(op Op, name string, n int64) Fault {
+	in.lostOps.Add(1)
+	return Fault{Err: &FaultError{Op: op, Name: name, N: n, Permanent: true, DeviceLost: true}}
+}
+
+// siteFault builds one injected error fault for a site whose injected-fault
+// count (post-increment) is faults; PermanentAfter hardens the site once
+// the count exceeds the budget.
+func (in *PlanInjector) siteFault(op Op, name string, n, faults int64) Fault {
+	perm := in.plan.PermanentAfter > 0 && faults > in.plan.PermanentAfter
+	if perm {
+		in.permanents.Add(1)
+	}
+	return Fault{Err: &FaultError{Op: op, Name: name, N: n, Permanent: perm}}
+}
+
 // Decide implements Injector.
 func (in *PlanInjector) Decide(op Op, name string) Fault {
 	n := in.seq[op].Add(1)
+	if op != OpRecord {
+		t := in.ops.Add(1)
+		if in.lost.Load() {
+			return in.lostFault(op, name, n)
+		}
+		if (in.plan.DeviceLossAfter > 0 && t >= in.plan.DeviceLossAfter) ||
+			chance(in.plan.Seed, 0x8, t, in.plan.DeviceLoss) {
+			in.lost.Store(true)
+			return in.lostFault(op, name, n)
+		}
+	}
 	switch op {
 	case OpCreateStream:
 		if chance(in.plan.Seed, 0x1, n, in.plan.CreateStream) && in.budget() {
-			in.createStream.Add(1)
-			return Fault{Err: &FaultError{Op: op, Name: name, N: n}}
+			return in.siteFault(op, name, n, in.createStream.Add(1))
 		}
 	case OpLaunch:
 		if chance(in.plan.Seed, 0x2, n, in.plan.Launch) && in.budget() {
-			in.launches.Add(1)
-			return Fault{Err: &FaultError{Op: op, Name: name, N: n}}
+			return in.siteFault(op, name, n, in.launches.Add(1))
 		}
 		if chance(in.plan.Seed, 0x3, n, in.plan.Hang) && in.budget() {
 			in.hangs.Add(1)
@@ -235,13 +337,11 @@ func (in *PlanInjector) Decide(op Op, name string) Fault {
 		}
 	case OpMemcpy:
 		if chance(in.plan.Seed, 0x4, n, in.plan.Memcpy) && in.budget() {
-			in.memcpys.Add(1)
-			return Fault{Err: &FaultError{Op: op, Name: name, N: n}}
+			return in.siteFault(op, name, n, in.memcpys.Add(1))
 		}
 	case OpSync:
 		if chance(in.plan.Seed, 0x5, n, in.plan.Sync) && in.budget() {
-			in.syncs.Add(1)
-			return Fault{Err: &FaultError{Op: op, Name: name, N: n}}
+			return in.siteFault(op, name, n, in.syncs.Add(1))
 		}
 	case OpRecord:
 		if chance(in.plan.Seed, 0x6, n, in.plan.DropRecord) && in.budget() {

@@ -180,3 +180,102 @@ func TestNewDeviceChecked(t *testing.T) {
 	}()
 	NewDevice(bad)
 }
+
+// TestDeviceLossAfterLatches: the deterministic device-loss schedule kills
+// the device at exactly the configured failable-operation index, every
+// later operation fails permanently, and the failures bypass MaxFaults.
+func TestDeviceLossAfterLatches(t *testing.T) {
+	in := FaultPlan{Seed: 11, DeviceLossAfter: 4, MaxFaults: 1}.Injector()
+	ops := []Op{OpLaunch, OpMemcpy, OpSync, OpCreateStream}
+	for i := 0; i < 12; i++ {
+		f := in.Decide(ops[i%len(ops)], "k")
+		if i < 3 {
+			if f.Err != nil {
+				t.Fatalf("op %d failed before the loss point: %v", i, f.Err)
+			}
+			continue
+		}
+		var fe *FaultError
+		if f.Err == nil || !errors.As(f.Err, &fe) {
+			t.Fatalf("op %d after loss point did not fail with a FaultError: %v", i, f.Err)
+		}
+		if fe.Transient() || !fe.DeviceLost || !fe.Permanent {
+			t.Fatalf("op %d: device-loss fault not permanent: %+v", i, fe)
+		}
+		if !IsDeviceLost(f.Err) {
+			t.Fatalf("IsDeviceLost(%v) = false", f.Err)
+		}
+	}
+	if !in.Lost() {
+		t.Fatal("injector did not latch Lost()")
+	}
+	st := in.Stats()
+	if !st.DeviceLost || st.LostOps != 9 {
+		t.Fatalf("stats = %+v, want DeviceLost with 9 lost ops (budget must not cap them)", st)
+	}
+	if in.Ops() != 12 {
+		t.Fatalf("Ops() = %d, want 12", in.Ops())
+	}
+}
+
+// TestDeviceLossProbabilisticDeterministic: the seeded DeviceLoss coin
+// latches at the same failable-operation index for equal plans, and records
+// never trip it.
+func TestDeviceLossProbabilisticDeterministic(t *testing.T) {
+	trip := func() int {
+		in := FaultPlan{Seed: 21, DeviceLoss: 0.02}.Injector()
+		for i := 0; i < 1000; i++ {
+			in.Decide(OpRecord, "r") // records are not failable ops
+			if in.Decide(OpLaunch, "k").Err != nil {
+				if !in.Lost() {
+					t.Fatal("first failure under a pure DeviceLoss plan must latch")
+				}
+				return i
+			}
+		}
+		return -1
+	}
+	a, b := trip(), trip()
+	if a < 0 {
+		t.Fatal("DeviceLoss=0.02 never tripped in 1000 ops")
+	}
+	if a != b {
+		t.Fatalf("loss point diverged between equal plans: %d vs %d", a, b)
+	}
+}
+
+// TestPermanentAfterHardensSite: a site's faults stay transient up to the
+// budget and become permanent past it.
+func TestPermanentAfterHardensSite(t *testing.T) {
+	in := FaultPlan{Seed: 31, Sync: 1, PermanentAfter: 2}.Injector()
+	for i := 0; i < 5; i++ {
+		f := in.Decide(OpSync, "")
+		var fe *FaultError
+		if f.Err == nil || !errors.As(f.Err, &fe) {
+			t.Fatalf("sync %d did not fail", i)
+		}
+		wantPerm := i >= 2
+		if fe.Permanent != wantPerm || fe.Transient() == wantPerm {
+			t.Fatalf("sync %d: Permanent=%v, want %v", i, fe.Permanent, wantPerm)
+		}
+		if fe.DeviceLost || IsDeviceLost(f.Err) {
+			t.Fatalf("hardened site fault must not claim device loss: %+v", fe)
+		}
+	}
+	if st := in.Stats(); st.Permanents != 3 || st.Syncs != 5 {
+		t.Fatalf("stats = %+v, want 3 permanents of 5 syncs", st)
+	}
+}
+
+// TestDeviceLostFaultSurfacesThroughDevice: a device whose injector has a
+// loss schedule refuses launches with an error IsDeviceLost recognises.
+func TestDeviceLostFaultSurfacesThroughDevice(t *testing.T) {
+	d := NewDevice(testSpec, WithInjector(FaultPlan{Seed: 1, DeviceLossAfter: 1}.Injector()))
+	err := d.Launch(computeKernel("k", 1, 64, 1000), nil)
+	if err == nil {
+		t.Fatal("launch on a lost device succeeded")
+	}
+	if !IsDeviceLost(err) {
+		t.Fatalf("IsDeviceLost(%v) = false", err)
+	}
+}
