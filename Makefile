@@ -13,7 +13,7 @@ MAINS := \
 	./examples/quickstart \
 	./examples/timeline
 
-.PHONY: tier1 vet build test race alloc purego bins bench bench-tensor bench-dag bench-input bench-kernel bench-serve serve chaos checkpoint clean
+.PHONY: tier1 vet build test race alloc purego bins bench bench-tensor bench-dag bench-input bench-kernel bench-comm bench-serve serve chaos checkpoint clean
 
 # tier1 is the CI gate: vet, build, the full test suite under the race
 # detector (the host-side parallel engine must stay race-clean), the
@@ -65,11 +65,13 @@ bins:
 # device-loss eviction soak (replica evicted mid-run, post-eviction
 # training bitwise identical to the healthy N-device run), and the
 # crash-resume soak (trainer killed mid-run and restored from a durable
-# checkpoint, bitwise identical to the uninterrupted run). Not a separate
+# checkpoint, bitwise identical to the uninterrupted run), and the
+# overlapped all-reduce bit-identity suite (blocking vs bucketed-overlapped
+# arms on all four workloads, plus an eviction mid-soak). Not a separate
 # tier1 dependency: `race` already runs these via ./... — this target
 # exists for fast iteration on the recovery paths alone.
 chaos:
-	$(GO) test -race -timeout 45m -run 'TestChaosSoak|TestStepRollback|TestMidRunDegradation|TestDeviceLossSoak|TestCrashResumeSoak' -v ./internal/parallel/
+	$(GO) test -race -timeout 45m -run 'TestChaosSoak|TestStepRollback|TestMidRunDegradation|TestDeviceLossSoak|TestCrashResumeSoak|TestOverlappedAllReduce' -v ./internal/parallel/
 
 # Durable-checkpoint suite alone: the on-disk GLPC codec, corruption
 # refusal (flipped CRC byte, truncated tail, wrong version), atomic-write
@@ -103,6 +105,13 @@ bench-input:
 # records written to BENCH_kernelperf.json (the repo's perf trajectory).
 bench-kernel:
 	$(GO) run ./cmd/glp4nn-bench -exp kernelperf -json-out BENCH_kernelperf.json
+
+# Gradient all-reduce sweep: replicas × bus × bucket size, each overlapped
+# arm's exposed comm compared against the blocking monolith on the same
+# topology (bit-identity checked per arm), closing with the Phase-2
+# host-reduction serial-vs-pool wall-clock, written to BENCH_allreduce.json.
+bench-comm:
+	$(GO) run ./cmd/glp4nn-bench -exp allreduce -json-out BENCH_allreduce.json
 
 # Inference serving experiment: batch=1 serial vs dynamic request batching
 # on the same frozen engine, per-request answers bitwise-compared across

@@ -57,6 +57,9 @@ type runOptions struct {
 	CheckpointDir   string
 	CheckpointEvery int
 	Resume          bool
+	Bus             string
+	BucketKB        int
+	BlockingComm    bool
 }
 
 func main() {
@@ -79,6 +82,9 @@ func main() {
 	flag.StringVar(&o.CheckpointDir, "checkpoint-dir", "", "write a rolling durable checkpoint ("+checkpointFile+") into this directory")
 	flag.IntVar(&o.CheckpointEvery, "checkpoint-every", 0, "checkpoint every N iterations (0 = only at the end)")
 	flag.BoolVar(&o.Resume, "resume", false, "resume from -checkpoint-dir's checkpoint (bitwise identical to the uninterrupted run)")
+	flag.StringVar(&o.Bus, "bus", "pcie3", "inter-GPU interconnect model for the gradient all-reduce: pcie3 or nvlink1")
+	flag.IntVar(&o.BucketKB, "bucket-kb", 0, "gradient bucket size in KiB for the overlapped all-reduce (0 = default 256; bits unchanged)")
+	flag.BoolVar(&o.BlockingComm, "blocking-allreduce", false, "use the legacy blocking all-reduce instead of the bucketed overlapped one (bits unchanged)")
 
 	var (
 		faultSeed   = flag.Int64("fault-seed", 0, "fault schedule seed (0 = reuse -seed)")
@@ -327,17 +333,28 @@ func runTrainer(out io.Writer, o runOptions, spec simgpu.DeviceSpec, w *models.W
 			o.Devices-1, o.Fault.Seed, o.Fault.MaxFaults)
 	}
 
+	busName := o.Bus
+	if busName == "" {
+		busName = "pcie3" // options built in code (tests) skip flag defaults
+	}
+	bus, ok := parallel.BusByName(busName)
+	if !ok {
+		return 0, fmt.Errorf("unknown bus %q (have %v)", o.Bus, parallel.BusNames())
+	}
 	tr, err := parallel.NewTrainer(simgpu.NewMachineFromDevices(devs...), func(ctx *dnn.Context) (*dnn.Net, error) {
 		return w.Build(ctx, o.Batch, o.Seed)
 	}, parallel.Config{
-		Solver:      dnn.CIFAR10QuickSolver(),
-		UseGLP:      o.GLP,
-		Compute:     o.Compute,
-		Seed:        o.Seed,
-		HostPool:    hostpool.New(4),
-		StepRetries: 8,
-		DAG:         o.DAG,
-		Elastic:     true,
+		Solver:            dnn.CIFAR10QuickSolver(),
+		Bus:               bus,
+		UseGLP:            o.GLP,
+		Compute:           o.Compute,
+		Seed:              o.Seed,
+		HostPool:          hostpool.New(4),
+		StepRetries:       8,
+		DAG:               o.DAG,
+		Elastic:           true,
+		BucketBytes:       int64(o.BucketKB) << 10,
+		BlockingAllReduce: o.BlockingComm,
 	})
 	if err != nil {
 		return 0, err
@@ -350,8 +367,8 @@ func runTrainer(out io.Writer, o runOptions, spec simgpu.DeviceSpec, w *models.W
 		}
 		fmt.Fprintf(out, "fused GEMM epilogues: %d sites per replica\n", sites)
 	}
-	fmt.Fprintf(out, "training %s (batch %d ×%d replicas) on %s, glp4nn=%v dag=%v fuse=%v compute=%v elastic\n",
-		o.Net, o.Batch, o.Devices, spec.Name, o.GLP, o.DAG, o.Fuse, o.Compute)
+	fmt.Fprintf(out, "training %s (batch %d ×%d replicas) on %s over %s, glp4nn=%v dag=%v fuse=%v compute=%v elastic\n",
+		o.Net, o.Batch, o.Devices, spec.Name, bus.Name, o.GLP, o.DAG, o.Fuse, o.Compute)
 
 	// Per-shard feeders: shard s always draws from stream seed+1+17s, no
 	// matter which replica currently owns it — batch composition is a
@@ -444,12 +461,29 @@ func runTrainer(out io.Writer, o runOptions, spec simgpu.DeviceSpec, w *models.W
 		fmt.Fprintf(out, "elastic: evictions=%d shard-moves=%d resumes=%d rollbacks=%d shard-owners=%v\n",
 			tr.Evictions(), tr.ShardMoves(), tr.Resumes(), tr.Rollbacks(), tr.ShardOwners())
 	}
+	// End-of-run overlap report: how much of the modeled ring time hid
+	// under backward, against the bill the blocking monolith would charge
+	// for the same healthy step count.
+	if cs := tr.CommStats(); cs.Steps > 0 {
+		mode := "overlapped"
+		if cs.Blocking {
+			mode = "blocking"
+		}
+		blockingBill := bus.AllReduceTime(o.Devices, tr.GradientBytes()) * time.Duration(cs.Steps)
+		fmt.Fprintf(out, "all-reduce (%s, %s, %d KiB buckets): buckets/step=%.1f overlapped=%v exposed=%v; blocking bill %v\n",
+			bus.Name, mode, cs.BucketBytes>>10, cs.BucketsPerStep,
+			cs.Overlapped.Round(time.Microsecond), cs.Exposed.Round(time.Microsecond),
+			blockingBill.Round(time.Microsecond))
+	}
 	if fw := tr.Framework(); fw != nil {
 		lead := tr.ShardOwners()[0]
 		snap := fw.Runtime(tr.Devices()[lead]).Ledger().Snapshot()
 		fmt.Fprintf(out, "glp4nn overhead: %s\n", snap)
 		if snap.Evictions > 0 || snap.Resumes > 0 {
 			fmt.Fprintf(out, "glp4nn elastic: %s\n", snap.Elastic())
+		}
+		if snap.BucketsReduced > 0 || snap.ExposedCommNs > 0 {
+			fmt.Fprintf(out, "glp4nn all-reduce: %s\n", snap.Comm())
 		}
 	}
 	return finalLoss, nil

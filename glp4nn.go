@@ -174,6 +174,13 @@ type (
 	// DurableInfo is the header of a durable on-disk checkpoint: format
 	// version, solver iteration, feeder steps to replay, replica census.
 	DurableInfo = parallel.DurableInfo
+	// Bus is the modeled inter-device interconnect behind the trainer's
+	// ring all-reduce cost (bandwidth plus per-hop latency).
+	Bus = parallel.Bus
+	// CommStats is the trainer's cumulative all-reduce ledger: buckets
+	// reduced, modeled ring time hidden under backward vs left exposed on
+	// the critical path (DESIGN §7.7).
+	CommStats = parallel.CommStats
 
 	// ISA is one rung of the host micro-kernel dispatch ladder behind the
 	// engine's GEMM (purego → sse2 → avx2). Every rung produces bitwise
@@ -199,6 +206,19 @@ var (
 	TeslaP100 = simgpu.TeslaP100
 	TitanXP   = simgpu.TitanXP
 )
+
+// The modeled trainer interconnects.
+var (
+	PCIe3   = parallel.PCIe3
+	NVLink1 = parallel.NVLink1
+)
+
+// BusByName resolves an interconnect by CLI-friendly name ("pcie3",
+// "nvlink1"); BusNames lists the accepted names.
+func BusByName(name string) (Bus, bool) { return parallel.BusByName(name) }
+
+// BusNames lists the interconnect names BusByName accepts.
+func BusNames() []string { return parallel.BusNames() }
 
 // Workloads lists the paper's four networks.
 var Workloads = models.Names

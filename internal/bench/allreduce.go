@@ -1,0 +1,261 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/dnn"
+	"repro/internal/hostpool"
+	"repro/internal/models"
+	"repro/internal/parallel"
+	"repro/internal/simgpu"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "allreduce",
+		Title: "Bucketed overlapped all-reduce: exposed comm vs the blocking monolith",
+		Paper: "Extension: data-parallel gradient exchange under the paper's " +
+			"convergence-invariance bar — buckets retire in reverse layer order and " +
+			"their ring reductions hide under the remaining backward pass, so only " +
+			"the tail of the comm bill stays on the critical path.",
+		Run: runAllReduce,
+	})
+}
+
+// allReduceRecord is one sweep arm in the JSONOut document.
+type allReduceRecord struct {
+	Network        string  `json:"network"`
+	Replicas       int     `json:"replicas"`
+	Bus            string  `json:"bus"`
+	BucketKB       int     `json:"bucket_kb"`
+	BucketsPerStep float64 `json:"buckets_per_step"`
+	BlockingMs     float64 `json:"blocking_comm_ms"`
+	ExposedMs      float64 `json:"exposed_comm_ms"`
+	OverlappedMs   float64 `json:"overlapped_comm_ms"`
+	HiddenFrac     float64 `json:"hidden_frac"`
+	Bitwise        bool    `json:"bitwise_vs_blocking"`
+}
+
+// allReduceHostReduction records the Phase-2 host-side fold wall-clock:
+// the same overlapped training run with the bucket folds executed serially
+// versus spread across the shared worker pool.
+type allReduceHostReduction struct {
+	Workers      int     `json:"workers"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	SerialMsStep float64 `json:"serial_ms_per_step"`
+	PooledMsStep float64 `json:"pooled_ms_per_step"`
+	Speedup      float64 `json:"speedup"`
+	Bitwise      bool    `json:"bitwise"`
+}
+
+// allReduceReport is the JSONOut document.
+type allReduceReport struct {
+	Experiment    string                 `json:"experiment"`
+	Generated     string                 `json:"generated"`
+	Steps         int                    `json:"steps"`
+	Batch         int                    `json:"batch"`
+	Records       []allReduceRecord      `json:"records"`
+	HostReduction allReduceHostReduction `json:"host_reduction"`
+}
+
+// arArm is one training run's outcome.
+type arArm struct {
+	params [][]float32
+	stats  parallel.CommStats
+	wall   time.Duration
+	steps  int
+}
+
+// runAllReduce sweeps replicas × bus × bucket size over one workload,
+// comparing each overlapped arm's exposed comm against the blocking
+// monolith on the same topology and verifying the trained parameters stay
+// bitwise identical. It closes with the Phase-2 host-reduction wall-clock
+// micro-benchmark (serial fold vs worker pool — bounded by GOMAXPROCS, so
+// a single-core host honestly reports ~1.0x).
+func runAllReduce(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	name := "CIFAR10"
+	if len(cfg.Networks) > 0 {
+		name = cfg.Networks[0]
+	}
+	wl, err := models.Get(name)
+	if err != nil {
+		return err
+	}
+
+	batch, steps := 8, 4
+	replicaSweep := []int{2, 4}
+	bucketKBs := []int{64, 256, 1024}
+	if cfg.Quick {
+		batch, steps = 4, 2
+		replicaSweep = []int{2}
+		bucketKBs = []int{256}
+	}
+	buses := []parallel.Bus{parallel.PCIe3, parallel.NVLink1}
+
+	train := func(n int, bus parallel.Bus, bucketKB int, blocking bool, pool *hostpool.Pool) (arArm, error) {
+		specs := make([]simgpu.DeviceSpec, n)
+		for i := range specs {
+			specs[i] = simgpu.TeslaP100
+		}
+		machine := simgpu.NewMachine(specs...)
+		tr, err := parallel.NewTrainer(machine, func(ctx *dnn.Context) (*dnn.Net, error) {
+			return wl.Build(ctx, batch, cfg.Seed)
+		}, parallel.Config{
+			Solver:            dnn.SolverConfig{BaseLR: 0.001, Momentum: 0.9, WeightDecay: 0.001},
+			Compute:           true,
+			Seed:              cfg.Seed,
+			Bus:               bus,
+			HostPool:          pool,
+			BucketBytes:       int64(bucketKB) << 10,
+			BlockingAllReduce: blocking,
+		})
+		if err != nil {
+			return arArm{}, err
+		}
+		defer tr.Close()
+		feeders := map[int]models.Feeder{}
+		feed := func(replica int, net *dnn.Net) error {
+			f, ok := feeders[replica]
+			if !ok {
+				f = wl.NewFeeder(batch, cfg.Seed+1+int64(replica)*17)
+				feeders[replica] = f
+			}
+			return f(net)
+		}
+		start := time.Now()
+		for i := 0; i < steps; i++ {
+			if _, err := tr.Step(feed); err != nil {
+				return arArm{}, err
+			}
+		}
+		wall := time.Since(start)
+		var params [][]float32
+		for _, p := range tr.Net(0).Params() {
+			params = append(params, append([]float32(nil), p.Data.Data()...))
+		}
+		return arArm{params: params, stats: tr.CommStats(), wall: wall, steps: steps}, nil
+	}
+
+	identical := func(a, b [][]float32) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if len(a[i]) != len(b[i]) {
+				return false
+			}
+			for j := range a[i] {
+				if math.Float32bits(a[i][j]) != math.Float32bits(b[i][j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	fmt.Fprintf(w, "%s, batch %d per replica, %d step(s); exposed = modeled ring time left on the critical path\n\n",
+		name, batch, steps)
+
+	var records []allReduceRecord
+	tab := newTable("replicas", "bus", "bucket", "buckets/step", "blocking", "exposed", "overlapped", "hidden", "bitwise")
+	for _, n := range replicaSweep {
+		for _, bus := range buses {
+			ref, err := train(n, bus, 0, true, nil)
+			if err != nil {
+				return err
+			}
+			blockingPerStep := ref.stats.Exposed / time.Duration(ref.stats.Steps)
+			for _, kb := range bucketKBs {
+				arm, err := train(n, bus, kb, false, nil)
+				if err != nil {
+					return err
+				}
+				st := arm.stats
+				exposed := st.Exposed / time.Duration(st.Steps)
+				overlapped := st.Overlapped / time.Duration(st.Steps)
+				hidden := 0.0
+				if total := exposed + overlapped; total > 0 {
+					hidden = float64(overlapped) / float64(total)
+				}
+				bit := identical(ref.params, arm.params)
+				tab.addf("%d\t%s\t%d KiB\t%.1f\t%s\t%s\t%s\t%.0f%%\t%v",
+					n, bus.Name, kb, st.BucketsPerStep,
+					ms(blockingPerStep), ms(exposed), ms(overlapped), hidden*100, bit)
+				records = append(records, allReduceRecord{
+					Network: name, Replicas: n, Bus: bus.Name, BucketKB: kb,
+					BucketsPerStep: st.BucketsPerStep,
+					BlockingMs:     msF(blockingPerStep),
+					ExposedMs:      msF(exposed),
+					OverlappedMs:   msF(overlapped),
+					HiddenFrac:     hidden,
+					Bitwise:        bit,
+				})
+				if !bit {
+					return fmt.Errorf("bench: allreduce broke convergence invariance (%d replicas, %s, %d KiB)", n, bus.Name, kb)
+				}
+				if exposed >= blockingPerStep && n > 1 {
+					return fmt.Errorf("bench: overlap exposed %v not below blocking %v (%d replicas, %s, %d KiB)",
+						exposed, blockingPerStep, n, bus.Name, kb)
+				}
+			}
+		}
+	}
+	tab.write(w)
+
+	// Phase-2 host reduction: the real float adds behind the modeled ring.
+	// Same topology and bucket plan, folds serial versus on the worker pool.
+	nHost := replicaSweep[len(replicaSweep)-1]
+	serial, err := train(nHost, parallel.PCIe3, 0, false, nil)
+	if err != nil {
+		return err
+	}
+	pool := hostpool.Default()
+	pooled, err := train(nHost, parallel.PCIe3, 0, false, pool)
+	if err != nil {
+		return err
+	}
+	hr := allReduceHostReduction{
+		Workers:      pool.Workers(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		SerialMsStep: msF(serial.wall / time.Duration(serial.steps)),
+		PooledMsStep: msF(pooled.wall / time.Duration(pooled.steps)),
+		Speedup:      float64(serial.wall) / float64(pooled.wall),
+		Bitwise:      identical(serial.params, pooled.params),
+	}
+	fmt.Fprintf(w, "\nPhase-2 host reduction (%d replicas, %d worker(s), GOMAXPROCS %d):\n", nHost, hr.Workers, hr.GOMAXPROCS)
+	ht := newTable("fold execution", "wall/step (ms)", "speedup")
+	ht.addf("serial inline\t%s\t1.00x", ms(serial.wall/time.Duration(serial.steps)))
+	ht.addf("worker pool\t%s\t%.2fx", ms(pooled.wall/time.Duration(pooled.steps)), hr.Speedup)
+	ht.write(w)
+	fmt.Fprintf(w, "\nfolded parameters bitwise identical: %v\n", hr.Bitwise)
+	if !hr.Bitwise {
+		return fmt.Errorf("bench: pooled host reduction broke convergence invariance")
+	}
+
+	if cfg.JSONOut != "" {
+		report := allReduceReport{
+			Experiment:    "allreduce",
+			Generated:     time.Now().UTC().Format(time.RFC3339),
+			Steps:         steps,
+			Batch:         batch,
+			Records:       records,
+			HostReduction: hr,
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.JSONOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote %d records to %s\n", len(records), cfg.JSONOut)
+	}
+	return nil
+}

@@ -67,6 +67,10 @@ type Ledger struct {
 	evictions  int64
 	shardMoves int64
 	resumes    int64
+
+	bucketsReduced int64
+	overlappedComm time.Duration
+	exposedComm    time.Duration
 }
 
 // Per-record host memory for the tracker's own structures: two 8-byte
@@ -147,6 +151,14 @@ type Snapshot struct {
 	Evictions  int64
 	ShardMoves int64
 	Resumes    int64
+
+	// Gradient all-reduce counters. BucketsReduced counts gradient buckets
+	// folded across replicas; OverlappedCommNs is modeled ring time hidden
+	// under residual backward compute; ExposedCommNs is the ring time left
+	// on the critical path (what StepResult.CommTime charges).
+	BucketsReduced int64
+	OverlappedCommNs int64
+	ExposedCommNs    int64
 }
 
 // Recoveries sums every recovery action the runtime took — nonzero proves
@@ -187,6 +199,14 @@ func (s Snapshot) Serving() string {
 func (s Snapshot) Elastic() string {
 	return fmt.Sprintf("evictions=%d shard-moves=%d resumes=%d",
 		s.Evictions, s.ShardMoves, s.Resumes)
+}
+
+// Comm renders the gradient all-reduce counters.
+func (s Snapshot) Comm() string {
+	return fmt.Sprintf("buckets=%d overlapped=%v exposed=%v",
+		s.BucketsReduced,
+		time.Duration(s.OverlappedCommNs).Round(time.Microsecond),
+		time.Duration(s.ExposedCommNs).Round(time.Microsecond))
 }
 
 // TTotal is the paper's Eq. 12: T_p + T_a + T_s.
@@ -340,6 +360,18 @@ func (l *Ledger) AddResume() {
 	l.resumes++
 }
 
+// AddBucketReduce accounts one step's gradient all-reduce: buckets folded,
+// modeled ring time hidden under backward, and ring time left exposed on
+// the critical path. Exported because the parallel trainer calls it from
+// outside core.
+func (l *Ledger) AddBucketReduce(buckets int, overlapped, exposed time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.bucketsReduced += int64(buckets)
+	l.overlappedComm += overlapped
+	l.exposedComm += exposed
+}
+
 // addCopyOverlap credits modeled copy time issued on the dedicated copy
 // stream instead of the default stream.
 func (l *Ledger) addCopyOverlap(d time.Duration) {
@@ -408,6 +440,10 @@ func (l *Ledger) Snapshot() Snapshot {
 		Evictions:  l.evictions,
 		ShardMoves: l.shardMoves,
 		Resumes:    l.resumes,
+
+		BucketsReduced:   l.bucketsReduced,
+		OverlappedCommNs: int64(l.overlappedComm),
+		ExposedCommNs:    int64(l.exposedComm),
 	}
 }
 

@@ -724,6 +724,14 @@ func (n *Net) runDAG(ctx *Context, d *layerDAG, backward bool) error {
 				}
 			}
 		}
+		// Gradient-ready hooks fire on the scheduler goroutine (serialized
+		// per net, as OnLayerBackward promises), after the node's scratch
+		// folds are applied, in completion order rather than the serial
+		// path's strict reverse order — readiness consumers track per-layer
+		// retirement, not ordering.
+		if backward {
+			n.fireLayerBackward(res.ID)
+		}
 		succs := d.nodes[res.ID].fwdSuccs
 		if backward {
 			succs = d.nodes[res.ID].bwdSuccs

@@ -1,0 +1,101 @@
+package dnn
+
+import (
+	"testing"
+)
+
+// TestBackwardHooksSerialOrder: the serial backward pass fires the
+// gradient-ready hook once per layer entry, in exact reverse insertion
+// order, after the layer's gradients are final.
+func TestBackwardHooksSerialOrder(t *testing.T) {
+	net := buildTinyNet(t, 4, 1)
+	fillTinyInputs(t, net, 2)
+	ctx := NewContext(HostLauncher{}, 1)
+
+	var fired []int
+	net.OnLayerBackward(func(li int) { fired = append(fired, li) })
+	var fired2 []int
+	net.OnLayerBackward(func(li int) { fired2 = append(fired2, li) }) // multiple observers
+
+	if _, err := net.ForwardBackward(ctx); err != nil {
+		t.Fatal(err)
+	}
+	n := net.LayerCount()
+	if len(fired) != n || len(fired2) != n {
+		t.Fatalf("hooks fired %d/%d times, want %d", len(fired), len(fired2), n)
+	}
+	for k, li := range fired {
+		if want := n - 1 - k; li != want {
+			t.Fatalf("hook %d fired for layer %d, want %d (reverse order)", k, li, want)
+		}
+		if fired2[k] != li {
+			t.Fatalf("second observer diverged at %d: %d vs %d", k, fired2[k], li)
+		}
+	}
+
+	// A second pass fires them again (registrations persist).
+	fired = fired[:0]
+	if _, err := net.ForwardBackward(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != n {
+		t.Fatalf("second pass fired %d hooks, want %d", len(fired), n)
+	}
+}
+
+// TestParamOwners: owner entries follow Params() order, every param has at
+// least one owner, and a shared parameter lists every sharing layer.
+func TestParamOwners(t *testing.T) {
+	net := buildTinyNet(t, 2, 3)
+	params := net.Params()
+	owners := net.ParamOwners()
+	if len(owners) != len(params) {
+		t.Fatalf("owners rows %d, params %d", len(owners), len(params))
+	}
+	for pi, os := range owners {
+		if len(os) == 0 {
+			t.Fatalf("param %d (%s) has no owner", pi, params[pi].Name)
+		}
+		for _, o := range os {
+			if o < 0 || o >= net.LayerCount() {
+				t.Fatalf("param %d owner %d out of range", pi, o)
+			}
+			found := false
+			for _, p := range net.Layers()[o].Params() {
+				if p == params[pi] {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("layer %d listed as owner of param %d but does not hold it", o, pi)
+			}
+		}
+	}
+
+	// Siamese sharing: both IP towers own the shared weight/bias blobs.
+	ctx := NewContext(HostLauncher{}, 7)
+	ic := IP(3)
+	ic.Seed = 7
+	ic2 := IP(3)
+	ic2.Seed = 8
+	twins, err := NewNet("twins").
+		Input("a", 2, 4).
+		Input("b", 2, 4).
+		Add(NewIP("ipA", ic), []string{"a"}, []string{"fa"}).
+		Add(NewIP("ipB", ic2), []string{"b"}, []string{"fb"}).
+		Build(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := twins.ShareParams("ipA", "ipB"); err != nil {
+		t.Fatal(err)
+	}
+	for pi, os := range twins.ParamOwners() {
+		if len(os) != 2 {
+			t.Fatalf("shared param %d owned by %v, want both towers", pi, os)
+		}
+	}
+	if got := len(twins.Params()); got != 2 {
+		t.Fatalf("shared net has %d distinct params, want 2", got)
+	}
+}

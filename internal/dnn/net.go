@@ -36,6 +36,11 @@ type Net struct {
 	// fusionOn records whether EnableFusion activated any fused GEMM
 	// epilogues (see fusion.go).
 	fusionOn bool
+
+	// bwdHooks are the gradient-ready observers fired by OnLayerBackward
+	// registrations as backward retires each layer (see that method for the
+	// ordering contract).
+	bwdHooks []func(layer int)
 }
 
 // Name returns the net's name.
@@ -77,6 +82,59 @@ func (n *Net) Params() []*Blob {
 		}
 	}
 	return out
+}
+
+// LayerCount returns the number of layer entries in forward order.
+func (n *Net) LayerCount() int { return len(n.entries) }
+
+// ParamOwners returns, for each parameter in Params() order, the entry
+// indices (forward order) of every layer that owns it. Most parameters have
+// one owner; shared parameters (ShareParams, e.g. Siamese towers) list every
+// sharing layer, each of which accumulates into the blob's diff during
+// backward. A parameter's gradient is final once *all* of its owner layers
+// have retired their backward — the readiness condition gradient-bucketing
+// consumers (internal/parallel's overlapped all-reduce) build on.
+func (n *Net) ParamOwners() [][]int {
+	idx := map[*Blob]int{}
+	var owners [][]int
+	for ei, e := range n.entries {
+		for _, p := range e.layer.Params() {
+			pi, ok := idx[p]
+			if !ok {
+				pi = len(owners)
+				idx[p] = pi
+				owners = append(owners, nil)
+			}
+			owners[pi] = append(owners[pi], ei)
+		}
+	}
+	return owners
+}
+
+// OnLayerBackward registers fn to be called after each layer entry finishes
+// its backward pass, with the entry's forward-order index. Contract:
+//
+//   - Serial backward fires hooks in exact reverse insertion order; the DAG
+//     scheduler fires them in completion order on its scheduler goroutine,
+//     after the node's scratch folds are applied. Either way, when the hook
+//     for layer i fires, every gradient write layer i performs (its own
+//     params and bottom diffs) has fully retired on the host.
+//   - Hooks for one net fire serially (never concurrently with each other)
+//     and must not call back into the net.
+//   - Hooks fire on success only; a failing backward skips the remaining
+//     layers' hooks and returns the error.
+//
+// Registrations are append-only and cheap to leave in place; a net with no
+// hooks pays nothing.
+func (n *Net) OnLayerBackward(fn func(layer int)) {
+	n.bwdHooks = append(n.bwdHooks, fn)
+}
+
+// fireLayerBackward invokes the registered gradient-ready hooks for entry i.
+func (n *Net) fireLayerBackward(i int) {
+	for _, fn := range n.bwdHooks {
+		fn(i)
+	}
 }
 
 // SetInputData copies values into the named input blob.
@@ -216,6 +274,7 @@ func (n *Net) backwardSerial(ctx *Context) error {
 		if err := e.layer.Backward(ctx, e.topB, e.propagate, e.bottomB); err != nil {
 			return fmt.Errorf("net %s: backward %s: %w", n.name, e.layer.Name(), err)
 		}
+		n.fireLayerBackward(i)
 	}
 	return nil
 }

@@ -325,54 +325,73 @@ func (t *Trainer) stepDegraded() (StepResult, error) {
 
 	// Fold in ascending shard order — the same additions, in the same
 	// order, as the healthy fold over replicas 0..N-1 — into the first
-	// survivor's diff buffers, then broadcast to the other survivors.
+	// survivor's diff buffers, then broadcast to the other survivors. The
+	// fold routes through the same bucket plan as the healthy overlapped
+	// path (banded across hostpool workers, bucket by bucket); per-element
+	// operation order is unchanged, so the bits are too. Unlike the healthy
+	// path there is no overlap to claim: a survivor's diff buffers are
+	// overwritten by each inherited shard replay, so no gradient is final
+	// until the whole degraded Phase 1 ends — the ring time stays fully
+	// exposed.
 	if nShards > 1 && compute {
 		lead := t.firstSurvivor()
-		for pi, p0 := range lead.net.Params() {
-			acc := p0.Diff.Data()
-			copy(acc, t.gradStash[0][pi])
-			for s := 1; s < nShards; s++ {
-				g := t.gradStash[s][pi]
-				for j, v := range g {
-					acc[j] += v
-				}
-			}
-			inv := float32(1) / float32(nShards)
-			for j := range acc {
-				acc[j] *= inv
-			}
-			for _, r := range t.replicas {
-				if r.lost || r == lead {
-					continue
-				}
-				copy(r.net.Params()[pi].Diff.Data(), acc)
+		for bi := range t.plan.buckets {
+			if err := t.foldBucketShards(&t.plan.buckets[bi], lead, nShards); err != nil {
+				return res, err
 			}
 		}
 	}
 	res.CommTime = t.bus.AllReduceTime(t.survivorCount(), t.gradBytes)
+	if t.survivorCount() > 1 || (nShards > 1 && compute) {
+		buckets := 0
+		if nShards > 1 && compute {
+			buckets = t.plan.NumBuckets()
+			res.BucketsReduced = buckets
+		}
+		t.accountComm(buckets, 0, res.CommTime)
+	}
 
-	var updateTime time.Duration
+	// Phase 3 mirrors stepOnce: concurrent identical updates on the
+	// survivors, errors surfaced in ascending replica order.
+	uTimes := make([]time.Duration, len(t.replicas))
+	uErrs := make([]error, len(t.replicas))
+	var uwg sync.WaitGroup
 	for i, r := range t.replicas {
 		if r.lost {
 			continue
 		}
-		if err := r.dev.ResetClocks(); err != nil {
-			return res, &replicaError{i, err}
+		uwg.Add(1)
+		go func(i int, r *replica) {
+			defer uwg.Done()
+			if err := r.dev.ResetClocks(); err != nil {
+				uErrs[i] = &replicaError{i, err}
+				return
+			}
+			if err := r.solver.ApplyUpdate(); err != nil {
+				uErrs[i] = &replicaError{i, fmt.Errorf("parallel: update replica %d: %w", i, err)}
+				return
+			}
+			d, err := r.dev.Synchronize()
+			if err != nil {
+				uErrs[i] = &replicaError{i, err}
+				return
+			}
+			if h := r.dev.HostTime(); h > d {
+				d = h
+			}
+			uTimes[i] = d
+			r.solver.SetIter(t.iter + 1)
+		}(i, r)
+	}
+	uwg.Wait()
+	var updateTime time.Duration
+	for i := range t.replicas {
+		if uErrs[i] != nil {
+			return res, uErrs[i]
 		}
-		if err := r.solver.ApplyUpdate(); err != nil {
-			return res, &replicaError{i, fmt.Errorf("parallel: update replica %d: %w", i, err)}
+		if uTimes[i] > updateTime {
+			updateTime = uTimes[i]
 		}
-		d, err := r.dev.Synchronize()
-		if err != nil {
-			return res, &replicaError{i, err}
-		}
-		if h := r.dev.HostTime(); h > d {
-			d = h
-		}
-		if d > updateTime {
-			updateTime = d
-		}
-		r.solver.SetIter(t.iter + 1)
 	}
 	res.IterTime = res.ComputeTime + res.CommTime + updateTime
 	t.iter++

@@ -61,6 +61,9 @@ type replica struct {
 	ctx    *dnn.Context
 	net    *dnn.Net
 	solver *dnn.Solver
+	// params caches net.Params() (which allocates per call) in canonical
+	// order; the bucket fold indexes it from worker goroutines.
+	params []*dnn.Blob
 	// lost marks a replica evicted after permanent device loss; it is
 	// never scheduled again and its shards belong to survivors.
 	lost bool
@@ -77,6 +80,22 @@ type Trainer struct {
 	stepRetries int
 	rollbacks   int
 	prefetch    []InputPipeline
+
+	// Overlapped all-reduce state (see allreduce.go). plan is the immutable
+	// bucket partition; retire holds each device's completion listener log;
+	// lst the Subscribe tokens (released by Close); red the in-flight
+	// step's reducer, non-nil only between Phase-1 launch and join.
+	plan     *BucketPlan
+	pool     *hostpool.Pool
+	blocking bool
+	retire   []*retireLog
+	lst      []int
+	red      *reduceRun
+
+	commSteps      int64
+	commBuckets    int64
+	commOverlapped time.Duration
+	commExposed    time.Duration
 
 	// Elastic state (see elastic.go). owners maps each of the original N
 	// batch shards to the replica currently processing it — identity until
@@ -129,6 +148,18 @@ type Config struct {
 	// re-run from its checkpoint — bitwise identical to the healthy run
 	// (see elastic.go). When false, permanent faults propagate.
 	Elastic bool
+	// BucketBytes caps each gradient bucket of the overlapped all-reduce
+	// (see allreduce.go); zero selects DefaultBucketBytes. The bucket plan
+	// is part of the numeric contract only through per-element fold order,
+	// which is invariant across bucket sizes — any BucketBytes trains the
+	// same bits.
+	BucketBytes int64
+	// BlockingAllReduce selects the legacy Phase-2 monolith: wait for every
+	// replica's full backward, fold all gradients in one host loop, charge
+	// the whole ring time as exposed comm. Trains bitwise identically to
+	// the default overlapped path; kept as the reference arm for tests and
+	// benchmarks.
+	BlockingAllReduce bool
 }
 
 // InputPipeline is the rollback hook of an asynchronous input feed.
@@ -175,16 +206,40 @@ func NewTrainer(machine *simgpu.Machine, build BuildFunc, cfg Config) (*Trainer,
 			ctx:    ctx,
 			net:    net,
 			solver: dnn.NewSolver(net, ctx, cfg.Solver),
+			params: net.Params(),
 		})
 	}
-	for _, p := range t.replicas[0].net.Params() {
+	for _, p := range t.replicas[0].params {
 		t.gradBytes += int64(p.Count()) * 4
+	}
+	// Overlapped all-reduce wiring: one bucket plan (a pure function of the
+	// topology and bucket size — crash-resume rebuilds the identical plan),
+	// one gradient-ready hook and one completion listener per replica.
+	t.pool = cfg.HostPool
+	t.blocking = cfg.BlockingAllReduce
+	t.plan = NewBucketPlan(t.replicas[0].net, cfg.BucketBytes)
+	if err := checkPlanCoverage(t.plan, t.replicas[0].params); err != nil {
+		return nil, err
+	}
+	t.retire = make([]*retireLog, len(t.replicas))
+	t.lst = make([]int, len(t.replicas))
+	for i, r := range t.replicas {
+		i, r := i, r
+		t.retire[i] = &retireLog{}
+		t.lst[i] = r.dev.Subscribe(func(rec simgpu.KernelRecord) {
+			t.retire[i].add(rec.Seq, rec.End)
+		})
+		r.net.OnLayerBackward(func(li int) { t.layerRetired(i, li) })
 	}
 	return t, nil
 }
 
-// Close releases framework resources.
+// Close releases framework resources and detaches the per-device
+// completion listeners.
 func (t *Trainer) Close() {
+	for i, r := range t.replicas {
+		r.dev.Unsubscribe(t.lst[i])
+	}
 	if t.fw != nil {
 		t.fw.Close()
 	}
@@ -214,8 +269,14 @@ func (t *Trainer) Devices() []*simgpu.Device {
 type StepResult struct {
 	MeanLoss    float64
 	ComputeTime time.Duration // max over replicas (they run in parallel)
-	CommTime    time.Duration // modeled ring all-reduce
-	IterTime    time.Duration // ComputeTime + CommTime + update
+	// CommTime is the *exposed* ring all-reduce time — the part left on the
+	// critical path after per-bucket transfers overlapped residual backward
+	// compute. Under Config.BlockingAllReduce (and in degraded post-eviction
+	// steps) it is the full modeled ring time.
+	CommTime       time.Duration
+	OverlappedComm time.Duration // modeled ring time hidden under backward
+	BucketsReduced int           // gradient buckets folded this step
+	IterTime       time.Duration // ComputeTime + CommTime + update
 }
 
 // Step runs one synchronous data-parallel iteration: each replica computes
@@ -286,6 +347,21 @@ func (t *Trainer) stepOnce() (StepResult, error) {
 	}
 	var res StepResult
 	n := len(t.replicas)
+	compute := t.replicas[0].ctx.Compute
+
+	// Arm the overlapped reducer before Phase 1 launches: gradient-ready
+	// hooks fire inside the replica goroutines, snapshot device launch
+	// sequences for the timeline model, and start each bucket's fold the
+	// moment its last gradient lands. The goroutine launch below publishes
+	// t.red to the hooks; the join plus finish() below retires it.
+	var rd *reduceRun
+	if !t.blocking && n > 1 {
+		for i := range t.replicas {
+			t.retire[i].reset()
+		}
+		rd = newReduceRun(t, compute)
+		t.red = rd
+	}
 
 	// Phase 1: local forward/backward on every replica, concurrently — one
 	// goroutine per replica, mirroring the real hardware where each GPU (and
@@ -320,6 +396,14 @@ func (t *Trainer) stepOnce() (StepResult, error) {
 		}(i, r)
 	}
 	wg.Wait()
+	// Every hook has fired by the join; await in-flight bucket folds before
+	// anything (including an error-path retry, whose backward would race
+	// them) proceeds, then disarm.
+	var foldErr error
+	if rd != nil {
+		foldErr = rd.finish()
+		t.red = nil
+	}
 	// Reductions in fixed replica order, so MeanLoss is deterministic no
 	// matter which goroutine finished first.
 	var lossSum float64
@@ -333,51 +417,91 @@ func (t *Trainer) stepOnce() (StepResult, error) {
 		}
 	}
 	res.MeanLoss = lossSum / float64(n)
+	if foldErr != nil {
+		return res, foldErr
+	}
 
 	// Phase 2: all-reduce — average gradients in fixed device order (real
-	// math), charge the modeled ring time once (all links move in
-	// parallel).
-	if n > 1 && t.replicas[0].ctx.Compute {
-		master := t.replicas[0].net.Params()
-		for pi, p0 := range master {
-			acc := p0.Diff.Data()
-			for _, r := range t.replicas[1:] {
-				other := r.net.Params()[pi].Diff.Data()
-				for j, v := range other {
-					acc[j] += v
+	// math). On the default overlapped path the folds already ran bucket by
+	// bucket as backward retired layers; only the timeline split remains.
+	// The blocking reference arm keeps the monolithic fold and charges the
+	// whole ring time as exposed.
+	if rd != nil {
+		if compute && !rd.allFolded() {
+			return res, fmt.Errorf("parallel: overlapped all-reduce left buckets unreduced (gradient-ready hooks missed)")
+		}
+		exposed, overlapped := rd.commTimes(res.ComputeTime)
+		res.CommTime = exposed
+		res.OverlappedComm = overlapped
+		if compute {
+			res.BucketsReduced = t.plan.NumBuckets()
+		}
+		t.accountComm(res.BucketsReduced, overlapped, exposed)
+	} else {
+		if n > 1 && compute {
+			master := t.replicas[0].net.Params()
+			for pi, p0 := range master {
+				acc := p0.Diff.Data()
+				for _, r := range t.replicas[1:] {
+					other := r.net.Params()[pi].Diff.Data()
+					for j, v := range other {
+						acc[j] += v
+					}
+				}
+				inv := float32(1) / float32(n)
+				for j := range acc {
+					acc[j] *= inv
+				}
+				for _, r := range t.replicas[1:] {
+					copy(r.net.Params()[pi].Diff.Data(), acc)
 				}
 			}
-			inv := float32(1) / float32(n)
-			for j := range acc {
-				acc[j] *= inv
-			}
-			for _, r := range t.replicas[1:] {
-				copy(r.net.Params()[pi].Diff.Data(), acc)
-			}
+		}
+		res.CommTime = t.bus.AllReduceTime(n, t.gradBytes)
+		if n > 1 {
+			t.accountComm(0, 0, res.CommTime)
 		}
 	}
-	res.CommTime = t.bus.AllReduceTime(n, t.gradBytes)
 
-	// Phase 3: identical updates everywhere.
-	var updateTime time.Duration
+	// Phase 3: identical updates everywhere, applied concurrently — each
+	// replica's solver math touches only its own buffers, and errors
+	// surface in ascending replica order, mirroring Phase 1.
+	uTimes := make([]time.Duration, n)
+	uErrs := make([]error, n)
+	var uwg sync.WaitGroup
 	for i, r := range t.replicas {
-		if err := r.dev.ResetClocks(); err != nil {
-			return res, &replicaError{i, err}
+		uwg.Add(1)
+		go func(i int, r *replica) {
+			defer uwg.Done()
+			if err := r.dev.ResetClocks(); err != nil {
+				uErrs[i] = &replicaError{i, err}
+				return
+			}
+			if err := r.solver.ApplyUpdate(); err != nil {
+				uErrs[i] = &replicaError{i, fmt.Errorf("parallel: update replica %d: %w", i, err)}
+				return
+			}
+			d, err := r.dev.Synchronize()
+			if err != nil {
+				uErrs[i] = &replicaError{i, err}
+				return
+			}
+			if h := r.dev.HostTime(); h > d {
+				d = h
+			}
+			uTimes[i] = d
+			r.solver.SetIter(t.iter + 1) // keep LR schedules advancing
+		}(i, r)
+	}
+	uwg.Wait()
+	var updateTime time.Duration
+	for i := 0; i < n; i++ {
+		if uErrs[i] != nil {
+			return res, uErrs[i]
 		}
-		if err := r.solver.ApplyUpdate(); err != nil {
-			return res, &replicaError{i, fmt.Errorf("parallel: update replica %d: %w", i, err)}
+		if uTimes[i] > updateTime {
+			updateTime = uTimes[i]
 		}
-		d, err := r.dev.Synchronize()
-		if err != nil {
-			return res, &replicaError{i, err}
-		}
-		if h := r.dev.HostTime(); h > d {
-			d = h
-		}
-		if d > updateTime {
-			updateTime = d
-		}
-		r.solver.SetIter(t.iter + 1) // keep LR schedules advancing
 	}
 	res.IterTime = res.ComputeTime + res.CommTime + updateTime
 	t.iter++

@@ -78,8 +78,15 @@ func TestTrainerReplicasStayIdentical(t *testing.T) {
 			first = res.MeanLoss
 		}
 		last = res.MeanLoss
-		if res.ComputeTime <= 0 || res.CommTime <= 0 || res.IterTime < res.ComputeTime+res.CommTime {
+		// CommTime is now the *exposed* ring time: it may legally reach 0
+		// when every bucket hides under backward, but exposed+overlapped is
+		// the full ring bill and must be positive for 2 replicas.
+		if res.ComputeTime <= 0 || res.CommTime < 0 || res.CommTime+res.OverlappedComm <= 0 ||
+			res.IterTime < res.ComputeTime+res.CommTime {
 			t.Fatalf("bad step timing: %+v", res)
+		}
+		if res.BucketsReduced <= 0 {
+			t.Fatalf("step %d reduced no gradient buckets: %+v", i, res)
 		}
 		// Parameter blobs must remain bitwise identical across replicas.
 		p0 := tr.Net(0).Params()

@@ -412,6 +412,18 @@ func (d *Device) Trace() ([]KernelRecord, error) {
 	return out, nil
 }
 
+// LaunchSeq returns the issue-order sequence number of the most recently
+// launched kernel or memcpy (0 before the first launch). Unlike Now, it
+// does not drain the engine or touch the clocks, so it is safe to sample
+// mid-step: a caller can snapshot it at a host-side event and later, after
+// the step's drain, recover the simulated completion time of everything
+// issued up to that event from the records' Seq fields.
+func (d *Device) LaunchSeq() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.seq
+}
+
 // Subscribe registers a completion listener and returns an unsubscribe
 // token. Listeners run under the device lock during drains: they must not
 // call device methods.
