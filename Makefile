@@ -13,7 +13,7 @@ MAINS := \
 	./examples/quickstart \
 	./examples/timeline
 
-.PHONY: tier1 vet build test race alloc purego bins bench bench-tensor bench-dag bench-input bench-kernel bench-comm bench-serve serve chaos checkpoint clean
+.PHONY: tier1 vet build test race alloc purego bins bench bench-tensor bench-dag bench-input bench-kernel bench-comm bench-serve bench-adapt serve chaos checkpoint clean
 
 # tier1 is the CI gate: vet, build, the full test suite under the race
 # detector (the host-side parallel engine must stay race-clean), the
@@ -67,11 +67,14 @@ bins:
 # crash-resume soak (trainer killed mid-run and restored from a durable
 # checkpoint, bitwise identical to the uninterrupted run), and the
 # overlapped all-reduce bit-identity suite (blocking vs bucketed-overlapped
-# arms on all four workloads, plus an eviction mid-soak). Not a separate
-# tier1 dependency: `race` already runs these via ./... — this target
-# exists for fast iteration on the recovery paths alone.
+# arms on all four workloads, plus an eviction mid-soak), and the adaptive
+# plan-swap soak (drift injected into the profiling window, online
+# re-profiling and step-boundary swaps, bitwise identical to the serial
+# reference replaying the same width schedule). Not a separate tier1
+# dependency: `race` already runs these via ./... — this target exists for
+# fast iteration on the recovery paths alone.
 chaos:
-	$(GO) test -race -timeout 45m -run 'TestChaosSoak|TestStepRollback|TestMidRunDegradation|TestDeviceLossSoak|TestCrashResumeSoak|TestOverlappedAllReduce' -v ./internal/parallel/
+	$(GO) test -race -timeout 45m -run 'TestChaosSoak|TestStepRollback|TestMidRunDegradation|TestDeviceLossSoak|TestCrashResumeSoak|TestOverlappedAllReduce|TestAdaptivePlanSwapInvariance' -v ./internal/parallel/
 
 # Durable-checkpoint suite alone: the on-disk GLPC codec, corruption
 # refusal (flipped CRC byte, truncated tail, wrong version), atomic-write
@@ -112,6 +115,13 @@ bench-kernel:
 # host-reduction serial-vs-pool wall-clock, written to BENCH_allreduce.json.
 bench-comm:
 	$(GO) run ./cmd/glp4nn-bench -exp allreduce -json-out BENCH_allreduce.json
+
+# Adaptive concurrency controller sweep: drift-band × workload under
+# injected profiling drift, the stale fixed-plan arm's virtual timeline
+# against the adaptive arm's (re-profile + step-boundary swap), bitwise
+# replay-invariance checked per workload, written to BENCH_adapt.json.
+bench-adapt:
+	$(GO) run ./cmd/glp4nn-bench -exp adapt -json-out BENCH_adapt.json
 
 # Inference serving experiment: batch=1 serial vs dynamic request batching
 # on the same frozen engine, per-request answers bitwise-compared across

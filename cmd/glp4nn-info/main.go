@@ -11,6 +11,8 @@
 //	glp4nn-info
 //	glp4nn-info -occupancy -threads 256 -smem 16384
 //	glp4nn-info -dag
+//	glp4nn-info -plans -net CIFAR10 -device P100
+//	glp4nn-info -plans -checkpoint ckpt/checkpoint.glpc
 package main
 
 import (
@@ -18,10 +20,13 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 	"repro/internal/dnn"
 	"repro/internal/models"
+	"repro/internal/parallel"
 	"repro/internal/simgpu"
 	"repro/internal/tensor"
 )
@@ -33,8 +38,26 @@ func main() {
 		smem      = flag.Int("smem", 0, "shared memory bytes per block for -occupancy")
 		blocks    = flag.Int("blocks", 64, "grid size for -occupancy")
 		dag       = flag.Bool("dag", false, "print each workload's operator DAG shape (inter-layer parallelism)")
+		plans     = flag.Bool("plans", false, "print the analyzer's cached concurrency-plan table (profile a workload, or read -checkpoint)")
+		ckpt      = flag.String("checkpoint", "", "with -plans: read the plan table from this durable checkpoint instead of profiling")
+		netName   = flag.String("net", "CIFAR10", "with -plans: workload to profile")
+		device    = flag.String("device", "P100", "with -plans: simulated GPU to profile on")
 	)
 	flag.Parse()
+
+	if *plans {
+		var err error
+		if *ckpt != "" {
+			err = printCheckpointPlans(*ckpt)
+		} else {
+			err = printLivePlans(*netName, *device)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *dag {
 		if err := printDAGs(); err != nil {
@@ -109,6 +132,76 @@ func printFusion() error {
 			}
 		}
 		fmt.Printf("  %-10s %3d sites (%s)\n", name, len(sites), strings.Join(parts, ", "))
+	}
+	return nil
+}
+
+// planRow prints one cached plan in the shared -plans table format.
+func planRow(key string, streams int, serial, fallback bool, solvedFrom time.Duration) {
+	kind := "solved"
+	if fallback {
+		kind = "fallback"
+	}
+	if serial {
+		kind += ",serial"
+	}
+	fmt.Printf("  %-26s width %2d  %-15s solved-from %v\n",
+		key, streams, kind, solvedFrom.Round(time.Microsecond))
+}
+
+// printCheckpointPlans dumps the per-replica plan tables stored in a durable
+// checkpoint (version ≥ 1; version-1 files carry no solved-from timing).
+func printCheckpointPlans(path string) error {
+	info, err := parallel.PeekCheckpointFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: iteration %d, %d replicas\n", path, info.Iter, len(info.Plans))
+	for i, ps := range info.Plans {
+		if len(ps) == 0 {
+			fmt.Printf("replica %d: no cached plans (non-GLP run or evicted replica)\n", i)
+			continue
+		}
+		fmt.Printf("replica %d: %d plans\n", i, len(ps))
+		for _, p := range ps {
+			planRow(p.Key, p.Streams, p.Serial, p.Fallback, p.SolvedFrom)
+		}
+	}
+	return nil
+}
+
+// printLivePlans runs two timing-only iterations of a workload under
+// GLP4NN — enough to open and close the profiling window — then finalizes
+// and dumps the analyzer's plan cache (the data behind the paper's Fig. 8).
+func printLivePlans(netName, device string) error {
+	spec, ok := simgpu.DeviceByName(device)
+	if !ok {
+		return fmt.Errorf("unknown device %q (have %v)", device, simgpu.CatalogNames())
+	}
+	w, err := models.Get(netName)
+	if err != nil {
+		return err
+	}
+	dev := simgpu.NewDevice(spec, simgpu.WithTraceLimit(1))
+	fw := core.New()
+	defer fw.Close()
+	rt := fw.Runtime(dev)
+	ctx := dnn.NewContext(rt, 1)
+	ctx.Compute = false
+	net, err := w.Build(ctx, w.DefaultBatch, 1)
+	if err != nil {
+		return fmt.Errorf("building %s: %w", netName, err)
+	}
+	solver := dnn.NewSolver(net, ctx, dnn.CIFAR10QuickSolver())
+	for i := 0; i < 2; i++ {
+		if _, err := solver.Step(); err != nil {
+			return err
+		}
+	}
+	ps := rt.FinalizePlans()
+	fmt.Printf("%s on %s (batch %d): %d concurrency plans\n", netName, spec.Name, w.DefaultBatch, len(ps))
+	for _, p := range ps {
+		planRow(p.Key, p.Streams, p.Serial, p.Fallback, p.SolvedFrom)
 	}
 	return nil
 }

@@ -37,13 +37,15 @@ type options struct {
 	requests int
 	clients  int
 	device   string
-	useGLP   bool
-	useDAG   bool
-	useFuse  bool
-	weights  string
-	seed     int64
-	mean     time.Duration
-	jsonOut  bool
+	useGLP    bool
+	useDAG    bool
+	useFuse   bool
+	adapt     bool
+	driftBand float64
+	weights   string
+	seed      int64
+	mean      time.Duration
+	jsonOut   bool
 }
 
 func main() {
@@ -58,6 +60,8 @@ func main() {
 	flag.BoolVar(&o.useGLP, "glp4nn", false, "serve through GLP4NN's runtime (stream pool + copy stream) instead of the serial launcher")
 	flag.BoolVar(&o.useDAG, "dag", false, "dispatch independent layers as concurrent wavefronts (bits unchanged)")
 	flag.BoolVar(&o.useFuse, "fuse", false, "fuse bias/ReLU epilogues into the GEMM kernels (bits unchanged)")
+	flag.BoolVar(&o.adapt, "adapt", false, "with -glp4nn: adaptive concurrency control — drifted layers re-profile between batches (forward is width-invariant, so answers never change)")
+	flag.Float64Var(&o.driftBand, "drift-band", core.DefaultDriftBand, "adaptive drift tolerance around each plan's solved-from timing")
 	flag.StringVar(&o.weights, "weights", "", "load a weights snapshot (glp4nn-train -save-weights) before freezing")
 	flag.Int64Var(&o.seed, "seed", 1, "seed for weights, load shape and sample content")
 	flag.DurationVar(&o.mean, "mean-gap", 500*time.Microsecond, "mean request inter-arrival gap (Pareto tail)")
@@ -137,6 +141,13 @@ func run(out io.Writer, o options) error {
 	cfg := serve.Config{MaxBatch: o.maxBatch, MaxDelay: o.maxDelay}
 	if rt != nil {
 		cfg.Observer = rt.Ledger()
+		cfg.Budget = rt.Budget()
+		if o.adapt {
+			rt.SetAdaptive(core.AdaptiveConfig{Band: o.driftBand})
+			cfg.Adapter = &adaptDriver{rt: rt}
+		}
+	} else if o.adapt {
+		return fmt.Errorf("-adapt needs -glp4nn (there are no plans to adapt without it)")
 	}
 	srv, err := serve.New(fz, ctx, cfg)
 	if err != nil {
@@ -217,6 +228,22 @@ func run(out io.Writer, o options) error {
 		if o.useDAG {
 			fmt.Fprintf(out, "operator DAG dispatches: %d of %d\n", snap.DAGDispatches, snap.Dispatches)
 		}
+		if o.adapt {
+			fmt.Fprintf(out, "glp4nn adaptive: %s\n", snap.Adaptive())
+		}
 	}
 	return nil
+}
+
+// adaptDriver is the serving-side adaptive control loop: each flushed batch
+// is a step boundary. Forward execution is width-invariant (the per-chain
+// gradient folds that make width part of the numeric contract are
+// backward-only), so re-profiling and swapping between batches never
+// changes an answer's bits — no checkpoint needed, unlike training.
+type adaptDriver struct{ rt *core.Runtime }
+
+func (a *adaptDriver) BatchBoundary() {
+	if drifted := a.rt.StepBoundary(); len(drifted) > 0 {
+		a.rt.ScheduleReprofile(drifted)
+	}
 }

@@ -60,6 +60,8 @@ type runOptions struct {
 	Bus             string
 	BucketKB        int
 	BlockingComm    bool
+	Adapt           bool
+	DriftBand       float64
 }
 
 func main() {
@@ -85,6 +87,8 @@ func main() {
 	flag.StringVar(&o.Bus, "bus", "pcie3", "inter-GPU interconnect model for the gradient all-reduce: pcie3 or nvlink1")
 	flag.IntVar(&o.BucketKB, "bucket-kb", 0, "gradient bucket size in KiB for the overlapped all-reduce (0 = default 256; bits unchanged)")
 	flag.BoolVar(&o.BlockingComm, "blocking-allreduce", false, "use the legacy blocking all-reduce instead of the bucketed overlapped one (bits unchanged)")
+	flag.BoolVar(&o.Adapt, "adapt", false, "with -glp4nn: adaptive concurrency control — re-profile layers whose timing drifts and swap re-solved plans in at checkpointed step boundaries")
+	flag.Float64Var(&o.DriftBand, "drift-band", core.DefaultDriftBand, "adaptive drift tolerance: a layer drifts when its observed timing leaves [solved/(1+band), solved*(1+band)]")
 
 	var (
 		faultSeed   = flag.Int64("fault-seed", 0, "fault schedule seed (0 = reuse -seed)")
@@ -143,7 +147,7 @@ func run(out io.Writer, o runOptions) (float64, error) {
 	if o.Batch <= 0 {
 		o.Batch = w.DefaultBatch
 	}
-	if o.Devices > 1 || o.CheckpointDir != "" || o.Resume {
+	if o.Devices > 1 || o.CheckpointDir != "" || o.Resume || o.Adapt {
 		return runTrainer(out, o, spec, w)
 	}
 
@@ -313,6 +317,9 @@ func runTrainer(out io.Writer, o runOptions, spec simgpu.DeviceSpec, w *models.W
 	if o.Resume && o.CheckpointDir == "" {
 		return 0, fmt.Errorf("-resume needs -checkpoint-dir")
 	}
+	if o.Adapt && !o.GLP {
+		return 0, fmt.Errorf("-adapt needs -glp4nn (there are no plans to adapt without it)")
+	}
 
 	devs := make([]*simgpu.Device, o.Devices)
 	injectors := make([]*simgpu.PlanInjector, o.Devices)
@@ -355,6 +362,8 @@ func runTrainer(out io.Writer, o runOptions, spec simgpu.DeviceSpec, w *models.W
 		Elastic:           true,
 		BucketBytes:       int64(o.BucketKB) << 10,
 		BlockingAllReduce: o.BlockingComm,
+		Adaptive:          o.Adapt,
+		DriftBand:         o.DriftBand,
 	})
 	if err != nil {
 		return 0, err
@@ -484,6 +493,17 @@ func runTrainer(out io.Writer, o runOptions, spec simgpu.DeviceSpec, w *models.W
 		}
 		if snap.BucketsReduced > 0 || snap.ExposedCommNs > 0 {
 			fmt.Fprintf(out, "glp4nn all-reduce: %s\n", snap.Comm())
+		}
+		if o.Adapt {
+			fmt.Fprintf(out, "glp4nn adaptive: %s\n", snap.Adaptive())
+			for _, ev := range tr.SwapEvents() {
+				kind := "swap"
+				if ev.Shadow {
+					kind = "shadow"
+				}
+				fmt.Fprintf(out, "  iter %4d  %-6s %-22s width %d (solved from %v)\n",
+					ev.Iter, kind, ev.Key, ev.Streams, ev.SolvedFrom.Round(time.Microsecond))
+			}
 		}
 	}
 	return finalLoss, nil

@@ -182,6 +182,25 @@ type (
 	// the critical path (DESIGN §7.7).
 	CommStats = parallel.CommStats
 
+	// AdaptiveConfig tunes the runtime's drift detector (band, EWMA alpha,
+	// warmup, cooldown, re-profile cap) — the adaptive concurrency
+	// controller of DESIGN §7.8.
+	AdaptiveConfig = core.AdaptiveConfig
+	// DriftDetector watches per-layer observed kernel timings and flags
+	// layers whose EWMA leaves the band around their plan's solved-from
+	// timing (arm via Runtime.SetAdaptive or TrainerConfig.Adaptive).
+	DriftDetector = core.DriftDetector
+	// Budget is the unified SM-concurrency budget shared by chain streams,
+	// the DAG wavefront and copy-stream transfers on one device
+	// (Runtime.Budget).
+	Budget = core.Budget
+	// PlanSwapEvent records one width transition the adaptive trainer
+	// applied at a checkpointed step boundary (Trainer.SwapEvents).
+	PlanSwapEvent = parallel.PlanSwapEvent
+	// PlanInfo is one checkpointed concurrency plan as read back from a
+	// durable checkpoint (DurableInfo.Plans).
+	PlanInfo = parallel.PlanInfo
+
 	// ISA is one rung of the host micro-kernel dispatch ladder behind the
 	// engine's GEMM (purego → sse2 → avx2). Every rung produces bitwise
 	// identical outputs — dispatch is a pure speed decision (DESIGN §7.5).

@@ -1,0 +1,311 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dnn"
+	"repro/internal/hostpool"
+	"repro/internal/models"
+	"repro/internal/parallel"
+	"repro/internal/simgpu"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "adapt",
+		Title: "Adaptive concurrency controller: stale fixed plans vs online re-profiling under drift",
+		Paper: "Extension: the paper profiles once and solves once; this sweep injects " +
+			"drift into the profiling window (every layer starts on a width-1 fallback " +
+			"plan solved from nothing) and compares the stale arm's virtual timeline " +
+			"against the controller that re-profiles and swaps plans at checkpointed " +
+			"step boundaries — with the swap schedule replayed serially to prove the " +
+			"trained bits never move.",
+		Run: runAdapt,
+	})
+}
+
+// adaptRecord is one drift-band × workload arm of the timeline sweep.
+type adaptRecord struct {
+	Network     string  `json:"network"`
+	Band        float64 `json:"drift_band"`
+	Steps       int     `json:"steps"`
+	StaleMs     float64 `json:"stale_ms_total"`
+	AdaptiveMs  float64 `json:"adaptive_ms_total"`
+	Speedup     float64 `json:"speedup"`
+	DriftEvents int64   `json:"drift_events"`
+	Reprofiles  int64   `json:"reprofiles"`
+	PlanSwaps   int64   `json:"plan_swaps"`
+}
+
+// adaptReplay is one workload's convergence-invariance verdict: the adaptive
+// arm's recorded width schedule replayed through a serial reference.
+type adaptReplay struct {
+	Network string `json:"network"`
+	Events  int    `json:"schedule_events"`
+	Bitwise bool   `json:"bitwise_vs_reference"`
+}
+
+// adaptReport is the JSONOut document.
+type adaptReport struct {
+	Experiment string        `json:"experiment"`
+	Generated  string        `json:"generated"`
+	Records    []adaptRecord `json:"records"`
+	Replays    []adaptReplay `json:"replays"`
+}
+
+// adaptArm is one training run's outcome.
+type adaptArm struct {
+	total  time.Duration // summed virtual IterTime
+	snap   core.Snapshot
+	events []parallel.PlanSwapEvent
+	params [][]float32
+}
+
+// adaptCase sizes one workload's runs (CaffeNet is ~6 GFLOP per image on
+// the host, so the bitwise arms stay tiny).
+type adaptCase struct {
+	name  string
+	batch int
+}
+
+var adaptCases = []adaptCase{
+	{"CIFAR10", 4},
+	{"Siamese", 4},
+	{"CaffeNet", 2},
+	{"GoogLeNet", 2},
+}
+
+// runAdaptArm trains a workload on two simulated devices and returns the
+// summed virtual iteration time plus the controller's accounting. faults>0
+// drops exactly that many profiler records per device — the whole first
+// profiling window, so every plan starts as a width-1 fallback solved from
+// nothing. With adaptive=false and a replay schedule the run is the serial
+// reference: it re-applies the adaptive arm's width transitions at the same
+// boundaries without ever running the controller.
+func runAdaptArm(wl *models.Workload, batch, steps int, seed int64, faults int64, compute, adaptive bool, band float64, replay []parallel.PlanSwapEvent) (adaptArm, error) {
+	const nDev = 2
+	devs := make([]*simgpu.Device, nDev)
+	for i := range devs {
+		var opts []simgpu.Option
+		if faults > 0 {
+			plan := simgpu.FaultPlan{Seed: 7, DropRecord: 1.0, MaxFaults: faults}
+			opts = append(opts, simgpu.WithInjector(plan.Injector()))
+		}
+		dev, err := simgpu.NewDeviceChecked(simgpu.TeslaP100, opts...)
+		if err != nil {
+			return adaptArm{}, err
+		}
+		devs[i] = dev
+	}
+	cfg := parallel.Config{
+		Solver:  dnn.SolverConfig{BaseLR: 0.001, Momentum: 0.9, WeightDecay: 0.001},
+		UseGLP:  true,
+		Compute: compute,
+		Seed:    seed,
+	}
+	if adaptive {
+		cfg.Adaptive = true
+		cfg.DriftBand = band
+		if compute {
+			cfg.HostPool = hostpool.New(4)
+		}
+	}
+	tr, err := parallel.NewTrainer(simgpu.NewMachineFromDevices(devs...), func(ctx *dnn.Context) (*dnn.Net, error) {
+		return wl.Build(ctx, batch, seed)
+	}, cfg)
+	if err != nil {
+		return adaptArm{}, err
+	}
+	defer tr.Close()
+
+	feeders := map[int]models.Feeder{}
+	feed := func(replica int, net *dnn.Net) error {
+		f, ok := feeders[replica]
+		if !ok {
+			f = wl.NewFeeder(batch, 1000+int64(replica)*17)
+			feeders[replica] = f
+		}
+		return f(net)
+	}
+
+	var arm adaptArm
+	for i := 0; i < steps; i++ {
+		for _, ev := range replay {
+			if ev.Iter != i {
+				continue
+			}
+			for _, dev := range devs {
+				tr.Framework().Runtime(dev).InstallPlan(ev.Key, ev.Streams, true, ev.Fallback, ev.SolvedFrom)
+			}
+		}
+		res, err := tr.Step(feed)
+		if err != nil {
+			return adaptArm{}, fmt.Errorf("%s step %d: %w", wl.Name, i, err)
+		}
+		arm.total += res.IterTime
+	}
+	arm.snap = tr.Framework().Runtime(devs[0]).Ledger().Snapshot()
+	arm.events = tr.SwapEvents()
+	if compute {
+		for _, p := range tr.Net(0).Params() {
+			arm.params = append(arm.params, append([]float32(nil), p.Data.Data()...))
+		}
+	}
+	return arm, nil
+}
+
+// runAdapt sweeps drift-band × workload: each configuration's first
+// profiling window is fully corrupted, the stale arm trains on the
+// resulting width-1 fallback plans forever, and the adaptive arm detects
+// the drift, shadow-re-profiles, and swaps solved plans in at step
+// boundaries. The timeline arms are timing-only; the sweep closes with a
+// real-math replay check per workload proving the swap schedule changes
+// concurrency and nothing else.
+func runAdapt(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	const seed = 5
+	steps, replaySteps := 10, 6
+	bands := []float64{0.25, core.DefaultDriftBand, 1.0}
+	cases := adaptCases
+	if cfg.Quick {
+		steps = 8
+		bands = []float64{core.DefaultDriftBand}
+		cases = adaptCases[:1]
+	}
+	if len(cfg.Networks) > 0 && !cfg.Quick {
+		var kept []adaptCase
+		for _, c := range cases {
+			for _, n := range cfg.Networks {
+				if c.name == n {
+					kept = append(kept, c)
+					break
+				}
+			}
+		}
+		cases = kept
+	}
+
+	identical := func(a, b [][]float32) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if len(a[i]) != len(b[i]) {
+				return false
+			}
+			for j := range a[i] {
+				if math.Float32bits(a[i][j]) != math.Float32bits(b[i][j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	fmt.Fprintf(w, "2×P100, %d timing steps per arm; the first profiling window is dropped on every arm,\n", steps)
+	fmt.Fprintf(w, "so the stale arm never leaves its width-1 fallback plans\n\n")
+
+	var records []adaptRecord
+	var replays []adaptReplay
+	tab := newTable("network", "band", "stale", "adaptive", "speedup", "drift", "reprofiles", "swaps")
+	for _, c := range cases {
+		wl, err := models.Get(c.name)
+		if err != nil {
+			return err
+		}
+		// Probe a clean run for the first window's record count — the exact
+		// fault budget that corrupts that window and nothing else.
+		probe, err := runAdaptArm(wl, c.batch, 2, seed, 0, false, false, 0, nil)
+		if err != nil {
+			return err
+		}
+		faults := probe.snap.ProfiledKernels
+		if faults == 0 {
+			return fmt.Errorf("bench: adapt probe collected no profiler records for %s", c.name)
+		}
+
+		stale, err := runAdaptArm(wl, c.batch, steps, seed, faults, false, false, 0, nil)
+		if err != nil {
+			return err
+		}
+		for _, band := range bands {
+			arm, err := runAdaptArm(wl, c.batch, steps, seed, faults, false, true, band, nil)
+			if err != nil {
+				return err
+			}
+			speedup := float64(stale.total) / float64(arm.total)
+			tab.addf("%s\t%.2f\t%s ms\t%s ms\t%.2fx\t%d\t%d\t%d",
+				c.name, band, ms(stale.total), ms(arm.total), speedup,
+				arm.snap.DriftEvents, arm.snap.Reprofiles, arm.snap.PlanSwaps)
+			records = append(records, adaptRecord{
+				Network: c.name, Band: band, Steps: steps,
+				StaleMs: msF(stale.total), AdaptiveMs: msF(arm.total), Speedup: speedup,
+				DriftEvents: arm.snap.DriftEvents, Reprofiles: arm.snap.Reprofiles,
+				PlanSwaps: arm.snap.PlanSwaps,
+			})
+			if arm.snap.PlanSwaps == 0 {
+				return fmt.Errorf("bench: adapt controller never swapped a plan (%s, band %.2f)", c.name, band)
+			}
+			if arm.total >= stale.total {
+				return fmt.Errorf("bench: adaptive timeline %v not below stale %v (%s, band %.2f)",
+					arm.total, stale.total, c.name, band)
+			}
+		}
+	}
+	tab.write(w)
+
+	// Convergence invariance: re-run each workload with real math, record
+	// the adaptive arm's swap schedule, replay it through a non-adaptive
+	// serial reference, and compare the trained parameters bit for bit.
+	fmt.Fprintf(w, "\nreplay invariance (%d real-math steps, band %.2f):\n", replaySteps, core.DefaultDriftBand)
+	rt := newTable("network", "schedule events", "bitwise")
+	for _, c := range cases {
+		wl, err := models.Get(c.name)
+		if err != nil {
+			return err
+		}
+		probe, err := runAdaptArm(wl, c.batch, 2, seed, 0, true, false, 0, nil)
+		if err != nil {
+			return err
+		}
+		arm, err := runAdaptArm(wl, c.batch, replaySteps, seed, probe.snap.ProfiledKernels, true, true, core.DefaultDriftBand, nil)
+		if err != nil {
+			return err
+		}
+		ref, err := runAdaptArm(wl, c.batch, replaySteps, seed, probe.snap.ProfiledKernels, true, false, 0, arm.events)
+		if err != nil {
+			return err
+		}
+		bit := identical(arm.params, ref.params)
+		rt.addf("%s\t%d\t%v", c.name, len(arm.events), bit)
+		replays = append(replays, adaptReplay{Network: c.name, Events: len(arm.events), Bitwise: bit})
+		if !bit {
+			return fmt.Errorf("bench: adaptive plan swaps broke convergence invariance on %s", c.name)
+		}
+	}
+	rt.write(w)
+
+	if cfg.JSONOut != "" {
+		report := adaptReport{
+			Experiment: "adapt",
+			Generated:  time.Now().UTC().Format(time.RFC3339),
+			Records:    records,
+			Replays:    replays,
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.JSONOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote %d records to %s\n", len(records), cfg.JSONOut)
+	}
+	return nil
+}

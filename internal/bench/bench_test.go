@@ -333,6 +333,19 @@ func TestInputPipeSmoke(t *testing.T) {
 // serial arm's throughput (the coalescing win is structural: the serial
 // arm runs a full engine forward per request) and every per-request
 // answer must be bitwise identical across arms.
+func TestAdaptBenchSmoke(t *testing.T) {
+	out := runExp(t, "adapt", quickCfg())
+	if !strings.Contains(out, "stale") || !strings.Contains(out, "adaptive") {
+		t.Fatalf("adapt missing timeline arms:\n%s", out)
+	}
+	// The experiment hard-fails unless the adaptive arm beats the stale
+	// arm with swaps > 0 and the replay is bitwise — reaching the replay
+	// table at all means the sweep's own gates passed.
+	if !strings.Contains(out, "replay invariance") {
+		t.Fatalf("adapt did not run the replay-invariance check:\n%s", out)
+	}
+}
+
 func TestServeBenchSmoke(t *testing.T) {
 	rows, err := RunServeBenchRows(Config{Quick: true, Seed: 1, Networks: []string{"CIFAR10"}})
 	if err != nil {

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+)
+
+// solvedMap adapts a plain map to StepBoundary's lookup callback.
+func solvedMap(m map[string]time.Duration) func(string) (time.Duration, bool) {
+	return func(key string) (time.Duration, bool) {
+		d, ok := m[key]
+		return d, ok
+	}
+}
+
+// tick observes one duration for each key and folds a step boundary.
+func tick(d *DriftDetector, obs map[string]time.Duration, solved map[string]time.Duration) []string {
+	for k, v := range obs {
+		d.Observe(k, v)
+	}
+	return d.StepBoundary(solvedMap(solved))
+}
+
+func TestDriftDetectorHealingCase(t *testing.T) {
+	// A plan solved from an empty/corrupted profile carries SolvedFrom 0:
+	// any real observation must drift it once warmup passes.
+	d := NewDriftDetector(AdaptiveConfig{Warmup: 2})
+	solved := map[string]time.Duration{"conv1/fwd": 0}
+	obs := map[string]time.Duration{"conv1/fwd": time.Millisecond}
+	if got := tick(d, obs, solved); len(got) != 0 {
+		t.Fatalf("drifted during warmup: %v", got)
+	}
+	if got := tick(d, obs, solved); len(got) != 1 || got[0] != "conv1/fwd" {
+		t.Fatalf("healing case did not drift after warmup: %v", got)
+	}
+}
+
+func TestDriftDetectorBandEdges(t *testing.T) {
+	// Exactly on the band edge is inside; one step past it drifts.
+	const ref = float64(1000)
+	band := 0.5
+	cases := []struct {
+		obs   float64
+		drift bool
+	}{
+		{ref * (1 + band), false},
+		{ref*(1+band) + 1, true},
+		{ref / (1 + band), false},
+		{ref/(1+band) - 1, true},
+		{ref, false},
+	}
+	for _, c := range cases {
+		if got := outsideBand(c.obs, ref, band); got != c.drift {
+			t.Errorf("outsideBand(%v, %v, %v) = %v, want %v", c.obs, ref, band, got, c.drift)
+		}
+	}
+}
+
+func TestOutsideBandDegenerateInputs(t *testing.T) {
+	nan := math.NaN()
+	if outsideBand(nan, 1000, 0.5) {
+		t.Error("NaN observation drifted")
+	}
+	if outsideBand(1000, nan, 0.5) {
+		t.Error("NaN reference drifted")
+	}
+	if outsideBand(5000, 1000, nan) {
+		t.Error("NaN band did not disable detection")
+	}
+	if outsideBand(0, 1000, 0.5) || outsideBand(-5, 1000, 0.5) {
+		t.Error("non-positive observation drifted")
+	}
+	if !outsideBand(1, 0, 0.5) || !outsideBand(1, -3, 0.5) {
+		t.Error("non-positive reference with real observation must drift (healing case)")
+	}
+	// Negative band behaves like band 0: only exact equality is inside.
+	if outsideBand(1000, 1000, -2) {
+		t.Error("equal obs/ref drifted under negative band")
+	}
+	if !outsideBand(1001, 1000, -2) {
+		t.Error("negative band did not clamp to zero tolerance")
+	}
+}
+
+func TestDriftDetectorUnseenAndUnsolvedKeys(t *testing.T) {
+	d := NewDriftDetector(AdaptiveConfig{Warmup: 1})
+	// Key observed but its plan is unknown to the solver: never drifts.
+	obs := map[string]time.Duration{"mystery/fwd": time.Second}
+	for i := 0; i < 4; i++ {
+		if got := tick(d, obs, map[string]time.Duration{}); len(got) != 0 {
+			t.Fatalf("unsolved key drifted: %v", got)
+		}
+	}
+	// Key solved but never observed: StepBoundary skips it entirely.
+	solved := map[string]time.Duration{"idle/fwd": time.Millisecond}
+	if got := d.StepBoundary(solvedMap(solved)); len(got) != 0 {
+		t.Fatalf("never-observed key drifted: %v", got)
+	}
+	if _, ok := d.Observed("idle/fwd"); ok {
+		t.Fatal("never-observed key reported an EWMA")
+	}
+}
+
+func TestDriftDetectorCooldown(t *testing.T) {
+	d := NewDriftDetector(AdaptiveConfig{Warmup: 1, Cooldown: 2, MaxReprofiles: -1})
+	solved := map[string]time.Duration{"k": time.Microsecond}
+	obs := map[string]time.Duration{"k": time.Second} // way out of band
+	if got := tick(d, obs, solved); len(got) != 1 {
+		t.Fatalf("expected drift on first fold, got %v", got)
+	}
+	// Two boundaries of cooldown: the still-drifted key stays quiet.
+	for i := 0; i < 2; i++ {
+		if got := tick(d, obs, solved); len(got) != 0 {
+			t.Fatalf("cooldown boundary %d re-reported drift: %v", i, got)
+		}
+	}
+	if got := tick(d, obs, solved); len(got) != 1 {
+		t.Fatalf("expected re-drift after cooldown, got %v", got)
+	}
+}
+
+func TestDriftDetectorMaxReprofilesAndForget(t *testing.T) {
+	d := NewDriftDetector(AdaptiveConfig{Warmup: 1, Cooldown: 1, MaxReprofiles: 2})
+	solved := map[string]time.Duration{"k": time.Microsecond}
+	obs := map[string]time.Duration{"k": time.Second}
+
+	drifts := 0
+	for i := 0; i < 12; i++ {
+		if got := tick(d, obs, solved); len(got) == 1 {
+			drifts++
+			d.Forget("k") // caller re-profiles: state resets, evicted count survives
+		}
+	}
+	if drifts != 2 {
+		t.Fatalf("MaxReprofiles=2 allowed %d drifts", drifts)
+	}
+	// Forget reset the EWMA: the key re-warms from scratch.
+	if ewma, ok := d.Observed("k"); ok && ewma == 0 {
+		t.Fatalf("unexpected zero EWMA after folds")
+	}
+}
+
+func TestDriftDetectorZeroDurationObservations(t *testing.T) {
+	// Zero/negative durations count as observations (the step boundary
+	// folds them) but contribute no time — so a layer that only ever
+	// reports zeroes never drifts, even against a zero reference.
+	d := NewDriftDetector(AdaptiveConfig{Warmup: 1})
+	solved := map[string]time.Duration{"k": 0}
+	for i := 0; i < 4; i++ {
+		d.Observe("k", 0)
+		d.Observe("k", -time.Millisecond)
+		if got := d.StepBoundary(solvedMap(solved)); len(got) != 0 {
+			t.Fatalf("zero-duration observations drifted: %v", got)
+		}
+	}
+}
+
+func TestDriftDetectorEmptyKeyIgnored(t *testing.T) {
+	d := NewDriftDetector(AdaptiveConfig{Warmup: 1})
+	d.Observe("", time.Second)
+	if got := d.StepBoundary(solvedMap(map[string]time.Duration{"": 0})); len(got) != 0 {
+		t.Fatalf("empty key drifted: %v", got)
+	}
+}
+
+// FuzzDriftDetector drives the detector through arbitrary configurations
+// and observation streams and asserts its structural invariants: no
+// panics, sorted output, only solved keys drift, NaN band disables
+// detection, and a drifted key is always one the caller fed.
+func FuzzDriftDetector(f *testing.F) {
+	f.Add(0.5, 0.4, int64(1000), int64(2000), int64(0), "conv1/fwd", false)
+	f.Add(0.0, 0.0, int64(0), int64(-5), int64(1), "k", true)
+	f.Add(-1.0, 1.5, int64(1), int64(1), int64(1<<40), "a|b", false)
+	f.Add(math.NaN(), 0.9, int64(77), int64(88), int64(99), "x", true)
+	f.Add(math.Inf(1), 0.1, int64(5), int64(5), int64(5), "y", false)
+	f.Fuzz(func(t *testing.T, band, alpha float64, d1, d2, ref int64, key string, known bool) {
+		d := NewDriftDetector(AdaptiveConfig{
+			Band: band, Alpha: alpha, Warmup: 1, Cooldown: 1, MaxReprofiles: -1,
+		})
+		solved := map[string]time.Duration{}
+		if known {
+			solved[key] = time.Duration(ref)
+		}
+		lookup := solvedMap(solved)
+		for round := 0; round < 3; round++ {
+			d.Observe(key, time.Duration(d1))
+			d.Observe(key, time.Duration(d2))
+			d.Observe(key+"-other", time.Duration(d1))
+			drifted := d.StepBoundary(lookup)
+			if !sort.StringsAreSorted(drifted) {
+				t.Fatalf("unsorted drift report: %v", drifted)
+			}
+			for _, k := range drifted {
+				if _, ok := solved[k]; !ok {
+					t.Fatalf("unsolved key %q drifted", k)
+				}
+				if k == "" {
+					t.Fatal("empty key drifted")
+				}
+				if math.IsNaN(band) {
+					t.Fatalf("NaN band still drifted %q", k)
+				}
+				if d1 <= 0 && d2 <= 0 {
+					t.Fatalf("non-positive observations drifted %q", k)
+				}
+				d.Forget(k)
+			}
+		}
+		// A forgotten key must be re-observable without panic.
+		d.Observe(key, time.Duration(d1))
+		d.StepBoundary(lookup)
+	})
+}

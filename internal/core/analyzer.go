@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -34,7 +35,13 @@ type Plan struct {
 	ActiveThreads  float64 // Σ n_i·τ_i·β_i, the MILP objective
 	OccupancyRatio float64 // OR_SM of Eq. 1 implied by the plan
 	MILPNodes      int
-	Fallback       bool // true when the MILP was infeasible and Streams=1 was forced
+	// SolvedFrom is the total profiled kernel time the plan was solved
+	// from (Σ launches·duration over the layer's profile). The drift
+	// detector compares live observations against it; a fallback plan
+	// solved from an empty or corrupted profile carries 0, which any real
+	// observation drifts away from (the healing case).
+	SolvedFrom time.Duration
+	Fallback   bool // true when the MILP was infeasible and Streams=1 was forced
 	// Serial marks a plan demoted by the self-healing runtime: every launch
 	// routes to the default stream, but Streams keeps the planned width.
 	// Width is part of the numeric contract (layers index per-chain scratch
@@ -148,20 +155,33 @@ func (a *Analyzer) ForceSerial(key string) *Plan {
 // runtime would otherwise open a profiling window and run the first resumed
 // iteration at width 1, where the run being resumed executed it at the
 // planned width — and width is part of the numeric contract. Only the
-// fields dispatch depends on are seeded; kernel diagnostics are not
+// fields dispatch depends on are seeded (solvedFrom keeps the drift
+// detector's reference alive across a resume); kernel diagnostics are not
 // restored. An installed plan overwrites any cached one.
-func (a *Analyzer) Install(key string, streams int, serial, fallback bool) *Plan {
+func (a *Analyzer) Install(key string, streams int, serial, fallback bool, solvedFrom time.Duration) *Plan {
 	if streams < 1 {
 		streams = 1
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	p := &Plan{Key: key, Streams: streams, Serial: serial, Fallback: fallback}
+	p := &Plan{Key: key, Streams: streams, Serial: serial, Fallback: fallback, SolvedFrom: solvedFrom}
 	a.cache[key] = p
 	return p
 }
 
-// Plans returns all cached plans (the data behind the paper's Fig. 8).
+// Evict removes a key's cached plan, reporting whether one existed. The
+// adaptive controller uses it to force a drifted layer back through the
+// first-sighting profiling path.
+func (a *Analyzer) Evict(key string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, ok := a.cache[key]
+	delete(a.cache, key)
+	return ok
+}
+
+// Plans returns all cached plans (the data behind the paper's Fig. 8),
+// sorted by key so reports and checkpoints are stable across runs.
 func (a *Analyzer) Plans() []*Plan {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -169,6 +189,7 @@ func (a *Analyzer) Plans() []*Plan {
 	for _, p := range a.cache {
 		out = append(out, p)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
 }
 
@@ -219,7 +240,7 @@ func (MILPModel) Solve(spec simgpu.DeviceSpec, p *LayerProfile) *Plan {
 	rhoMax := float64(spec.MaxBlocksPerSM)
 
 	n := len(p.Kernels)
-	plan := &Plan{Key: p.Key, Streams: 1}
+	plan := &Plan{Key: p.Key, Streams: 1, SolvedFrom: p.TotalDuration()}
 	if n == 0 {
 		plan.Fallback = true
 		return plan

@@ -73,7 +73,7 @@ func (GreedyModel) Name() string { return "greedy" }
 
 // Solve implements Model.
 func (GreedyModel) Solve(spec simgpu.DeviceSpec, p *LayerProfile) *Plan {
-	plan := &Plan{Key: p.Key, Streams: 1}
+	plan := &Plan{Key: p.Key, Streams: 1, SolvedFrom: p.TotalDuration()}
 	n := len(p.Kernels)
 	if n == 0 {
 		plan.Fallback = true

@@ -71,6 +71,14 @@ type Ledger struct {
 	bucketsReduced int64
 	overlappedComm time.Duration
 	exposedComm    time.Duration
+
+	driftEvents     int64
+	reprofiles      int64
+	planSwaps       int64
+	budgetAcquires  int64
+	budgetThrottles int64
+	budgetPeak      int
+	budgetCap       int
 }
 
 // Per-record host memory for the tracker's own structures: two 8-byte
@@ -159,6 +167,23 @@ type Snapshot struct {
 	BucketsReduced int64
 	OverlappedCommNs int64
 	ExposedCommNs    int64
+
+	// Adaptive-controller counters. DriftEvents counts step-boundary
+	// verdicts where a layer's observed timing left its plan's band;
+	// Reprofiles counts layers evicted into a shadow re-profiling window;
+	// PlanSwaps counts re-solved plans swapped in at a step boundary.
+	DriftEvents int64
+	Reprofiles  int64
+	PlanSwaps   int64
+
+	// Unified-budget counters. BudgetAcquires counts grants of in-flight
+	// concurrency units; BudgetThrottles counts grants clamped below the
+	// request because other axes held the budget; BudgetPeak is the
+	// highest in-flight total observed against BudgetCap.
+	BudgetAcquires  int64
+	BudgetThrottles int64
+	BudgetPeak      int
+	BudgetCap       int
 }
 
 // Recoveries sums every recovery action the runtime took — nonzero proves
@@ -199,6 +224,13 @@ func (s Snapshot) Serving() string {
 func (s Snapshot) Elastic() string {
 	return fmt.Sprintf("evictions=%d shard-moves=%d resumes=%d",
 		s.Evictions, s.ShardMoves, s.Resumes)
+}
+
+// Adaptive renders the online-controller and unified-budget counters.
+func (s Snapshot) Adaptive() string {
+	return fmt.Sprintf("drift=%d reprofiles=%d swaps=%d | budget: acquires=%d throttled=%d peak=%d/%d",
+		s.DriftEvents, s.Reprofiles, s.PlanSwaps,
+		s.BudgetAcquires, s.BudgetThrottles, s.BudgetPeak, s.BudgetCap)
 }
 
 // Comm renders the gradient all-reduce counters.
@@ -372,6 +404,38 @@ func (l *Ledger) AddBucketReduce(buckets int, overlapped, exposed time.Duration)
 	l.exposedComm += exposed
 }
 
+func (l *Ledger) addDriftEvent() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.driftEvents++
+}
+
+func (l *Ledger) addReprofile() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.reprofiles++
+}
+
+func (l *Ledger) addPlanSwap() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.planSwaps++
+}
+
+func (l *Ledger) addBudgetAcquire(throttled bool, used, cap, peak int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.budgetAcquires++
+	if throttled {
+		l.budgetThrottles++
+	}
+	if peak > l.budgetPeak {
+		l.budgetPeak = peak
+	}
+	l.budgetCap = cap
+	_ = used
+}
+
 // addCopyOverlap credits modeled copy time issued on the dedicated copy
 // stream instead of the default stream.
 func (l *Ledger) addCopyOverlap(d time.Duration) {
@@ -444,6 +508,15 @@ func (l *Ledger) Snapshot() Snapshot {
 		BucketsReduced:   l.bucketsReduced,
 		OverlappedCommNs: int64(l.overlappedComm),
 		ExposedCommNs:    int64(l.exposedComm),
+
+		DriftEvents: l.driftEvents,
+		Reprofiles:  l.reprofiles,
+		PlanSwaps:   l.planSwaps,
+
+		BudgetAcquires:  l.budgetAcquires,
+		BudgetThrottles: l.budgetThrottles,
+		BudgetPeak:      l.budgetPeak,
+		BudgetCap:       l.budgetCap,
 	}
 }
 

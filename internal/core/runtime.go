@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -28,12 +29,26 @@ type Runtime struct {
 	pool     *StreamPool
 	ledger   *Ledger
 
+	budget *Budget
+
 	mu          sync.Mutex
 	pending     map[string]bool
 	profiles    map[string]*LayerProfile // collected but possibly not yet analyzed
 	profiling   bool
 	current     string
 	currentPlan *Plan
+	grant       int // budget units held for the current layer's chains
+	// reprofiling marks keys evicted by ScheduleReprofile whose re-solved
+	// plan has not landed yet; the first re-analysis of such a key is the
+	// plan swap the ledger counts.
+	reprofiling map[string]bool
+
+	// Adaptive state: the drift detector fed by a second device completion
+	// listener. Guarded by adMu, never by r.mu — the listener runs under
+	// the device lock, like the watchdog's.
+	adMu         sync.Mutex
+	adaptive     *DriftDetector
+	adSubscribed bool
 
 	// Watchdog state: the completion listener flags layer keys whose
 	// kernels overstayed wdLimit; Sync drains the set and degrades those
@@ -60,6 +75,7 @@ func newRuntime(dev *simgpu.Device, tracker *Tracker, analyzer *Analyzer, pool *
 		analyzer: analyzer,
 		pool:     pool,
 		ledger:   ledger,
+		budget:   NewBudget(dev.Spec().MaxConcurrentKernels(), ledger),
 		pending:  map[string]bool{},
 		profiles: map[string]*LayerProfile{},
 		wdLimit:  DefaultWatchdogLimit,
@@ -81,10 +97,34 @@ func (r *Runtime) Analyzer() *Analyzer { return r.analyzer }
 // Pool returns the device's stream pool.
 func (r *Runtime) Pool() *StreamPool { return r.pool }
 
+// Budget returns the device-wide in-flight concurrency budget shared by
+// chain streams, DAG wavefronts, the copy stream, and serving batches.
+func (r *Runtime) Budget() *Budget { return r.budget }
+
+// regrantLocked swaps the runtime's budget grant to match the current
+// plan: the previous layer's share is released and the new layer's stream
+// share acquired. A partial grant only shrinks how many pool streams the
+// chains spread over (launchWith clamps lane selection to the grant), so
+// the budget never affects planned widths. Called with r.mu held.
+func (r *Runtime) regrantLocked() {
+	want := 0
+	if p := r.currentPlan; p != nil && p.Streams > 1 && !p.Serial {
+		want = p.Streams
+	}
+	if r.grant > 0 {
+		r.budget.Release(r.grant)
+		r.grant = 0
+	}
+	if want > 1 {
+		r.grant = r.budget.Acquire(want)
+	}
+}
+
 // BeginLayer implements dnn.Launcher.
 func (r *Runtime) BeginLayer(key string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	defer r.regrantLocked()
 	r.current = key
 	if plan, ok := r.analyzer.Cached(key); ok {
 		r.currentPlan = plan
@@ -137,7 +177,14 @@ func (r *Runtime) analyzeLocked(profile *LayerProfile) *Plan {
 	plan, err := r.analyzer.Analyze(profile)
 	if err != nil {
 		r.ledger.addAnalyzeFailure()
+		delete(r.reprofiling, profile.Key)
 		return r.analyzer.CacheFallback(profile.Key)
+	}
+	if r.reprofiling[profile.Key] {
+		// A drift-evicted key just got its re-solved plan: that is the
+		// plan swap the adaptive controller promised at this boundary.
+		delete(r.reprofiling, profile.Key)
+		r.ledger.addPlanSwap()
 	}
 	r.dev.AdvanceHost(plan.SolveTime)
 	if plan.Streams > 1 {
@@ -170,21 +217,44 @@ func (r *Runtime) finalizeLocked() {
 		// correctly (just without concurrency for these layers) and the
 		// collect is not retried forever.
 		r.ledger.addProfileFailure()
-		for key := range r.pending {
+		for _, key := range sortedKeys(r.pending) {
 			r.analyzer.CacheFallback(key)
 			delete(r.pending, key)
+			delete(r.reprofiling, key)
 		}
 		return
 	}
-	for key, p := range profiles {
-		r.profiles[key] = p
+	for _, key := range sortedProfileKeys(profiles) {
+		r.profiles[key] = profiles[key]
 		delete(r.pending, key)
 	}
 	// Keys that produced no kernels (pure-host layers) get trivial plans.
-	for key := range r.pending {
+	for _, key := range sortedKeys(r.pending) {
 		r.profiles[key] = newLayerProfile(key)
 		delete(r.pending, key)
 	}
+}
+
+// sortedKeys returns a set's keys in sorted order, so every iteration over
+// profiling state (and therefore analysis order, solve-time charging, and
+// report order) is deterministic across runs.
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedProfileKeys is sortedKeys for collected profile maps.
+func sortedProfileKeys(m map[string]*LayerProfile) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // profileRetry runs a profiler-control call (each issues a device
@@ -221,6 +291,13 @@ func (r *Runtime) profileRetry(f func() error) error {
 func (r *Runtime) ResetProfiling() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	// A rollback may have killed the step between a layer's BeginLayer and
+	// its Sync; drop every outstanding budget grant so the retry starts
+	// from an empty budget.
+	if r.grant > 0 {
+		r.grant = 0
+	}
+	r.budget.Reset()
 	for key := range r.pending {
 		delete(r.pending, key)
 	}
@@ -254,11 +331,11 @@ func (r *Runtime) FinalizePlans() []*Plan {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.finalizeLocked()
-	for key, profile := range r.profiles {
+	for _, key := range sortedProfileKeys(r.profiles) {
 		if _, ok := r.analyzer.Cached(key); ok {
 			continue
 		}
-		r.analyzeLocked(profile)
+		r.analyzeLocked(r.profiles[key])
 	}
 	return r.analyzer.Plans()
 }
@@ -268,10 +345,10 @@ func (r *Runtime) FinalizePlans() []*Plan {
 // handling. Checkpoint resume calls this for every plan the checkpointed
 // run had analyzed, so the resumed run dispatches at the same widths
 // without re-running a profiling iteration.
-func (r *Runtime) InstallPlan(key string, streams int, serial, fallback bool) {
+func (r *Runtime) InstallPlan(key string, streams int, serial, fallback bool, solvedFrom time.Duration) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	plan := r.analyzer.Install(key, streams, serial, fallback)
+	plan := r.analyzer.Install(key, streams, serial, fallback, solvedFrom)
 	if plan.Streams > 1 && !plan.Serial {
 		if n, err := r.pool.EnsureSize(plan.Streams); err != nil && n == 0 {
 			r.ledger.addDegradation()
@@ -309,16 +386,21 @@ func (r *Runtime) Launch(k *simgpu.Kernel, chain int) error {
 	r.mu.Lock()
 	plan := r.currentPlan
 	key := r.current
+	grant := r.grant
 	r.mu.Unlock()
-	return r.launchWith(key, plan, k, chain, false)
+	return r.launchWith(key, plan, k, chain, grant, false)
 }
 
 // launchWith is the launch body shared by the runtime's own dnn.Launcher
 // implementation and its forked LayerSessions: the key/plan pair comes
 // from the caller instead of r.current/r.currentPlan, so concurrent DAG
 // sessions never race on the runtime's per-layer state. dag distinguishes
-// the ledger counter charged for a pool-stream dispatch.
-func (r *Runtime) launchWith(key string, plan *Plan, k *simgpu.Kernel, chain int, dag bool) error {
+// the ledger counter charged for a pool-stream dispatch. grant is the
+// caller's unified-budget share: chains spread over at most that many pool
+// streams (a stream-assignment clamp only — the plan's width, and
+// therefore trained bits, are untouched); a grant of 1 routes everything
+// to the default stream, exactly like a serial-demoted plan.
+func (r *Runtime) launchWith(key string, plan *Plan, k *simgpu.Kernel, chain int, grant int, dag bool) error {
 	if key != "" {
 		tag := key
 		if k.Tag != "" {
@@ -330,11 +412,17 @@ func (r *Runtime) launchWith(key string, plan *Plan, k *simgpu.Kernel, chain int
 	}
 	var stream *simgpu.Stream
 	if chain >= 0 && plan != nil && plan.Streams > 1 && !plan.Serial {
-		stream = r.pool.Stream(chain % plan.Streams)
-		if dag {
-			r.ledger.addDAGDispatch()
-		} else {
-			r.ledger.addDispatch()
+		lanes := plan.Streams
+		if grant > 0 && grant < lanes {
+			lanes = grant
+		}
+		if lanes > 1 {
+			stream = r.pool.Stream(chain % lanes)
+			if dag {
+				r.ledger.addDAGDispatch()
+			} else {
+				r.ledger.addDispatch()
+			}
 		}
 	}
 	err := r.launchRetry(k, stream)
@@ -396,6 +484,12 @@ func (r *Runtime) Sync() error {
 	if err != nil {
 		return err
 	}
+	r.mu.Lock()
+	if r.grant > 0 {
+		r.budget.Release(r.grant)
+		r.grant = 0
+	}
+	r.mu.Unlock()
 	r.drainWatchdog()
 	return nil
 }
@@ -474,29 +568,46 @@ func (r *Runtime) ForkLayerSession() any { return &LayerSession{r: r} }
 // DAGReady: unprofiled layers must first run a serial iteration exactly
 // as a non-DAG run would.
 type LayerSession struct {
-	r    *Runtime
-	key  string
-	plan *Plan
+	r     *Runtime
+	key   string
+	plan  *Plan
+	grant int // budget units held for this session's chains
 }
 
 // BeginLayer implements dnn.Launcher.
 func (s *LayerSession) BeginLayer(key string) {
 	s.key = key
 	s.plan = nil
+	s.releaseGrant()
 	if plan, ok := s.r.analyzer.Cached(key); ok {
 		s.plan = plan
+		if plan.Streams > 1 && !plan.Serial {
+			s.grant = s.r.budget.Acquire(plan.Streams)
+		}
+	}
+}
+
+func (s *LayerSession) releaseGrant() {
+	if s.grant > 0 {
+		s.r.budget.Release(s.grant)
+		s.grant = 0
 	}
 }
 
 // Launch implements dnn.Launcher; chain dispatch is charged to the
-// ledger's DAG counter.
+// ledger's DAG counter and clamped to the session's budget grant.
 func (s *LayerSession) Launch(k *simgpu.Kernel, chain int) error {
-	return s.r.launchWith(s.key, s.plan, k, chain, true)
+	return s.r.launchWith(s.key, s.plan, k, chain, s.grant, true)
 }
 
 // Sync implements dnn.Launcher: the device-wide barrier (concurrent
 // sessions joining it is safe — the underlying synchronize is idempotent).
-func (s *LayerSession) Sync() error { return s.r.Sync() }
+// The session's budget grant is returned first, so a waiting wavefront
+// peer sees the freed share when it queries the cap.
+func (s *LayerSession) Sync() error {
+	s.releaseGrant()
+	return s.r.Sync()
+}
 
 // Width implements dnn.Launcher: the planned stream count for the
 // session's layer, 1 for unplanned layers. Width is part of the numeric
@@ -535,10 +646,12 @@ func (r *Runtime) DAGReady(keys []string) bool {
 }
 
 // LayerConcurrencyCap implements the dnn-side capper: how many layer
-// sessions are worth running at once. Analyzer-informed: the device
-// co-executes at most MaxConcurrentKernels kernels and each session's
-// chains occupy up to its plan's stream share, so the cap is the kernel
-// budget divided by the widest non-degraded cached plan (at least 1).
+// sessions are worth running at once. Budget-informed: each session's
+// chains occupy up to its plan's stream share, so the cap is the unified
+// budget's *remaining* units divided by the widest non-degraded cached
+// plan (at least 1). The DAG scheduler re-queries this every dispatch
+// round, so wavefront width breathes with whatever the chain streams,
+// copy stream, and serving batches currently hold in flight.
 func (r *Runtime) LayerConcurrencyCap() int {
 	widest := 1
 	for _, p := range r.analyzer.Plans() {
@@ -546,7 +659,7 @@ func (r *Runtime) LayerConcurrencyCap() int {
 			widest = p.Streams
 		}
 	}
-	c := r.dev.Spec().MaxConcurrentKernels() / widest
+	c := r.budget.Available() / widest
 	if c < 1 {
 		c = 1
 	}
@@ -571,6 +684,10 @@ func (r *Runtime) UploadBytes(n int64) error {
 // create a copy stream at all is pinned to the default-stream fallback —
 // degraded but correct, exactly UploadBytes.
 func (r *Runtime) StageInput(n int64) error {
+	// The in-flight transfer holds one unit of the unified budget, so the
+	// copy stream and the compute axes share one device-wide cap.
+	g := r.budget.Acquire(1)
+	defer r.budget.Release(g)
 	s := r.ensureCopyStream()
 	err := r.memcpyRetry(n, s)
 	if err == nil {

@@ -40,6 +40,17 @@ func newLayerProfile(key string) *LayerProfile {
 	return &LayerProfile{Key: key, bydKey: map[string]*KernelStats{}}
 }
 
+// TotalDuration is the layer's total profiled kernel time — the timing a
+// concurrency plan is solved from, and the drift detector's reference
+// (Plan.SolvedFrom). An empty profile totals 0.
+func (p *LayerProfile) TotalDuration() time.Duration {
+	var total time.Duration
+	for _, ks := range p.Kernels {
+		total += ks.totalDur
+	}
+	return total
+}
+
 func (p *LayerProfile) add(rec cuptisim.KernelActivity) {
 	p.Records++
 	cfg := simgpu.LaunchConfig{

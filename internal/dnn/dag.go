@@ -647,17 +647,27 @@ func (n *Net) runDAG(ctx *Context, d *layerDAG, backward bool) error {
 		}
 	}
 
-	capN := d.stats.MaxWavefront
+	// The wavefront cap is re-queried every scheduling round rather than
+	// computed once: a capper backed by the runtime's unified SM budget
+	// (core.Runtime.LayerConcurrencyCap) reports the budget *currently*
+	// free, which moves as chain streams and copy transfers acquire and
+	// release their own shares mid-step.
+	capBase := d.stats.MaxWavefront
 	if backward {
-		capN = d.stats.MaxBwdWavefront
+		capBase = d.stats.MaxBwdWavefront
 	}
-	if c, ok := ctx.L.(ConcurrencyCapper); ok {
-		if m := c.LayerConcurrencyCap(); m > 0 && m < capN {
-			capN = m
+	capper, hasCapper := ctx.L.(ConcurrencyCapper)
+	capFn := func() int {
+		capN := capBase
+		if hasCapper {
+			if m := capper.LayerConcurrencyCap(); m > 0 && m < capN {
+				capN = m
+			}
 		}
-	}
-	if capN < 1 {
-		capN = 1
+		if capN < 1 {
+			capN = 1
+		}
+		return capN
 	}
 
 	var ready []int // ascending entry index
@@ -678,7 +688,7 @@ func (n *Net) runDAG(ctx *Context, d *layerDAG, backward bool) error {
 	var firstErr error
 	for finished < nNodes {
 		if firstErr == nil {
-			for len(ready) > 0 && running < capN {
+			for len(ready) > 0 && running < capFn() {
 				id := ready[0]
 				ready = ready[1:]
 				running++

@@ -1,0 +1,176 @@
+package parallel
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dnn"
+	"repro/internal/hostpool"
+	"repro/internal/models"
+	"repro/internal/simgpu"
+)
+
+// The adaptive-controller soak: inject profiler-record drift (the first
+// profiling window is fully corrupted, so every layer starts on a stale
+// width-1 fallback plan solved from nothing), let the online controller
+// detect the drift, shadow-re-profile, and swap real plans in at
+// checkpointed step boundaries — then prove the trained parameters are
+// bitwise identical to a non-adaptive serial reference that merely replays
+// the recorded width schedule. Width is the entire numeric contract of a
+// plan swap: if the schedule replay reproduces the bits, the controller
+// changed nothing but concurrency.
+
+type adaptResult struct {
+	params [][][]float32 // [replica][param][element]
+	events []PlanSwapEvent
+	snap   core.Snapshot
+}
+
+// runAdaptSoak trains a workload on two devices for `steps` iterations.
+// With adaptive=true the online controller runs (and a host pool exercises
+// chain concurrency); with adaptive=false the run is the serial reference,
+// replaying the given width schedule via InstallPlan before each matching
+// iteration. Both arms share fault plans, seeds, and feeders.
+func runAdaptSoak(t *testing.T, w *models.Workload, batch, steps int, plans []simgpu.FaultPlan, adaptive bool, replay []PlanSwapEvent) adaptResult {
+	t.Helper()
+	const nDev = 2
+	devs := make([]*simgpu.Device, nDev)
+	for i := range devs {
+		var opts []simgpu.Option
+		if plans != nil {
+			opts = append(opts, simgpu.WithInjector(plans[i].Injector()))
+		}
+		dev, err := simgpu.NewDeviceChecked(simgpu.TeslaP100, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs[i] = dev
+	}
+	cfg := Config{
+		Solver:  chaosSolver(),
+		UseGLP:  true,
+		Compute: true,
+		Seed:    5,
+	}
+	if adaptive {
+		cfg.Adaptive = true
+		cfg.HostPool = hostpool.New(4)
+	}
+	tr, err := NewTrainer(simgpu.NewMachineFromDevices(devs...), func(ctx *dnn.Context) (*dnn.Net, error) {
+		return w.Build(ctx, batch, 5)
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	feed := workloadFeeder(w, batch, 1000)
+	for i := 0; i < steps; i++ {
+		// The reference arm applies the adaptive arm's recorded width
+		// transitions at the same boundaries — with serial dispatch, so
+		// only the width (the numeric contract) is reproduced, never the
+		// concurrency.
+		for _, ev := range replay {
+			if ev.Iter != i {
+				continue
+			}
+			for _, dev := range devs {
+				tr.Framework().Runtime(dev).InstallPlan(ev.Key, ev.Streams, true, ev.Fallback, ev.SolvedFrom)
+			}
+		}
+		if _, err := tr.Step(feed); err != nil {
+			t.Fatalf("%s step %d failed: %v", w.Name, i, err)
+		}
+	}
+
+	res := adaptResult{
+		events: tr.SwapEvents(),
+		snap:   tr.Framework().Runtime(devs[0]).Ledger().Snapshot(),
+	}
+	for r := 0; r < tr.Replicas(); r++ {
+		var ps [][]float32
+		for _, p := range tr.Net(r).Params() {
+			ps = append(ps, append([]float32(nil), p.Data.Data()...))
+		}
+		res.params = append(res.params, ps)
+	}
+	return res
+}
+
+// probeWindowRecords measures how many kernel records the first profiling
+// window of a clean run collects — the exact fault budget that corrupts
+// that window and nothing else.
+func probeWindowRecords(t *testing.T, w *models.Workload, batch int) int64 {
+	t.Helper()
+	clean := runAdaptSoak(t, w, batch, 2, nil, false, nil)
+	n := clean.snap.ProfiledKernels
+	if n == 0 {
+		t.Fatal("probe collected no profiler records")
+	}
+	return n
+}
+
+// TestAdaptivePlanSwapInvariance is the headline adaptive proof on all four
+// paper workloads: under injected drift the controller re-solves plans at
+// runtime, and the trained parameters stay bitwise identical to the serial
+// reference replaying the same width schedule.
+func TestAdaptivePlanSwapInvariance(t *testing.T) {
+	cases := []struct {
+		name         string
+		batch, steps int
+	}{
+		{"CIFAR10", 4, 6},
+		{"Siamese", 4, 6},
+		{"CaffeNet", 2, 6}, // ~6 GFLOP per image on the host: keep it small
+		{"GoogLeNet", 2, 6},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			w, err := models.Get(c.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The drift injection: drop exactly the first profiling
+			// window's records on both devices. Collection comes back
+			// empty, every layer gets a width-1 fallback plan with
+			// SolvedFrom 0, and the first real observation is drift.
+			n := probeWindowRecords(t, w, c.batch)
+			plans := make([]simgpu.FaultPlan, 2)
+			for d := range plans {
+				plans[d] = simgpu.FaultPlan{Seed: 7, DropRecord: 1.0, MaxFaults: n}
+			}
+
+			adaptiveArm := runAdaptSoak(t, w, c.batch, c.steps, plans, true, nil)
+			if adaptiveArm.snap.DriftEvents == 0 {
+				t.Fatal("no drift detected despite a fully corrupted profiling window")
+			}
+			if adaptiveArm.snap.Reprofiles == 0 || adaptiveArm.snap.PlanSwaps == 0 {
+				t.Fatalf("controller idle: reprofiles=%d swaps=%d",
+					adaptiveArm.snap.Reprofiles, adaptiveArm.snap.PlanSwaps)
+			}
+			widened := false
+			for _, ev := range adaptiveArm.events {
+				if !ev.Shadow && ev.Streams > 1 {
+					widened = true
+					break
+				}
+			}
+			if !widened {
+				t.Fatalf("no re-solved plan raised its width; events: %v", adaptiveArm.events)
+			}
+			t.Logf("%s: drift=%d reprofiles=%d swaps=%d, %d schedule events",
+				c.name, adaptiveArm.snap.DriftEvents, adaptiveArm.snap.Reprofiles,
+				adaptiveArm.snap.PlanSwaps, len(adaptiveArm.events))
+
+			reference := runAdaptSoak(t, w, c.batch, c.steps, plans, false, adaptiveArm.events)
+			if reference.snap.Reprofiles != 0 || reference.snap.PlanSwaps != 0 {
+				t.Fatalf("reference arm adapted: reprofiles=%d swaps=%d",
+					reference.snap.Reprofiles, reference.snap.PlanSwaps)
+			}
+			for r := range adaptiveArm.params {
+				assertBitwiseEqual(t, c.name+"/adaptive-vs-reference", adaptiveArm.params[r], reference.params[0])
+			}
+		})
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/dnn"
 )
@@ -28,7 +29,15 @@ import (
 //	    per replica: plan count u32
 //	        per plan: key (u32 len + bytes) | streams u32 | flags u8
 //	                  (bit 0 = serial-demoted, bit 1 = fallback)
+//	                  | solvedFrom i64 ns (version ≥ 2 only)
 //	    solver snapshot (GLPW … GLPS …) of the first surviving replica
+//
+// Version 2 adds each plan's solved-from timing (Plan.SolvedFrom) so the
+// adaptive controller's drift reference survives a resume; version-1 files
+// are still read, with solvedFrom defaulting to 0 (which the drift
+// detector treats as the always-drifts healing case — a resumed adaptive
+// run re-solves its plans from fresh observations rather than trusting a
+// reference the file never carried).
 //
 // The plan tables exist because the planned per-layer stream width is part
 // of the numeric contract (layers index per-chain scratch and fold
@@ -45,7 +54,7 @@ import (
 
 const (
 	durableMagic   = "GLPC"
-	durableVersion = 1
+	durableVersion = 2
 	// maxDurableBytes bounds the declared payload length before any
 	// allocation: a corrupt header must fail cleanly, not OOM.
 	maxDurableBytes = int64(1) << 33
@@ -59,6 +68,19 @@ type DurableInfo struct {
 	// the replay count a resuming caller must drive its (deterministic)
 	// feeders through to restore the input iterator position.
 	FeedSteps int64
+	// Plans is each replica's cached concurrency-plan table at capture,
+	// sorted by key (empty for non-GLP runs). glp4nn-info -plans renders
+	// it; ReadCheckpoint reinstalls it.
+	Plans [][]PlanInfo
+}
+
+// PlanInfo is the externally visible form of one checkpointed plan.
+type PlanInfo struct {
+	Key        string
+	Streams    int
+	Serial     bool
+	Fallback   bool
+	SolvedFrom time.Duration
 }
 
 // WriteCheckpoint serializes the trainer's training state (see the format
@@ -106,7 +128,12 @@ func (t *Trainer) WriteCheckpoint(w io.Writer) error {
 				if p.Fallback {
 					flags |= 2
 				}
-				plans = append(plans, durablePlan{key: p.Key, streams: uint32(p.Streams), flags: flags})
+				plans = append(plans, durablePlan{
+					key:        p.Key,
+					streams:    uint32(p.Streams),
+					flags:      flags,
+					solvedFrom: int64(p.SolvedFrom),
+				})
 			}
 			sort.Slice(plans, func(i, j int) bool { return plans[i].key < plans[j].key })
 		}
@@ -124,6 +151,9 @@ func (t *Trainer) WriteCheckpoint(w io.Writer) error {
 				return err
 			}
 			if err := binary.Write(&payload, binary.LittleEndian, p.flags); err != nil {
+				return err
+			}
+			if err := binary.Write(&payload, binary.LittleEndian, p.solvedFrom); err != nil {
 				return err
 			}
 		}
@@ -154,58 +184,58 @@ func (t *Trainer) WriteCheckpointFile(path string) error {
 }
 
 // readDurablePayload validates the GLPC header and returns the
-// checksum-verified payload bytes.
-func readDurablePayload(r io.Reader) ([]byte, error) {
+// checksum-verified payload bytes plus the file's format version.
+func readDurablePayload(r io.Reader) ([]byte, uint32, error) {
 	magic := make([]byte, len(durableMagic))
 	if _, err := io.ReadFull(r, magic); err != nil {
-		return nil, fmt.Errorf("parallel: reading checkpoint header: %w", err)
+		return nil, 0, fmt.Errorf("parallel: reading checkpoint header: %w", err)
 	}
 	if string(magic) != durableMagic {
-		return nil, fmt.Errorf("parallel: not a checkpoint file (magic %q, want %q)", magic, durableMagic)
+		return nil, 0, fmt.Errorf("parallel: not a checkpoint file (magic %q, want %q)", magic, durableMagic)
 	}
 	var ver uint32
 	if err := binary.Read(r, binary.LittleEndian, &ver); err != nil {
-		return nil, fmt.Errorf("parallel: reading checkpoint version: %w", err)
+		return nil, 0, fmt.Errorf("parallel: reading checkpoint version: %w", err)
 	}
-	if ver != durableVersion {
-		return nil, fmt.Errorf("parallel: unsupported checkpoint version %d (this build reads version %d)", ver, durableVersion)
+	if ver < 1 || ver > durableVersion {
+		return nil, 0, fmt.Errorf("parallel: unsupported checkpoint version %d (this build reads version %d)", ver, durableVersion)
 	}
 	var plen uint64
 	if err := binary.Read(r, binary.LittleEndian, &plen); err != nil {
-		return nil, fmt.Errorf("parallel: reading checkpoint length: %w", err)
+		return nil, 0, fmt.Errorf("parallel: reading checkpoint length: %w", err)
 	}
 	if int64(plen) > maxDurableBytes {
-		return nil, fmt.Errorf("parallel: corrupt checkpoint: declared payload %d bytes", plen)
+		return nil, 0, fmt.Errorf("parallel: corrupt checkpoint: declared payload %d bytes", plen)
 	}
 	var sum uint32
 	if err := binary.Read(r, binary.LittleEndian, &sum); err != nil {
-		return nil, fmt.Errorf("parallel: reading checkpoint checksum: %w", err)
+		return nil, 0, fmt.Errorf("parallel: reading checkpoint checksum: %w", err)
 	}
 	payload := make([]byte, plen)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("parallel: checkpoint truncated (want %d payload bytes): %w", plen, err)
+		return nil, 0, fmt.Errorf("parallel: checkpoint truncated (want %d payload bytes): %w", plen, err)
 	}
 	if got := crc32.ChecksumIEEE(payload); got != sum {
-		return nil, fmt.Errorf("parallel: checkpoint corrupt: CRC32 mismatch (file %08x, computed %08x)", sum, got)
+		return nil, 0, fmt.Errorf("parallel: checkpoint corrupt: CRC32 mismatch (file %08x, computed %08x)", sum, got)
 	}
 	// The declared length must account for the whole file: bytes after the
 	// payload mean a torn or tampered write the CRC cannot vouch for.
 	var extra [1]byte
 	if _, err := io.ReadFull(r, extra[:]); err != io.EOF {
-		return nil, fmt.Errorf("parallel: checkpoint corrupt: trailing bytes after declared payload")
+		return nil, 0, fmt.Errorf("parallel: checkpoint corrupt: trailing bytes after declared payload")
 	}
-	return payload, nil
+	return payload, ver, nil
 }
 
 // PeekCheckpoint validates a durable checkpoint's header, checksum, and
 // fixed fields without touching any trainer — what a CLI uses to refuse a
 // bad -resume before building devices.
 func PeekCheckpoint(r io.Reader) (DurableInfo, error) {
-	payload, err := readDurablePayload(r)
+	payload, ver, err := readDurablePayload(r)
 	if err != nil {
 		return DurableInfo{}, err
 	}
-	info, _, _, _, _, err := parseDurablePayload(payload)
+	info, _, _, _, _, err := parseDurablePayload(payload, ver)
 	return info, err
 }
 
@@ -213,9 +243,10 @@ func PeekCheckpoint(r io.Reader) (DurableInfo, error) {
 // exactly the fields kernel dispatch (and therefore trained bits) depends
 // on.
 type durablePlan struct {
-	key     string
-	streams uint32
-	flags   uint8
+	key        string
+	streams    uint32
+	flags      uint8
+	solvedFrom int64 // ns; version ≥ 2, zero for v1 files
 }
 
 // PeekCheckpointFile is PeekCheckpoint on a file.
@@ -228,7 +259,7 @@ func PeekCheckpointFile(path string) (DurableInfo, error) {
 	return PeekCheckpoint(f)
 }
 
-func parseDurablePayload(payload []byte) (DurableInfo, []dnn.RNGState, []bool, [][]durablePlan, []byte, error) {
+func parseDurablePayload(payload []byte, ver uint32) (DurableInfo, []dnn.RNGState, []bool, [][]durablePlan, []byte, error) {
 	fail := func(err error) (DurableInfo, []dnn.RNGState, []bool, [][]durablePlan, []byte, error) {
 		return DurableInfo{}, nil, nil, nil, nil, err
 	}
@@ -292,11 +323,28 @@ func parseDurablePayload(payload []byte) (DurableInfo, []dnn.RNGState, []bool, [
 			if err := binary.Read(br, binary.LittleEndian, &p.flags); err != nil {
 				return fail(fmt.Errorf("parallel: checkpoint payload truncated: %w", err))
 			}
+			if ver >= 2 {
+				if err := binary.Read(br, binary.LittleEndian, &p.solvedFrom); err != nil {
+					return fail(fmt.Errorf("parallel: checkpoint payload truncated: %w", err))
+				}
+			}
 			plans[i] = append(plans[i], p)
 		}
 	}
 	solverBytes := payload[len(payload)-br.Len():]
 	info := DurableInfo{Iter: int(iter), FeedSteps: int64(feedSteps)}
+	info.Plans = make([][]PlanInfo, nrep)
+	for i, ps := range plans {
+		for _, p := range ps {
+			info.Plans[i] = append(info.Plans[i], PlanInfo{
+				Key:        p.key,
+				Streams:    int(p.streams),
+				Serial:     p.flags&1 != 0,
+				Fallback:   p.flags&2 != 0,
+				SolvedFrom: time.Duration(p.solvedFrom),
+			})
+		}
+	}
 	return info, rng, ok, plans, solverBytes, nil
 }
 
@@ -307,11 +355,11 @@ func parseDurablePayload(payload []byte) (DurableInfo, []dnn.RNGState, []bool, [
 // replaying its feeders FeedSteps times (they are deterministic) before
 // the next Step.
 func (t *Trainer) ReadCheckpoint(r io.Reader) (DurableInfo, error) {
-	payload, err := readDurablePayload(r)
+	payload, ver, err := readDurablePayload(r)
 	if err != nil {
 		return DurableInfo{}, err
 	}
-	info, rng, ok, plans, solverBytes, err := parseDurablePayload(payload)
+	info, rng, ok, plans, solverBytes, err := parseDurablePayload(payload, ver)
 	if err != nil {
 		return DurableInfo{}, err
 	}
@@ -340,7 +388,7 @@ func (t *Trainer) ReadCheckpoint(r io.Reader) (DurableInfo, error) {
 			// resumed first iteration must dispatch at the same per-layer
 			// widths, not open a fresh profiling window at width 1.
 			for _, p := range plans[i] {
-				rt.InstallPlan(p.key, int(p.streams), p.flags&1 != 0, p.flags&2 != 0)
+				rt.InstallPlan(p.key, int(p.streams), p.flags&1 != 0, p.flags&2 != 0, time.Duration(p.solvedFrom))
 			}
 		}
 	}

@@ -111,6 +111,19 @@ type Trainer struct {
 	shardMoves int
 	resumes    int
 	events     []EvictionEvent
+
+	// Adaptive-controller state (see adaptive.go). pendingDrift holds keys
+	// flagged by driftTick awaiting eviction at the next boundary;
+	// shadowKeys the keys currently in their shadow re-profile window;
+	// swapArmed marks that the next boundary must finalize and swap.
+	adaptive       bool
+	pendingDrift   []string
+	shadowKeys     []string
+	swapArmed      bool
+	swapLog        []PlanSwapEvent
+	driftCount     int
+	reprofileCount int
+	swapCount      int
 }
 
 // Config tunes a Trainer.
@@ -160,6 +173,16 @@ type Config struct {
 	// the default overlapped path; kept as the reference arm for tests and
 	// benchmarks.
 	BlockingAllReduce bool
+	// Adaptive, with UseGLP, arms the online concurrency controller: each
+	// replica's runtime watches per-layer kernel timings, layers whose
+	// timing drifts out of the band around their plan's solved-from timing
+	// are re-profiled in a shadow window, and the re-solved plans swap in at
+	// checkpointed step boundaries (see adaptive.go). The width schedule is
+	// recorded (SwapEvents) so a non-adaptive replay trains identical bits.
+	Adaptive bool
+	// DriftBand is the adaptive controller's fractional tolerance around a
+	// plan's solved-from timing; zero selects core.DefaultDriftBand.
+	DriftBand float64
 }
 
 // InputPipeline is the rollback hook of an asynchronous input feed.
@@ -185,11 +208,16 @@ func NewTrainer(machine *simgpu.Machine, build BuildFunc, cfg Config) (*Trainer,
 	}
 	if cfg.UseGLP {
 		t.fw = core.New()
+		t.adaptive = cfg.Adaptive
 	}
 	for _, dev := range devs {
 		var l dnn.Launcher = dnn.SerialLauncher{Dev: dev}
 		if t.fw != nil {
-			l = t.fw.Runtime(dev)
+			rt := t.fw.Runtime(dev)
+			if t.adaptive {
+				rt.SetAdaptive(core.AdaptiveConfig{Band: cfg.DriftBand})
+			}
+			l = rt
 		}
 		ctx := dnn.NewContext(l, cfg.Seed)
 		ctx.Compute = cfg.Compute
@@ -290,6 +318,13 @@ type StepResult struct {
 // retried step is bit-for-bit the step that failed). Terminal errors and
 // exhausted retries propagate.
 func (t *Trainer) Step(feed FeedFunc) (StepResult, error) {
+	// Adaptive boundary first: plan swaps and shadow evictions are only
+	// legal between iterations, and when one happens this step must run
+	// from a checkpoint that already includes the width transition.
+	var acp *Checkpoint
+	if t.adaptive {
+		acp = t.adaptiveBoundary()
+	}
 	// Feeding happens exactly once per Step, outside the retry loop: the
 	// feeder's own state (e.g. a shared RNG) must advance once per
 	// iteration regardless of how many attempts the iteration takes. The
@@ -307,10 +342,17 @@ func (t *Trainer) Step(feed FeedFunc) (StepResult, error) {
 			t.stashShard(s, r.net)
 		}
 	}
-	if t.stepRetries <= 0 && !t.elastic {
-		return t.stepOnce()
+	if t.stepRetries <= 0 && !t.elastic && acp == nil {
+		res, err := t.stepOnce()
+		if err == nil && t.adaptive {
+			t.driftTick()
+		}
+		return res, err
 	}
-	cp := t.Checkpoint()
+	cp := acp
+	if cp == nil {
+		cp = t.Checkpoint()
+	}
 	res, err := t.stepOnce()
 	for attempt := 0; err != nil; {
 		// Permanent device loss: evict the replica, rewind to the step's
@@ -336,6 +378,9 @@ func (t *Trainer) Step(feed FeedFunc) (StepResult, error) {
 		t.Restore(cp)
 		t.rollbacks++
 		res, err = t.stepOnce()
+	}
+	if err == nil && t.adaptive {
+		t.driftTick()
 	}
 	return res, err
 }

@@ -69,6 +69,23 @@ type Config struct {
 	// Transient classifies retryable forward errors; nil selects
 	// core.IsTransient.
 	Transient func(error) bool
+	// Budget, when non-nil, charges each flushed batch one unit of the
+	// unified SM budget for the duration of its attempts — the same pool
+	// the batch's own chain streams, DAG wavefront, and copy stream draw
+	// from (wire the runtime's core.Budget here when the server shares a
+	// device with other work).
+	Budget *core.Budget
+	// Adapter, when non-nil, is notified after every flushed batch — the
+	// serving equivalent of a training step boundary. Wire the runtime's
+	// adaptive controller here: forward execution is width-invariant (the
+	// gradient-partial folds that pin widths are backward-only), so a
+	// serving plan swap is always bit-safe and needs no checkpoint.
+	Adapter BatchBoundary
+}
+
+// BatchBoundary is notified after each flushed device batch.
+type BatchBoundary interface {
+	BatchBoundary()
 }
 
 // Stats is a snapshot of a server's counters. Quantiles are nearest-rank
@@ -445,6 +462,10 @@ func (s *Server) flush(reqs []*request) {
 		}
 	}
 	var err error
+	if b := s.cfg.Budget; b != nil {
+		g := b.Acquire(1)
+		defer b.Release(g)
+	}
 	for attempt := 0; ; attempt++ {
 		if err = s.stageAndForward(); err == nil {
 			break
@@ -496,6 +517,9 @@ func (s *Server) flush(reqs []*request) {
 			obs.ServeRequest(lat)
 		}
 		obs.ServeBatch(n, batchLat)
+	}
+	if a := s.cfg.Adapter; a != nil {
+		a.BatchBoundary()
 	}
 }
 
